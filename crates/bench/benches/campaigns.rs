@@ -1,0 +1,56 @@
+//! Benchmarks of whole campaigns — the unit of work behind every figure —
+//! including the scaling across thread counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbfi_core::{Campaign, CampaignSpec, FaultModel, GoldenRun, Technique, WinSize};
+use mbfi_workloads::{workload_by_name, InputSize};
+
+fn bench_campaigns(c: &mut Criterion) {
+    let workload = workload_by_name("stringsearch").expect("stringsearch exists");
+    let module = workload.build_module(InputSize::Tiny);
+    let golden = GoldenRun::capture(&module).expect("golden run");
+
+    let mut group = c.benchmark_group("campaign_25_experiments");
+    group.sample_size(10);
+    for (label, model) in [
+        ("single_bit", FaultModel::single_bit()),
+        ("multi_3_w1", FaultModel::multi_bit(3, WinSize::Fixed(1))),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let spec = CampaignSpec {
+                    technique: Technique::InjectOnWrite,
+                    model,
+                    experiments: 25,
+                    seed: 7,
+                    hang_factor: 20,
+                    threads: 1,
+                };
+                std::hint::black_box(Campaign::run(&module, &golden, &spec))
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("campaign_thread_scaling");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                let spec = CampaignSpec {
+                    technique: Technique::InjectOnRead,
+                    model: FaultModel::single_bit(),
+                    experiments: 40,
+                    seed: 7,
+                    hang_factor: 20,
+                    threads: t,
+                };
+                std::hint::black_box(Campaign::run(&module, &golden, &spec))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaigns);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Regenerates Fig. 1: outcome classification of single bit-flip campaigns
+//! per workload, for both injection techniques.
+
+use mbfi_bench::harness;
+
+fn main() {
+    let cfg = harness::HarnessConfig::from_env();
+    eprintln!(
+        "fig1: {} workloads, {} experiments/campaign, {} input",
+        cfg.workloads().len(),
+        cfg.experiments,
+        cfg.size
+    );
+    let data = harness::prepare(&cfg);
+    let results = harness::single_bit_results(&cfg, &data);
+    for (_, table) in harness::fig1(&results) {
+        println!("{}", table.render());
+    }
+}

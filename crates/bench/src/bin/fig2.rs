@@ -1,0 +1,19 @@
+//! Regenerates Fig. 2: SDC percentage when flipping 1..30 bits of the same
+//! register (win-size = 0), per workload and technique.
+
+use mbfi_bench::harness;
+use mbfi_core::Technique;
+
+fn main() {
+    let cfg = harness::HarnessConfig::from_env();
+    eprintln!(
+        "fig2: {} workloads, {} experiments/campaign",
+        cfg.workloads().len(),
+        cfg.experiments
+    );
+    let data = harness::prepare(&cfg);
+    for technique in Technique::ALL {
+        let results = harness::same_register_results(&cfg, &data, technique);
+        println!("{}", harness::fig2(technique, &results).render());
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates Fig. 3: distribution of the number of activated errors before
+//! a crash when max-MBF = 30.
+
+use mbfi_bench::harness;
+use mbfi_core::Technique;
+
+fn main() {
+    let cfg = harness::HarnessConfig::from_env();
+    eprintln!(
+        "fig3: {} workloads, {} experiments/campaign",
+        cfg.workloads().len(),
+        cfg.experiments
+    );
+    let data = harness::prepare(&cfg);
+    for technique in Technique::ALL {
+        let campaigns = harness::activation_results(&cfg, &data, technique);
+        let (table, analysis) = harness::fig3(technique, &campaigns);
+        println!("{}", table.render());
+        println!(
+            "suggested max-MBF bound for 95% coverage ({technique}): {}\n",
+            analysis.suggested_bound(0.95)
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates Fig. 4: SDC percentages for multi-register injections
+//! (win-size > 0) with the inject-on-read technique.
+
+use mbfi_bench::harness;
+use mbfi_core::Technique;
+
+fn main() {
+    let cfg = harness::HarnessConfig::from_env();
+    eprintln!(
+        "fig4: {} workloads, {} experiments/campaign, grid = {}",
+        cfg.workloads().len(),
+        cfg.experiments,
+        if cfg.full_grid { "full" } else { "coarse" }
+    );
+    let data = harness::prepare(&cfg);
+    let sweeps = harness::multi_register_results(&cfg, &data, Technique::InjectOnRead);
+    for fig in harness::fig45(Technique::InjectOnRead, &sweeps) {
+        println!("{}", fig.render());
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates Fig. 5: SDC percentages for multi-register injections
+//! (win-size > 0) with the inject-on-write technique.
+
+use mbfi_bench::harness;
+use mbfi_core::Technique;
+
+fn main() {
+    let cfg = harness::HarnessConfig::from_env();
+    eprintln!(
+        "fig5: {} workloads, {} experiments/campaign, grid = {}",
+        cfg.workloads().len(),
+        cfg.experiments,
+        if cfg.full_grid { "full" } else { "coarse" }
+    );
+    let data = harness::prepare(&cfg);
+    let sweeps = harness::multi_register_results(&cfg, &data, Technique::InjectOnWrite);
+    for fig in harness::fig45(Technique::InjectOnWrite, &sweeps) {
+        println!("{}", fig.render());
+    }
+}

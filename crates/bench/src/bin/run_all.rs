@@ -1,0 +1,70 @@
+//! Regenerates every table and figure of the paper in one run, followed by
+//! the aggregated RQ1–RQ5 summary.
+//!
+//! Pass `--show-grid` to print Table I (the parameter grid) and exit.
+
+use mbfi_bench::harness;
+use mbfi_core::{ParameterGrid, Technique};
+
+fn main() {
+    if std::env::args().any(|a| a == "--show-grid") {
+        println!("{}", ParameterGrid::table1());
+        println!("campaigns per workload: {}", ParameterGrid::all_campaigns().len());
+        return;
+    }
+
+    let cfg = harness::HarnessConfig::from_env();
+    eprintln!(
+        "run_all: {} workloads, {} experiments/campaign, {} input, grid = {}",
+        cfg.workloads().len(),
+        cfg.experiments,
+        cfg.size,
+        if cfg.full_grid { "full" } else { "coarse" }
+    );
+    let data = harness::prepare(&cfg);
+
+    // Table II.
+    println!("{}", harness::table2(&cfg, &data).render());
+
+    // Fig. 1.
+    let singles = harness::single_bit_results(&cfg, &data);
+    for (_, table) in harness::fig1(&singles) {
+        println!("{}", table.render());
+    }
+
+    // Fig. 2.
+    for technique in Technique::ALL {
+        let results = harness::same_register_results(&cfg, &data, technique);
+        println!("{}", harness::fig2(technique, &results).render());
+    }
+
+    // Fig. 3.
+    let read_activation_campaigns =
+        harness::activation_results(&cfg, &data, Technique::InjectOnRead);
+    let (t, read_activation) = harness::fig3(Technique::InjectOnRead, &read_activation_campaigns);
+    println!("{}", t.render());
+    let write_activation_campaigns =
+        harness::activation_results(&cfg, &data, Technique::InjectOnWrite);
+    let (t, write_activation) =
+        harness::fig3(Technique::InjectOnWrite, &write_activation_campaigns);
+    println!("{}", t.render());
+
+    // Fig. 4 / Fig. 5 and the tables derived from them.
+    let read = harness::multi_register_results(&cfg, &data, Technique::InjectOnRead);
+    let write = harness::multi_register_results(&cfg, &data, Technique::InjectOnWrite);
+    for fig in harness::fig45(Technique::InjectOnRead, &read) {
+        println!("{}", fig.render());
+    }
+    for fig in harness::fig45(Technique::InjectOnWrite, &write) {
+        println!("{}", fig.render());
+    }
+    println!("{}", harness::table3(&read, &write).render());
+    let (t4, locations) = harness::table4(&cfg, &data, &read, &write);
+    println!("{}", t4.render());
+
+    // RQ summary.
+    println!(
+        "{}",
+        harness::summary(&read_activation, &write_activation, &read, &write, &locations)
+    );
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table II: candidate fault-injection instruction counts per
+//! workload for the inject-on-read and inject-on-write techniques.
+
+use mbfi_bench::harness;
+
+fn main() {
+    let cfg = harness::HarnessConfig::from_env();
+    let data = harness::prepare(&cfg);
+    let table = harness::table2(&cfg, &data);
+    println!("{}", table.render());
+    println!(
+        "(experiments/campaign knob does not apply here; counts come from one golden run per workload)"
+    );
+}

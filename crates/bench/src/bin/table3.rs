@@ -1,0 +1,19 @@
+//! Regenerates Table III: the (max-MBF, win-size) configuration causing the
+//! highest SDC percentage per workload and technique.
+
+use mbfi_bench::harness;
+use mbfi_core::Technique;
+
+fn main() {
+    let cfg = harness::HarnessConfig::from_env();
+    eprintln!(
+        "table3: {} workloads, {} experiments/campaign, grid = {}",
+        cfg.workloads().len(),
+        cfg.experiments,
+        if cfg.full_grid { "full" } else { "coarse" }
+    );
+    let data = harness::prepare(&cfg);
+    let read = harness::multi_register_results(&cfg, &data, Technique::InjectOnRead);
+    let write = harness::multi_register_results(&cfg, &data, Technique::InjectOnWrite);
+    println!("{}", harness::table3(&read, &write).render());
+}

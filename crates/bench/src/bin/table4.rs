@@ -1,0 +1,20 @@
+//! Regenerates Table IV (and the Fig. 6 transition analysis): likelihoods of
+//! Transition I (Detection → SDC) and Transition II (Benign → SDC) when the
+//! first flip of a multi-bit experiment reuses a single-bit location.
+
+use mbfi_bench::harness;
+use mbfi_core::Technique;
+
+fn main() {
+    let cfg = harness::HarnessConfig::from_env();
+    eprintln!(
+        "table4: {} workloads, {} location pairs per workload/technique",
+        cfg.workloads().len(),
+        cfg.experiments
+    );
+    let data = harness::prepare(&cfg);
+    let read = harness::multi_register_results(&cfg, &data, Technique::InjectOnRead);
+    let write = harness::multi_register_results(&cfg, &data, Technique::InjectOnWrite);
+    let (table, _) = harness::table4(&cfg, &data, &read, &write);
+    println!("{}", table.render());
+}

@@ -1,0 +1,736 @@
+//! Shared machinery for the per-table / per-figure binaries.
+
+use mbfi_core::cluster::{MAX_MBF_VALUES, WIN_SIZE_VALUES};
+use mbfi_core::pruning::{ActivationAnalysis, LocationAnalysis, PessimisticAnalysis};
+use mbfi_core::report::{FigureData, Series, TextTable};
+use mbfi_core::space::ErrorSpace;
+use mbfi_core::{
+    Campaign, CampaignResult, CampaignSpec, FaultModel, GoldenRun, Outcome, Technique, WinSize,
+};
+use mbfi_ir::Module;
+use mbfi_workloads::{all_workloads, InputSize, Workload};
+
+/// Runtime configuration of the harness, read from environment variables so
+/// that every binary shares the same knobs.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Experiments per campaign (the paper uses 10,000; default here is 60 so
+    /// the full suite completes in minutes on a laptop).
+    pub experiments: usize,
+    /// Base seed for all campaigns.
+    pub seed: u64,
+    /// Input size for every workload.
+    pub size: InputSize,
+    /// Optional comma-separated workload filter.
+    pub workload_filter: Option<Vec<String>>,
+    /// Hang threshold as a multiple of the golden run length.
+    pub hang_factor: u64,
+    /// Worker threads per campaign (0 = all cores).
+    pub threads: usize,
+    /// Use the full 10 × 9 parameter grid instead of the coarse sub-grid.
+    pub full_grid: bool,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            experiments: 60,
+            seed: 0x0B17,
+            size: InputSize::Tiny,
+            workload_filter: None,
+            hang_factor: 20,
+            threads: 0,
+            full_grid: false,
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// Build a configuration from environment variables:
+    ///
+    /// * `MBFI_EXPERIMENTS` — experiments per campaign (default 60)
+    /// * `MBFI_SEED` — base seed (default 0x0B17)
+    /// * `MBFI_SIZE` — `tiny` or `small` (default tiny)
+    /// * `MBFI_WORKLOADS` — comma-separated names (default: all 15)
+    /// * `MBFI_HANG_FACTOR` — hang threshold multiplier (default 20)
+    /// * `MBFI_THREADS` — worker threads per campaign (default: all cores)
+    /// * `MBFI_GRID` — `full` for the 10 × 9 grid, anything else for the
+    ///   coarse sub-grid used by default
+    pub fn from_env() -> HarnessConfig {
+        let mut cfg = HarnessConfig::default();
+        if let Ok(v) = std::env::var("MBFI_EXPERIMENTS") {
+            if let Ok(n) = v.parse() {
+                cfg.experiments = n;
+            }
+        }
+        if let Ok(v) = std::env::var("MBFI_SEED") {
+            if let Ok(n) = v.parse() {
+                cfg.seed = n;
+            }
+        }
+        if let Ok(v) = std::env::var("MBFI_SIZE") {
+            cfg.size = match v.to_ascii_lowercase().as_str() {
+                "small" => InputSize::Small,
+                _ => InputSize::Tiny,
+            };
+        }
+        if let Ok(v) = std::env::var("MBFI_WORKLOADS") {
+            let names: Vec<String> = v
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if !names.is_empty() {
+                cfg.workload_filter = Some(names);
+            }
+        }
+        if let Ok(v) = std::env::var("MBFI_HANG_FACTOR") {
+            if let Ok(n) = v.parse() {
+                cfg.hang_factor = n;
+            }
+        }
+        if let Ok(v) = std::env::var("MBFI_THREADS") {
+            if let Ok(n) = v.parse() {
+                cfg.threads = n;
+            }
+        }
+        if let Ok(v) = std::env::var("MBFI_GRID") {
+            cfg.full_grid = v.eq_ignore_ascii_case("full");
+        }
+        cfg
+    }
+
+    /// The selected workloads.
+    pub fn workloads(&self) -> Vec<Box<dyn Workload>> {
+        let all = all_workloads();
+        match &self.workload_filter {
+            None => all,
+            Some(names) => all
+                .into_iter()
+                .filter(|w| names.iter().any(|n| n.eq_ignore_ascii_case(w.name())))
+                .collect(),
+        }
+    }
+
+    /// The `max-MBF` values of the active grid.
+    pub fn max_mbf_values(&self) -> Vec<u32> {
+        if self.full_grid {
+            MAX_MBF_VALUES.to_vec()
+        } else {
+            vec![2, 3, 4, 5, 10, 30]
+        }
+    }
+
+    /// The multi-register `win-size` values of the active grid.
+    pub fn win_size_values(&self) -> Vec<WinSize> {
+        if self.full_grid {
+            WIN_SIZE_VALUES
+                .iter()
+                .copied()
+                .filter(|w| !w.is_same_register())
+                .collect()
+        } else {
+            vec![
+                WinSize::Fixed(1),
+                WinSize::Fixed(10),
+                WinSize::Fixed(100),
+                WinSize::Fixed(1000),
+            ]
+        }
+    }
+
+    fn campaign_spec(&self, technique: Technique, model: FaultModel) -> CampaignSpec {
+        CampaignSpec {
+            technique,
+            model,
+            experiments: self.experiments,
+            seed: self.seed,
+            hang_factor: self.hang_factor,
+            threads: self.threads,
+        }
+    }
+}
+
+/// A workload prepared for campaigns: its module plus its golden run.
+pub struct WorkloadData {
+    /// Workload name.
+    pub name: String,
+    /// Package within its suite.
+    pub package: String,
+    /// One-line description.
+    pub description: String,
+    /// The built IR module.
+    pub module: Module,
+    /// The fault-free profiling run.
+    pub golden: GoldenRun,
+}
+
+/// Build modules and capture golden runs for the configured workloads.
+pub fn prepare(cfg: &HarnessConfig) -> Vec<WorkloadData> {
+    cfg.workloads()
+        .iter()
+        .map(|w| {
+            let module = w.build_module(cfg.size);
+            let golden = GoldenRun::capture(&module)
+                .unwrap_or_else(|e| panic!("golden run of {} failed: {e}", w.name()));
+            WorkloadData {
+                name: w.name().to_string(),
+                package: w.package().to_string(),
+                description: w.description().to_string(),
+                module,
+                golden,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Table II
+// ---------------------------------------------------------------------------
+
+/// Table II: candidate instruction counts per workload and technique.
+pub fn table2(cfg: &HarnessConfig, data: &[WorkloadData]) -> TextTable {
+    let mut table = TextTable::new(
+        format!("Table II — candidate fault-injection instructions ({} input)", cfg.size),
+        &[
+            "program",
+            "package",
+            "dynamic instrs",
+            "inject-on-read",
+            "inject-on-write",
+            "1-bit space (log10)",
+        ],
+    );
+    for w in data {
+        let read = w.golden.candidates(Technique::InjectOnRead);
+        let write = w.golden.candidates(Technique::InjectOnWrite);
+        let space = ErrorSpace::new(read, 64);
+        table.add_row(vec![
+            w.name.clone(),
+            w.package.clone(),
+            w.golden.dynamic_instrs.to_string(),
+            read.to_string(),
+            write.to_string(),
+            format!("{:.2}", space.single_bit_log10()),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 1 — single bit-flip outcome classification
+// ---------------------------------------------------------------------------
+
+/// Raw single-bit campaign results per workload: `(name, read, write)`.
+pub fn single_bit_results(
+    cfg: &HarnessConfig,
+    data: &[WorkloadData],
+) -> Vec<(String, CampaignResult, CampaignResult)> {
+    data.iter()
+        .map(|w| {
+            let read = Campaign::run(
+                &w.module,
+                &w.golden,
+                &cfg.campaign_spec(Technique::InjectOnRead, FaultModel::single_bit()),
+            );
+            let write = Campaign::run(
+                &w.module,
+                &w.golden,
+                &cfg.campaign_spec(Technique::InjectOnWrite, FaultModel::single_bit()),
+            );
+            (w.name.clone(), read, write)
+        })
+        .collect()
+}
+
+/// Fig. 1: outcome classification tables for both techniques.
+pub fn fig1(results: &[(String, CampaignResult, CampaignResult)]) -> Vec<(Technique, TextTable)> {
+    Technique::ALL
+        .iter()
+        .map(|technique| {
+            let mut table = TextTable::new(
+                format!("Fig. 1 — single bit-flip outcome classification ({technique})"),
+                &["program", "SDC%", "±", "Detection%", "Benign%"],
+            );
+            for (name, read, write) in results {
+                let r = if technique.is_write() { write } else { read };
+                let sdc = r.sdc_proportion();
+                table.add_row(vec![
+                    name.clone(),
+                    format!("{:.2}", r.sdc_pct()),
+                    format!("{:.2}", sdc.half_width_pct()),
+                    format!("{:.2}", r.counts.detection_pct()),
+                    format!("{:.2}", r.counts.fraction(Outcome::Benign) * 100.0),
+                ]);
+            }
+            (*technique, table)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2 — multiple bits of the same register (win-size = 0)
+// ---------------------------------------------------------------------------
+
+/// Raw same-register sweep per workload: campaigns for max-MBF = 1 (single)
+/// followed by the configured multi-bit values, all at win-size = 0.
+pub fn same_register_results(
+    cfg: &HarnessConfig,
+    data: &[WorkloadData],
+    technique: Technique,
+) -> Vec<(String, Vec<CampaignResult>)> {
+    data.iter()
+        .map(|w| {
+            let mut results = vec![Campaign::run(
+                &w.module,
+                &w.golden,
+                &cfg.campaign_spec(technique, FaultModel::single_bit()),
+            )];
+            for &m in &cfg.max_mbf_values() {
+                results.push(Campaign::run(
+                    &w.module,
+                    &w.golden,
+                    &cfg.campaign_spec(technique, FaultModel::multi_bit(m, WinSize::Fixed(0))),
+                ));
+            }
+            (w.name.clone(), results)
+        })
+        .collect()
+}
+
+/// Fig. 2: SDC% per program for 1..max flips of the same register.
+pub fn fig2(
+    technique: Technique,
+    results: &[(String, Vec<CampaignResult>)],
+) -> TextTable {
+    let headers: Vec<String> = std::iter::once("program".to_string())
+        .chain(
+            results
+                .first()
+                .map(|(_, rs)| rs.iter().map(|r| r.spec.model.label()).collect::<Vec<_>>())
+                .unwrap_or_default(),
+        )
+        .collect();
+    let mut table = TextTable::new(
+        format!("Fig. 2 — SDC% for multiple bits of the same register ({technique})"),
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for (name, rs) in results {
+        let mut row = vec![name.clone()];
+        row.extend(rs.iter().map(|r| format!("{:.2}", r.sdc_pct())));
+        table.add_row(row);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 3 — activated errors at max-MBF = 30
+// ---------------------------------------------------------------------------
+
+/// Raw max-MBF = 30 campaigns over all configured win-size > 0 values.
+pub fn activation_results(
+    cfg: &HarnessConfig,
+    data: &[WorkloadData],
+    technique: Technique,
+) -> Vec<CampaignResult> {
+    let mut out = Vec::new();
+    for w in data {
+        for &win in &cfg.win_size_values() {
+            out.push(Campaign::run(
+                &w.module,
+                &w.golden,
+                &cfg.campaign_spec(technique, FaultModel::multi_bit(30, win)),
+            ));
+        }
+    }
+    out
+}
+
+/// Fig. 3: distribution of activated errors before a crash at max-MBF = 30.
+pub fn fig3(technique: Technique, campaigns: &[CampaignResult]) -> (TextTable, ActivationAnalysis) {
+    let crash = ActivationAnalysis::crashes_from_campaigns(campaigns.iter());
+    let mut table = TextTable::new(
+        format!("Fig. 3 — activated errors before a crash, max-MBF = 30 ({technique})"),
+        &["activated errors", "fraction of crashes"],
+    );
+    for k in 0..crash.histogram.len() {
+        if crash.histogram[k] == 0 {
+            continue;
+        }
+        table.add_row(vec![k.to_string(), format!("{:.3}", crash.fraction(k))]);
+    }
+    let (le5, six_to_ten, gt10) = crash.fig3_buckets();
+    table.add_row(vec!["<= 5 (bucket)".into(), format!("{le5:.3}")]);
+    table.add_row(vec!["6..10 (bucket)".into(), format!("{six_to_ten:.3}")]);
+    table.add_row(vec!["> 10 (bucket)".into(), format!("{gt10:.3}")]);
+    (table, crash)
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4 / Fig. 5 — SDC% across the max-MBF × win-size grid
+// ---------------------------------------------------------------------------
+
+/// Raw multi-register sweep for one workload: the single-bit baseline plus a
+/// campaign per `(max-MBF, win-size)` point of the active grid.
+pub struct MultiRegisterSweep {
+    /// Workload name.
+    pub name: String,
+    /// Single bit-flip baseline.
+    pub single: CampaignResult,
+    /// Multi-bit campaigns over the grid.
+    pub grid: Vec<CampaignResult>,
+}
+
+/// Run the multi-register sweep (win-size > 0) for every workload.
+pub fn multi_register_results(
+    cfg: &HarnessConfig,
+    data: &[WorkloadData],
+    technique: Technique,
+) -> Vec<MultiRegisterSweep> {
+    data.iter()
+        .map(|w| {
+            let single = Campaign::run(
+                &w.module,
+                &w.golden,
+                &cfg.campaign_spec(technique, FaultModel::single_bit()),
+            );
+            let mut grid = Vec::new();
+            for &m in &cfg.max_mbf_values() {
+                for &win in &cfg.win_size_values() {
+                    grid.push(Campaign::run(
+                        &w.module,
+                        &w.golden,
+                        &cfg.campaign_spec(technique, FaultModel::multi_bit(m, win)),
+                    ));
+                }
+            }
+            MultiRegisterSweep {
+                name: w.name.clone(),
+                single,
+                grid,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 4 (read) / Fig. 5 (write): per-workload SDC% series, one series per
+/// win-size, indexed by max-MBF, with the single-bit value as the first point.
+pub fn fig45(technique: Technique, sweeps: &[MultiRegisterSweep]) -> Vec<FigureData> {
+    let fig_no = if technique.is_write() { 5 } else { 4 };
+    sweeps
+        .iter()
+        .map(|sweep| {
+            let mut fig = FigureData::new(format!(
+                "Fig. {fig_no} — SDC% targeting multiple registers ({technique}) — {}",
+                sweep.name
+            ));
+            // Collect the win sizes present in the grid, preserving order.
+            let mut wins: Vec<WinSize> = Vec::new();
+            for r in &sweep.grid {
+                if !wins.contains(&r.spec.model.win_size) {
+                    wins.push(r.spec.model.win_size);
+                }
+            }
+            for win in wins {
+                let mut series = Series::new(format!("w={}", win.label()));
+                series.push("1", sweep.single.sdc_pct());
+                for r in sweep
+                    .grid
+                    .iter()
+                    .filter(|r| r.spec.model.win_size == win)
+                {
+                    series.push(r.spec.model.max_mbf.to_string(), r.sdc_pct());
+                }
+                fig.series.push(series);
+            }
+            fig
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Table III — configurations causing the highest SDC%
+// ---------------------------------------------------------------------------
+
+/// Table III: the `(max-MBF, win-size)` pair with the highest SDC% per program
+/// and technique, alongside the single-bit baseline.
+pub fn table3(
+    read: &[MultiRegisterSweep],
+    write: &[MultiRegisterSweep],
+) -> TextTable {
+    let analysis = PessimisticAnalysis::default();
+    let mut table = TextTable::new(
+        "Table III — configuration with the highest SDC% among multi-bit campaigns",
+        &[
+            "program",
+            "read: max-MBF",
+            "read: win-size",
+            "read: SDC%",
+            "read: 1-bit SDC%",
+            "write: max-MBF",
+            "write: win-size",
+            "write: SDC%",
+            "write: 1-bit SDC%",
+        ],
+    );
+    for (r, w) in read.iter().zip(write) {
+        let re = analysis.table3_entry(&r.grid);
+        let we = analysis.table3_entry(&w.grid);
+        table.add_row(vec![
+            r.name.clone(),
+            re.model.max_mbf.to_string(),
+            re.model.win_size.label(),
+            format!("{:.2}", re.sdc_pct),
+            format!("{:.2}", r.single.sdc_pct()),
+            we.model.max_mbf.to_string(),
+            we.model.win_size.label(),
+            format!("{:.2}", we.sdc_pct),
+            format!("{:.2}", w.single.sdc_pct()),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Table IV — Transition I / II likelihoods (Fig. 6)
+// ---------------------------------------------------------------------------
+
+/// Table IV: Transition I (Detection→SDC) and Transition II (Benign→SDC)
+/// likelihoods using each workload's worst-case configuration from Table III.
+pub fn table4(
+    cfg: &HarnessConfig,
+    data: &[WorkloadData],
+    read: &[MultiRegisterSweep],
+    write: &[MultiRegisterSweep],
+) -> (TextTable, Vec<(String, LocationAnalysis, LocationAnalysis)>) {
+    let analysis = PessimisticAnalysis::default();
+    let mut table = TextTable::new(
+        "Table IV — likelihood of Transition I (Detection→SDC) and Transition II (Benign→SDC)",
+        &[
+            "program",
+            "read: Tran. I",
+            "read: Tran. II",
+            "read: prunable",
+            "write: Tran. I",
+            "write: Tran. II",
+            "write: prunable",
+        ],
+    );
+    let mut raw = Vec::new();
+    for ((w, r_sweep), w_sweep) in data.iter().zip(read).zip(write) {
+        let worst_read = analysis.table3_entry(&r_sweep.grid).model;
+        let worst_write = analysis.table3_entry(&w_sweep.grid).model;
+        let read_loc = LocationAnalysis::run(
+            &w.module,
+            &w.golden,
+            Technique::InjectOnRead,
+            worst_read,
+            cfg.experiments,
+            cfg.seed ^ 0xF16_6,
+            cfg.hang_factor,
+        );
+        let write_loc = LocationAnalysis::run(
+            &w.module,
+            &w.golden,
+            Technique::InjectOnWrite,
+            worst_write,
+            cfg.experiments,
+            cfg.seed ^ 0xF16_7,
+            cfg.hang_factor,
+        );
+        table.add_row(vec![
+            w.name.clone(),
+            format!("{:.1}%", read_loc.transition1() * 100.0),
+            format!("{:.1}%", read_loc.transition2() * 100.0),
+            format!("{:.1}%", read_loc.prunable_fraction() * 100.0),
+            format!("{:.1}%", write_loc.transition1() * 100.0),
+            format!("{:.1}%", write_loc.transition2() * 100.0),
+            format!("{:.1}%", write_loc.prunable_fraction() * 100.0),
+        ]);
+        raw.push((w.name.clone(), read_loc, write_loc));
+    }
+    (table, raw)
+}
+
+// ---------------------------------------------------------------------------
+// RQ summary
+// ---------------------------------------------------------------------------
+
+/// Aggregate answers to RQ1–RQ5 from the sweep results.
+pub fn summary(
+    read_activation: &ActivationAnalysis,
+    write_activation: &ActivationAnalysis,
+    read: &[MultiRegisterSweep],
+    write: &[MultiRegisterSweep],
+    locations: &[(String, LocationAnalysis, LocationAnalysis)],
+) -> String {
+    let analysis = PessimisticAnalysis::default();
+    let mut pessimistic = 0usize;
+    let mut total = 0usize;
+    let mut sufficient_mbf: Vec<u32> = Vec::new();
+    for sweep in read.iter().chain(write) {
+        let cmp = analysis.compare(&sweep.single, &sweep.grid);
+        total += 1;
+        if cmp.single_bit_is_pessimistic {
+            pessimistic += 1;
+        }
+        sufficient_mbf.push(cmp.sufficient_max_mbf);
+    }
+    let max_sufficient = sufficient_mbf.iter().copied().max().unwrap_or(0);
+    let t1_mean: f64 = locations
+        .iter()
+        .map(|(_, r, w)| (r.transition1() + w.transition1()) / 2.0)
+        .sum::<f64>()
+        / locations.len().max(1) as f64;
+    let t2_mean: f64 = locations
+        .iter()
+        .map(|(_, r, w)| (r.transition2() + w.transition2()) / 2.0)
+        .sum::<f64>()
+        / locations.len().max(1) as f64;
+    let prunable_mean: f64 = locations
+        .iter()
+        .map(|(_, r, w)| (r.prunable_fraction() + w.prunable_fraction()) / 2.0)
+        .sum::<f64>()
+        / locations.len().max(1) as f64;
+
+    format!(
+        "RQ1: {:.1}% of inject-on-read and {:.1}% of inject-on-write max-MBF=30 crashes \
+activated fewer than 10 errors (suggested bound: read {}, write {}).\n\
+RQ2: the single bit-flip model is pessimistic (within 1 point) for {pessimistic}/{total} \
+program/technique sweeps.\n\
+RQ3: at most {max_sufficient} errors were needed to reach the highest SDC% in any sweep.\n\
+RQ4: see the per-figure series — window size matters mainly for inject-on-write.\n\
+RQ5: Transition I averages {:.1}% vs Transition II {:.1}%; on average {:.1}% of single-bit \
+locations (Detection or SDC outcomes) can be pruned from multi-bit campaigns.\n",
+        read_activation.cumulative_fraction(9) * 100.0,
+        write_activation.cumulative_fraction(9) * 100.0,
+        read_activation.suggested_bound(0.95),
+        write_activation.suggested_bound(0.95),
+        t1_mean * 100.0,
+        t2_mean * 100.0,
+        prunable_mean * 100.0,
+    )
+}
+
+/// Convenience bundle of everything `run_all` produces.
+pub struct SweepResults {
+    /// Per-workload prepared data.
+    pub data: Vec<WorkloadData>,
+    /// Multi-register sweeps, inject-on-read.
+    pub read: Vec<MultiRegisterSweep>,
+    /// Multi-register sweeps, inject-on-write.
+    pub write: Vec<MultiRegisterSweep>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> HarnessConfig {
+        HarnessConfig {
+            experiments: 15,
+            workload_filter: Some(vec!["qsort".to_string(), "histo".to_string()]),
+            ..HarnessConfig::default()
+        }
+    }
+
+    #[test]
+    fn config_filters_workloads_case_insensitively() {
+        let cfg = HarnessConfig {
+            workload_filter: Some(vec!["QSORT".into(), "crc32".into()]),
+            ..HarnessConfig::default()
+        };
+        let names: Vec<_> = cfg.workloads().iter().map(|w| w.name().to_string()).collect();
+        assert_eq!(names, vec!["qsort", "CRC32"]);
+        assert_eq!(HarnessConfig::default().workloads().len(), 15);
+    }
+
+    #[test]
+    fn coarse_grid_is_a_subset_of_the_full_grid() {
+        let coarse = HarnessConfig::default();
+        let full = HarnessConfig {
+            full_grid: true,
+            ..HarnessConfig::default()
+        };
+        assert!(coarse.max_mbf_values().len() < full.max_mbf_values().len());
+        assert!(coarse.win_size_values().len() < full.win_size_values().len());
+        for m in coarse.max_mbf_values() {
+            assert!(full.max_mbf_values().contains(&m));
+        }
+        assert_eq!(full.max_mbf_values(), MAX_MBF_VALUES.to_vec());
+        assert_eq!(full.win_size_values().len(), 8);
+    }
+
+    #[test]
+    fn table2_lists_all_selected_workloads() {
+        let cfg = tiny_cfg();
+        let data = prepare(&cfg);
+        let table = table2(&cfg, &data);
+        assert_eq!(table.rows.len(), 2);
+        assert!(table.render().contains("qsort"));
+        assert!(table.render().contains("histo"));
+    }
+
+    #[test]
+    fn fig1_and_fig2_render_for_a_small_run() {
+        let cfg = tiny_cfg();
+        let data = prepare(&cfg);
+        let singles = single_bit_results(&cfg, &data);
+        let tables = fig1(&singles);
+        assert_eq!(tables.len(), 2);
+        assert!(tables[0].1.render().contains("SDC%"));
+
+        let same_reg = same_register_results(
+            &HarnessConfig {
+                experiments: 10,
+                ..tiny_cfg()
+            },
+            &data[..1],
+            Technique::InjectOnWrite,
+        );
+        let t = fig2(Technique::InjectOnWrite, &same_reg);
+        assert!(t.render().contains("1-bit"));
+        assert!(t.render().contains("m=30,w=0"));
+    }
+
+    #[test]
+    fn multi_register_sweep_feeds_table3_and_fig45() {
+        let cfg = HarnessConfig {
+            experiments: 10,
+            workload_filter: Some(vec!["stringsearch".into()]),
+            ..HarnessConfig::default()
+        };
+        let data = prepare(&cfg);
+        let read = multi_register_results(&cfg, &data, Technique::InjectOnRead);
+        let write = multi_register_results(&cfg, &data, Technique::InjectOnWrite);
+        assert_eq!(read[0].grid.len(), cfg.max_mbf_values().len() * cfg.win_size_values().len());
+
+        let figs = fig45(Technique::InjectOnRead, &read);
+        assert_eq!(figs.len(), 1);
+        assert_eq!(figs[0].series.len(), cfg.win_size_values().len());
+
+        let t3 = table3(&read, &write);
+        assert_eq!(t3.rows.len(), 1);
+
+        let (t4, raw) = table4(&cfg, &data, &read, &write);
+        assert_eq!(t4.rows.len(), 1);
+        assert_eq!(raw.len(), 1);
+    }
+
+    #[test]
+    fn env_config_round_trip() {
+        std::env::set_var("MBFI_EXPERIMENTS", "7");
+        std::env::set_var("MBFI_SIZE", "small");
+        std::env::set_var("MBFI_GRID", "full");
+        std::env::set_var("MBFI_WORKLOADS", "sha, bfs");
+        let cfg = HarnessConfig::from_env();
+        assert_eq!(cfg.experiments, 7);
+        assert_eq!(cfg.size, InputSize::Small);
+        assert!(cfg.full_grid);
+        assert_eq!(cfg.workloads().len(), 2);
+        std::env::remove_var("MBFI_EXPERIMENTS");
+        std::env::remove_var("MBFI_SIZE");
+        std::env::remove_var("MBFI_GRID");
+        std::env::remove_var("MBFI_WORKLOADS");
+    }
+}

@@ -1,0 +1,350 @@
+//! Fault-injection campaigns: many experiments with the same fault model on
+//! the same workload (§III-E of the paper).
+
+use crate::cluster::CampaignPoint;
+use crate::experiment::{Experiment, ExperimentSpec};
+use crate::fault_model::FaultModel;
+use crate::golden::GoldenRun;
+use crate::outcome::{Outcome, OutcomeCounts};
+use crate::stats::{wald_interval, Proportion};
+use crate::technique::Technique;
+use mbfi_ir::Module;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Injection technique.
+    pub technique: Technique,
+    /// Fault model.
+    pub model: FaultModel,
+    /// Number of experiments (the paper uses 10,000; this reproduction
+    /// defaults to a smaller, configurable number).
+    pub experiments: usize,
+    /// Seed from which every experiment's parameters are derived.
+    pub seed: u64,
+    /// Hang threshold as a multiple of the golden run length.
+    pub hang_factor: u64,
+    /// Number of worker threads (0 = use all available parallelism).
+    pub threads: usize,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        CampaignSpec {
+            technique: Technique::InjectOnRead,
+            model: FaultModel::single_bit(),
+            experiments: 1_000,
+            seed: 0xB17F_11B5,
+            hang_factor: 20,
+            threads: 0,
+        }
+    }
+}
+
+impl CampaignSpec {
+    /// Build a spec from a grid point, keeping the other defaults.
+    pub fn from_point(point: CampaignPoint, experiments: usize, seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            technique: point.technique,
+            model: point.model,
+            experiments,
+            seed,
+            ..CampaignSpec::default()
+        }
+    }
+}
+
+/// Aggregated results of one campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// The campaign's configuration.
+    pub spec: CampaignSpec,
+    /// Outcome counts over all experiments.
+    pub counts: OutcomeCounts,
+    /// Histogram of the number of activated errors per experiment
+    /// (index = number of activated flips).
+    pub activation_histogram: Vec<u64>,
+    /// Histogram of activated errors restricted to experiments that ended in
+    /// a hardware exception (used for Fig. 3 / RQ1).
+    pub crash_activation_histogram: Vec<u64>,
+}
+
+impl CampaignResult {
+    /// Total number of experiments.
+    pub fn total(&self) -> u64 {
+        self.counts.total()
+    }
+
+    /// SDC percentage.
+    pub fn sdc_pct(&self) -> f64 {
+        self.counts.sdc_pct()
+    }
+
+    /// SDC proportion with its 95 % confidence interval.
+    pub fn sdc_proportion(&self) -> Proportion {
+        wald_interval(self.counts.sdc, self.counts.total())
+    }
+
+    /// Proportion (with CI) of one outcome category.
+    pub fn proportion(&self, outcome: Outcome) -> Proportion {
+        wald_interval(self.counts.get(outcome), self.counts.total())
+    }
+
+    /// Mean number of activated errors per experiment.
+    pub fn mean_activated(&self) -> f64 {
+        let total: u64 = self.activation_histogram.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .activation_histogram
+            .iter()
+            .enumerate()
+            .map(|(k, n)| k as u64 * n)
+            .sum();
+        weighted as f64 / total as f64
+    }
+}
+
+/// Campaign runner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Campaign;
+
+impl Campaign {
+    /// Run `spec.experiments` experiments, spreading them over worker threads.
+    pub fn run(module: &Module, golden: &GoldenRun, spec: &CampaignSpec) -> CampaignResult {
+        let threads = if spec.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            spec.threads
+        };
+        let threads = threads.clamp(1, spec.experiments.max(1));
+
+        let max_hist = spec.model.max_mbf as usize + 1;
+        let chunk = spec.experiments.div_ceil(threads);
+        let partials: Vec<Partial> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let start = t * chunk;
+                let end = ((t + 1) * chunk).min(spec.experiments);
+                if start >= end {
+                    break;
+                }
+                handles.push(scope.spawn(move |_| {
+                    let mut partial = Partial::new(max_hist);
+                    for index in start..end {
+                        let exp_spec = ExperimentSpec::sample(
+                            spec.technique,
+                            spec.model,
+                            golden,
+                            spec.seed,
+                            index as u64,
+                            spec.hang_factor,
+                        );
+                        let result = Experiment::run(module, golden, &exp_spec);
+                        partial.record(result.outcome, result.activated as usize);
+                    }
+                    partial
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        })
+        .expect("campaign thread scope failed");
+
+        let mut counts = OutcomeCounts::default();
+        let mut activation_histogram = vec![0u64; max_hist];
+        let mut crash_activation_histogram = vec![0u64; max_hist];
+        for p in partials {
+            counts += p.counts;
+            for (i, v) in p.activation.iter().enumerate() {
+                activation_histogram[i] += v;
+            }
+            for (i, v) in p.crash_activation.iter().enumerate() {
+                crash_activation_histogram[i] += v;
+            }
+        }
+
+        CampaignResult {
+            spec: *spec,
+            counts,
+            activation_histogram,
+            crash_activation_histogram,
+        }
+    }
+
+    /// Run one campaign per grid point (convenience for sweeps).
+    pub fn run_points(
+        module: &Module,
+        golden: &GoldenRun,
+        points: &[CampaignPoint],
+        experiments: usize,
+        seed: u64,
+    ) -> Vec<CampaignResult> {
+        points
+            .iter()
+            .map(|p| Campaign::run(module, golden, &CampaignSpec::from_point(*p, experiments, seed)))
+            .collect()
+    }
+}
+
+struct Partial {
+    counts: OutcomeCounts,
+    activation: Vec<u64>,
+    crash_activation: Vec<u64>,
+}
+
+impl Partial {
+    fn new(max_hist: usize) -> Partial {
+        Partial {
+            counts: OutcomeCounts::default(),
+            activation: vec![0; max_hist],
+            crash_activation: vec![0; max_hist],
+        }
+    }
+
+    fn record(&mut self, outcome: Outcome, activated: usize) {
+        self.counts.record(outcome);
+        let slot = activated.min(self.activation.len() - 1);
+        self.activation[slot] += 1;
+        if outcome == Outcome::DetectedHwException {
+            self.crash_activation[slot] += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault_model::WinSize;
+    use mbfi_ir::{ModuleBuilder, Type};
+
+    fn workload() -> Module {
+        let mut mb = ModuleBuilder::new("w");
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(main);
+            let data = f.alloca(Type::I64, 16i64);
+            f.counted_loop(Type::I64, 0i64, 16i64, |f, i| {
+                let v = f.mul(Type::I64, i, 3i64);
+                f.store_elem(Type::I64, data, i, v);
+            });
+            let acc = f.slot(Type::I64);
+            f.store(Type::I64, 0i64, acc);
+            f.counted_loop(Type::I64, 0i64, 16i64, |f, i| {
+                let v = f.load_elem(Type::I64, data, i);
+                let cur = f.load(Type::I64, acc);
+                let next = f.add(Type::I64, cur, v);
+                f.store(Type::I64, next, acc);
+            });
+            let total = f.load(Type::I64, acc);
+            f.print_i64(total);
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        mb.finish()
+    }
+
+    #[test]
+    fn campaign_counts_add_up() {
+        let m = workload();
+        let golden = GoldenRun::capture(&m).unwrap();
+        let spec = CampaignSpec {
+            technique: Technique::InjectOnRead,
+            model: FaultModel::single_bit(),
+            experiments: 200,
+            seed: 5,
+            hang_factor: 10,
+            threads: 2,
+        };
+        let r = Campaign::run(&m, &golden, &spec);
+        assert_eq!(r.total(), 200);
+        let hist_total: u64 = r.activation_histogram.iter().sum();
+        assert_eq!(hist_total, 200);
+        assert!(r.sdc_pct() >= 0.0 && r.sdc_pct() <= 100.0);
+        assert!(r.mean_activated() <= 1.0);
+    }
+
+    #[test]
+    fn campaign_is_deterministic_regardless_of_thread_count() {
+        let m = workload();
+        let golden = GoldenRun::capture(&m).unwrap();
+        let base = CampaignSpec {
+            technique: Technique::InjectOnWrite,
+            model: FaultModel::multi_bit(3, WinSize::Fixed(1)),
+            experiments: 120,
+            seed: 77,
+            hang_factor: 10,
+            threads: 1,
+        };
+        let r1 = Campaign::run(&m, &golden, &base);
+        let r2 = Campaign::run(
+            &m,
+            &golden,
+            &CampaignSpec {
+                threads: 4,
+                ..base
+            },
+        );
+        assert_eq!(r1.counts, r2.counts);
+        assert_eq!(r1.activation_histogram, r2.activation_histogram);
+    }
+
+    #[test]
+    fn multi_bit_campaign_activates_multiple_errors() {
+        let m = workload();
+        let golden = GoldenRun::capture(&m).unwrap();
+        let spec = CampaignSpec {
+            technique: Technique::InjectOnWrite,
+            model: FaultModel::multi_bit(4, WinSize::Fixed(0)),
+            experiments: 100,
+            seed: 3,
+            hang_factor: 10,
+            threads: 2,
+        };
+        let r = Campaign::run(&m, &golden, &spec);
+        assert_eq!(r.activation_histogram.len(), 5);
+        // With win-size = 0 the full burst is applied at one instruction, so
+        // many experiments should activate all 4 flips.
+        assert!(r.activation_histogram[4] > 0);
+        assert!(r.mean_activated() > 1.0);
+    }
+
+    #[test]
+    fn crash_histogram_only_counts_crashes() {
+        let m = workload();
+        let golden = GoldenRun::capture(&m).unwrap();
+        let spec = CampaignSpec {
+            technique: Technique::InjectOnRead,
+            model: FaultModel::single_bit(),
+            experiments: 150,
+            seed: 11,
+            hang_factor: 10,
+            threads: 2,
+        };
+        let r = Campaign::run(&m, &golden, &spec);
+        let crash_total: u64 = r.crash_activation_histogram.iter().sum();
+        assert_eq!(crash_total, r.counts.hw_exception);
+    }
+
+    #[test]
+    fn run_points_produces_one_result_per_point() {
+        let m = workload();
+        let golden = GoldenRun::capture(&m).unwrap();
+        let points = vec![
+            CampaignPoint {
+                technique: Technique::InjectOnRead,
+                model: FaultModel::single_bit(),
+            },
+            CampaignPoint {
+                technique: Technique::InjectOnRead,
+                model: FaultModel::multi_bit(2, WinSize::Fixed(1)),
+            },
+        ];
+        let results = Campaign::run_points(&m, &golden, &points, 50, 9);
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|r| r.total() == 50));
+    }
+}

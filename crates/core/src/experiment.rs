@@ -1,0 +1,210 @@
+//! A single fault-injection experiment.
+
+use crate::fault_model::FaultModel;
+use crate::golden::GoldenRun;
+use crate::injector::{InjectionRecord, InjectorHook};
+use crate::outcome::{classify, Outcome};
+use crate::technique::Technique;
+use mbfi_ir::Module;
+use mbfi_vm::Vm;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Everything needed to run (and reproduce) one experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Injection technique.
+    pub technique: Technique,
+    /// Fault model (max-MBF and win-size).
+    pub model: FaultModel,
+    /// Candidate ordinal of the first injection.
+    pub first_target: u64,
+    /// Concrete window size for this experiment (pre-sampled when the model
+    /// uses a random range).
+    pub win_size_value: u64,
+    /// Seed for the injector's bit/operand selection.
+    pub seed: u64,
+    /// Hang threshold as a multiple of the golden dynamic instruction count.
+    pub hang_factor: u64,
+}
+
+impl ExperimentSpec {
+    /// Sample a specification for experiment number `index` of a campaign.
+    ///
+    /// The first-injection location is drawn uniformly from the golden run's
+    /// candidate count; random window ranges are sampled per experiment.
+    pub fn sample(
+        technique: Technique,
+        model: FaultModel,
+        golden: &GoldenRun,
+        campaign_seed: u64,
+        index: u64,
+        hang_factor: u64,
+    ) -> ExperimentSpec {
+        let mut rng = SmallRng::seed_from_u64(
+            campaign_seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(index),
+        );
+        let candidates = golden.candidates(technique).max(1);
+        ExperimentSpec {
+            technique,
+            model,
+            first_target: rng.gen_range(0..candidates),
+            win_size_value: model.win_size.sample(&mut rng),
+            seed: rng.gen(),
+            hang_factor,
+        }
+    }
+}
+
+/// Result of one experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// The specification that produced this result.
+    pub spec: ExperimentSpec,
+    /// Outcome category.
+    pub outcome: Outcome,
+    /// Number of bit-flips actually applied before the run ended
+    /// ("activated errors").
+    pub activated: u32,
+    /// Dynamic instructions executed by the faulty run.
+    pub dynamic_instrs: u64,
+    /// The applied flips.
+    pub injections: Vec<InjectionRecord>,
+}
+
+/// Runs single experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Experiment;
+
+impl Experiment {
+    /// Execute one experiment: run the workload with an [`InjectorHook`]
+    /// configured from `spec` and classify the outcome against the golden run.
+    pub fn run(module: &Module, golden: &GoldenRun, spec: &ExperimentSpec) -> ExperimentResult {
+        let mut hook = InjectorHook::new(
+            spec.technique,
+            spec.model.max_mbf,
+            spec.win_size_value,
+            spec.first_target,
+            spec.seed,
+        );
+        let limits = golden.faulty_run_limits(spec.hang_factor.max(2));
+        let result = Vm::new(module, limits).run(&mut hook);
+        let outcome = classify(&result, &golden.output);
+        ExperimentResult {
+            spec: *spec,
+            outcome,
+            activated: hook.activated(),
+            dynamic_instrs: result.dynamic_instrs,
+            injections: hook.into_records(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault_model::WinSize;
+    use mbfi_ir::{ModuleBuilder, Type};
+
+    fn workload() -> Module {
+        let mut mb = ModuleBuilder::new("w");
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(main);
+            let data = f.alloca(Type::I64, 32i64);
+            f.counted_loop(Type::I64, 0i64, 32i64, |f, i| {
+                let sq = f.mul(Type::I64, i, i);
+                f.store_elem(Type::I64, data, i, sq);
+            });
+            let acc = f.slot(Type::I64);
+            f.store(Type::I64, 0i64, acc);
+            f.counted_loop(Type::I64, 0i64, 32i64, |f, i| {
+                let v = f.load_elem(Type::I64, data, i);
+                let cur = f.load(Type::I64, acc);
+                let next = f.add(Type::I64, cur, v);
+                f.store(Type::I64, next, acc);
+            });
+            let total = f.load(Type::I64, acc);
+            f.print_i64(total);
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        mb.finish()
+    }
+
+    #[test]
+    fn sampled_specs_are_reproducible_and_in_range() {
+        let m = workload();
+        let golden = GoldenRun::capture(&m).unwrap();
+        let model = FaultModel::multi_bit(3, WinSize::Random { lo: 2, hi: 10 });
+        let a = ExperimentSpec::sample(Technique::InjectOnRead, model, &golden, 42, 7, 10);
+        let b = ExperimentSpec::sample(Technique::InjectOnRead, model, &golden, 42, 7, 10);
+        assert_eq!(a, b, "same seed and index give the same spec");
+        assert!(a.first_target < golden.candidates(Technique::InjectOnRead));
+        assert!((2..=10).contains(&a.win_size_value));
+        let c = ExperimentSpec::sample(Technique::InjectOnRead, model, &golden, 42, 8, 10);
+        assert_ne!(a, c, "different indices give different specs");
+    }
+
+    #[test]
+    fn experiments_are_deterministic() {
+        let m = workload();
+        let golden = GoldenRun::capture(&m).unwrap();
+        let spec = ExperimentSpec::sample(
+            Technique::InjectOnWrite,
+            FaultModel::single_bit(),
+            &golden,
+            7,
+            3,
+            10,
+        );
+        let r1 = Experiment::run(&m, &golden, &spec);
+        let r2 = Experiment::run(&m, &golden, &spec);
+        assert_eq!(r1, r2);
+        assert!(r1.activated <= 1);
+    }
+
+    #[test]
+    fn single_bit_experiments_cover_multiple_outcomes() {
+        let m = workload();
+        let golden = GoldenRun::capture(&m).unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..300 {
+            let spec = ExperimentSpec::sample(
+                Technique::InjectOnRead,
+                FaultModel::single_bit(),
+                &golden,
+                123,
+                i,
+                10,
+            );
+            let r = Experiment::run(&m, &golden, &spec);
+            seen.insert(r.outcome);
+            assert!(r.activated <= 1);
+            assert!(r.injections.len() == r.activated as usize);
+        }
+        // A realistic workload shows at least benign results, detections and SDCs.
+        assert!(seen.contains(&Outcome::Benign), "outcomes seen: {seen:?}");
+        assert!(
+            seen.contains(&Outcome::DetectedHwException),
+            "outcomes seen: {seen:?}"
+        );
+        assert!(seen.contains(&Outcome::Sdc), "outcomes seen: {seen:?}");
+    }
+
+    #[test]
+    fn multi_bit_activations_never_exceed_max_mbf() {
+        let m = workload();
+        let golden = GoldenRun::capture(&m).unwrap();
+        let model = FaultModel::multi_bit(5, WinSize::Fixed(4));
+        for i in 0..100 {
+            let spec =
+                ExperimentSpec::sample(Technique::InjectOnWrite, model, &golden, 99, i, 10);
+            let r = Experiment::run(&m, &golden, &spec);
+            assert!(r.activated <= 5);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Fault models: single bit-flips and multiple bit-flips parameterised by
+//! `max-MBF` and `win-size` (§III-C of the paper).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The dynamic window size between consecutive injections.
+///
+/// A window of zero means every flip lands in the same dynamic instruction
+/// (i.e. the same register); larger windows spread the flips across the
+/// instruction stream.  The paper uses six fixed values and three values
+/// drawn uniformly from a range (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WinSize {
+    /// A constant number of dynamic instructions between injections.
+    Fixed(u64),
+    /// A value drawn uniformly from `lo..=hi` for each experiment.
+    Random {
+        /// Lower bound (inclusive).
+        lo: u64,
+        /// Upper bound (inclusive).
+        hi: u64,
+    },
+}
+
+impl WinSize {
+    /// Sample a concrete window size for one experiment.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match self {
+            WinSize::Fixed(v) => *v,
+            WinSize::Random { lo, hi } => rng.gen_range(*lo..=*hi),
+        }
+    }
+
+    /// Whether every flip targets the same instruction (window of zero).
+    pub fn is_same_register(&self) -> bool {
+        matches!(self, WinSize::Fixed(0))
+    }
+
+    /// A short label used in reports (`0`, `1`, `RND(2-10)`, ...).
+    pub fn label(&self) -> String {
+        match self {
+            WinSize::Fixed(v) => v.to_string(),
+            WinSize::Random { lo, hi } => format!("RND({lo}-{hi})"),
+        }
+    }
+
+    /// The largest window this configuration can produce.
+    pub fn upper_bound(&self) -> u64 {
+        match self {
+            WinSize::Fixed(v) => *v,
+            WinSize::Random { hi, .. } => *hi,
+        }
+    }
+}
+
+impl fmt::Display for WinSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A fault model: how many bit-flips to inject and how far apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultModel {
+    /// Maximum number of bit-flip errors injected in one run (`max-MBF`).
+    ///
+    /// This is an upper bound: the program may crash before all flips are
+    /// injected, in which case fewer errors are *activated* (§III-C).
+    pub max_mbf: u32,
+    /// Dynamic window size between consecutive injections (`win-size`).
+    pub win_size: WinSize,
+}
+
+impl FaultModel {
+    /// The classic single bit-flip model.
+    pub fn single_bit() -> FaultModel {
+        FaultModel {
+            max_mbf: 1,
+            win_size: WinSize::Fixed(0),
+        }
+    }
+
+    /// A multiple bit-flip model with the given parameters.
+    pub fn multi_bit(max_mbf: u32, win_size: WinSize) -> FaultModel {
+        assert!(max_mbf >= 1, "max-MBF must be at least 1");
+        FaultModel { max_mbf, win_size }
+    }
+
+    /// Whether this is the single bit-flip model.
+    pub fn is_single(&self) -> bool {
+        self.max_mbf == 1
+    }
+
+    /// Whether all flips land in the same register (`win-size = 0`,
+    /// `max-MBF > 1`), the configuration studied in Fig. 2 of the paper.
+    pub fn is_same_register_multi(&self) -> bool {
+        self.max_mbf > 1 && self.win_size.is_same_register()
+    }
+
+    /// Short label like `1-bit` or `m=3,w=100`.
+    pub fn label(&self) -> String {
+        if self.is_single() {
+            "1-bit".to_string()
+        } else {
+            format!("m={},w={}", self.max_mbf, self.win_size.label())
+        }
+    }
+}
+
+impl fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_window_samples_to_itself() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(WinSize::Fixed(10).sample(&mut rng), 10);
+        assert!(WinSize::Fixed(0).is_same_register());
+        assert!(!WinSize::Fixed(1).is_same_register());
+    }
+
+    #[test]
+    fn random_window_samples_within_range() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let w = WinSize::Random { lo: 11, hi: 100 };
+        for _ in 0..200 {
+            let v = w.sample(&mut rng);
+            assert!((11..=100).contains(&v));
+        }
+        assert_eq!(w.upper_bound(), 100);
+        assert_eq!(w.label(), "RND(11-100)");
+    }
+
+    #[test]
+    fn model_constructors_and_labels() {
+        let s = FaultModel::single_bit();
+        assert!(s.is_single());
+        assert_eq!(s.label(), "1-bit");
+
+        let m = FaultModel::multi_bit(3, WinSize::Fixed(0));
+        assert!(m.is_same_register_multi());
+        assert_eq!(m.label(), "m=3,w=0");
+
+        let m = FaultModel::multi_bit(5, WinSize::Random { lo: 2, hi: 10 });
+        assert!(!m.is_same_register_multi());
+        assert_eq!(m.to_string(), "m=5,w=RND(2-10)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_mbf_is_rejected() {
+        let _ = FaultModel::multi_bit(0, WinSize::Fixed(0));
+    }
+}

@@ -1,0 +1,161 @@
+//! Pruning layer 1: bound `max-MBF` via the number of activated errors
+//! (RQ1, §IV-C1, Fig. 3).
+//!
+//! When a campaign is configured with `max-MBF = 30`, most experiments crash
+//! (or finish) long before 30 flips have been applied.  The distribution of
+//! the number of *activated* errors therefore gives an empirical upper bound
+//! for `max-MBF`: the paper finds that roughly 99 % of inject-on-read and
+//! 92 % of inject-on-write experiments activate fewer than 10 errors.
+
+use crate::campaign::CampaignResult;
+use serde::{Deserialize, Serialize};
+
+/// Distribution of activated errors aggregated over campaigns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivationAnalysis {
+    /// `histogram[k]` = number of experiments that activated exactly `k`
+    /// errors (the last bucket also holds ≥ its index).
+    pub histogram: Vec<u64>,
+    /// Total number of experiments aggregated.
+    pub total: u64,
+}
+
+impl ActivationAnalysis {
+    /// Aggregate the activation histograms of several campaigns (typically
+    /// all `max-MBF = 30` campaigns of one technique).
+    pub fn from_campaigns<'a>(campaigns: impl IntoIterator<Item = &'a CampaignResult>) -> Self {
+        let mut histogram: Vec<u64> = Vec::new();
+        let mut total = 0u64;
+        for c in campaigns {
+            if c.activation_histogram.len() > histogram.len() {
+                histogram.resize(c.activation_histogram.len(), 0);
+            }
+            for (k, n) in c.activation_histogram.iter().enumerate() {
+                histogram[k] += n;
+            }
+            total += c.total();
+        }
+        ActivationAnalysis { histogram, total }
+    }
+
+    /// Aggregate only experiments that ended in a crash (hardware exception),
+    /// matching Fig. 3's "activated errors before causing a program to crash".
+    pub fn crashes_from_campaigns<'a>(
+        campaigns: impl IntoIterator<Item = &'a CampaignResult>,
+    ) -> Self {
+        let mut histogram: Vec<u64> = Vec::new();
+        let mut total = 0u64;
+        for c in campaigns {
+            if c.crash_activation_histogram.len() > histogram.len() {
+                histogram.resize(c.crash_activation_histogram.len(), 0);
+            }
+            for (k, n) in c.crash_activation_histogram.iter().enumerate() {
+                histogram[k] += n;
+            }
+            total += c.crash_activation_histogram.iter().sum::<u64>();
+        }
+        ActivationAnalysis { histogram, total }
+    }
+
+    /// Fraction of experiments that activated at most `k` errors.
+    pub fn cumulative_fraction(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let upto: u64 = self.histogram.iter().take(k + 1).sum();
+        upto as f64 / self.total as f64
+    }
+
+    /// Fraction of experiments that activated exactly `k` errors.
+    pub fn fraction(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.histogram.get(k).copied().unwrap_or(0) as f64 / self.total as f64
+    }
+
+    /// The smallest bound `B` such that at least `coverage` (e.g. 0.95) of
+    /// all experiments activated at most `B` errors.
+    pub fn suggested_bound(&self, coverage: f64) -> usize {
+        for k in 0..self.histogram.len() {
+            if self.cumulative_fraction(k) >= coverage {
+                return k;
+            }
+        }
+        self.histogram.len().saturating_sub(1)
+    }
+
+    /// Fractions grouped the way Fig. 3 reports them:
+    /// `(≤5, 6..=10, >10)` activated errors.
+    pub fn fig3_buckets(&self) -> (f64, f64, f64) {
+        let le5 = self.cumulative_fraction(5);
+        let le10 = self.cumulative_fraction(10);
+        (le5, le10 - le5, 1.0 - le10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{CampaignResult, CampaignSpec};
+    use crate::fault_model::{FaultModel, WinSize};
+    use crate::outcome::OutcomeCounts;
+
+    fn fake_campaign(hist: Vec<u64>, crash_hist: Vec<u64>) -> CampaignResult {
+        let total: u64 = hist.iter().sum();
+        CampaignResult {
+            spec: CampaignSpec {
+                model: FaultModel::multi_bit(30, WinSize::Fixed(1)),
+                experiments: total as usize,
+                ..CampaignSpec::default()
+            },
+            counts: OutcomeCounts {
+                benign: total,
+                ..OutcomeCounts::default()
+            },
+            activation_histogram: hist,
+            crash_activation_histogram: crash_hist,
+        }
+    }
+
+    #[test]
+    fn aggregation_merges_histograms_of_different_lengths() {
+        let a = fake_campaign(vec![1, 2, 3], vec![0, 1, 1]);
+        let b = fake_campaign(vec![4, 0, 0, 7], vec![2, 0, 0, 3]);
+        let agg = ActivationAnalysis::from_campaigns([&a, &b]);
+        assert_eq!(agg.histogram, vec![5, 2, 3, 7]);
+        assert_eq!(agg.total, 17);
+        let crash = ActivationAnalysis::crashes_from_campaigns([&a, &b]);
+        assert_eq!(crash.histogram, vec![2, 1, 1, 3]);
+        assert_eq!(crash.total, 7);
+    }
+
+    #[test]
+    fn cumulative_fractions_and_bound() {
+        let a = fake_campaign(vec![0, 50, 30, 15, 5], vec![]);
+        let agg = ActivationAnalysis::from_campaigns([&a]);
+        assert!((agg.fraction(1) - 0.5).abs() < 1e-12);
+        assert!((agg.cumulative_fraction(2) - 0.8).abs() < 1e-12);
+        assert_eq!(agg.suggested_bound(0.8), 2);
+        assert_eq!(agg.suggested_bound(0.95), 3);
+        assert_eq!(agg.suggested_bound(1.0), 4);
+    }
+
+    #[test]
+    fn fig3_buckets_partition_unity() {
+        let a = fake_campaign(vec![10, 20, 30, 5, 5, 5, 10, 5, 2, 2, 2, 4], vec![]);
+        let agg = ActivationAnalysis::from_campaigns([&a]);
+        let (le5, six_to_ten, gt10) = agg.fig3_buckets();
+        assert!((le5 + six_to_ten + gt10 - 1.0).abs() < 1e-12);
+        assert!(le5 > 0.7);
+        assert!(gt10 > 0.0);
+    }
+
+    #[test]
+    fn empty_analysis_is_safe() {
+        let agg = ActivationAnalysis::from_campaigns(std::iter::empty());
+        assert_eq!(agg.total, 0);
+        assert_eq!(agg.cumulative_fraction(5), 0.0);
+        assert_eq!(agg.fraction(2), 0.0);
+    }
+}

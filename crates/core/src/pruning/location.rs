@@ -1,0 +1,280 @@
+//! Pruning layer 3: location sensitivity to multiple bit-flip errors
+//! (RQ5, §IV-C3, Fig. 6 and Table IV).
+//!
+//! For every sampled injection location, a *pair* of experiments is run: a
+//! single bit-flip experiment, and a multi-bit experiment (using the
+//! worst-case `(max-MBF, win-size)` configuration from Table III) whose
+//! *first* flip reuses the same location.  Comparing the two outcomes yields
+//! a transition matrix; the two transitions that matter are
+//!
+//! * **Transition I** (`t_{d→s}`): single-bit Detection, multi-bit SDC, and
+//! * **Transition II** (`t_{b→s}`): single-bit Benign, multi-bit SDC,
+//!
+//! because only those add SDCs beyond the single-bit model.  The paper finds
+//! Transition I to be rare, so locations whose single-bit outcome is a
+//! Detection (or already an SDC) can be excluded from multi-bit campaigns.
+
+use crate::experiment::{Experiment, ExperimentSpec};
+use crate::fault_model::FaultModel;
+use crate::golden::GoldenRun;
+use crate::outcome::Outcome;
+use crate::technique::Technique;
+use mbfi_ir::Module;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Counts of (single-bit outcome → multi-bit outcome) transitions.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TransitionMatrix {
+    counts: BTreeMap<(Outcome, Outcome), u64>,
+}
+
+impl TransitionMatrix {
+    /// Record one paired observation.
+    pub fn record(&mut self, single: Outcome, multi: Outcome) {
+        *self.counts.entry((single, multi)).or_insert(0) += 1;
+    }
+
+    /// Count of a specific transition.
+    pub fn count(&self, single: Outcome, multi: Outcome) -> u64 {
+        self.counts.get(&(single, multi)).copied().unwrap_or(0)
+    }
+
+    /// Total observations whose single-bit outcome was `single`.
+    pub fn total_from(&self, single: Outcome) -> u64 {
+        self.counts
+            .iter()
+            .filter(|((s, _), _)| *s == single)
+            .map(|(_, n)| *n)
+            .sum()
+    }
+
+    /// Total observations whose single-bit outcome was any Detection category.
+    pub fn total_from_detection(&self) -> u64 {
+        Outcome::ALL
+            .iter()
+            .filter(|o| o.is_detection())
+            .map(|o| self.total_from(*o))
+            .sum()
+    }
+
+    /// Total paired observations.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// `P(multi = to | single = from)`, 0 when no observations.
+    pub fn probability(&self, from: Outcome, to: Outcome) -> f64 {
+        let total = self.total_from(from);
+        if total == 0 {
+            0.0
+        } else {
+            self.count(from, to) as f64 / total as f64
+        }
+    }
+
+    /// Transition I likelihood: single-bit Detection → multi-bit SDC.
+    pub fn transition1(&self) -> f64 {
+        let from: u64 = Outcome::ALL
+            .iter()
+            .filter(|o| o.is_detection())
+            .map(|o| self.total_from(*o))
+            .sum();
+        if from == 0 {
+            return 0.0;
+        }
+        let hits: u64 = Outcome::ALL
+            .iter()
+            .filter(|o| o.is_detection())
+            .map(|o| self.count(*o, Outcome::Sdc))
+            .sum();
+        hits as f64 / from as f64
+    }
+
+    /// Transition II likelihood: single-bit Benign → multi-bit SDC.
+    pub fn transition2(&self) -> f64 {
+        self.probability(Outcome::Benign, Outcome::Sdc)
+    }
+
+    /// Fraction of locations whose single-bit outcome was an SDC or a
+    /// Detection — the locations the paper proposes to exclude from
+    /// multi-bit campaigns.
+    pub fn prunable_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let prunable: u64 = Outcome::ALL
+            .iter()
+            .filter(|o| o.is_detection() || **o == Outcome::Sdc)
+            .map(|o| self.total_from(*o))
+            .sum();
+        prunable as f64 / total as f64
+    }
+}
+
+/// Result of a location-sensitivity analysis for one workload / technique.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocationAnalysis {
+    /// Technique used for both campaigns of every pair.
+    pub technique: Technique,
+    /// The worst-case multi-bit model used for the second experiment of each pair.
+    pub worst_model: FaultModel,
+    /// The transition matrix.
+    pub matrix: TransitionMatrix,
+}
+
+impl LocationAnalysis {
+    /// Run `pairs` paired experiments on a workload.
+    ///
+    /// Each pair shares a first-injection location drawn uniformly from the
+    /// golden run's candidate set; the multi-bit experiment uses `worst_model`.
+    pub fn run(
+        module: &Module,
+        golden: &GoldenRun,
+        technique: Technique,
+        worst_model: FaultModel,
+        pairs: usize,
+        seed: u64,
+        hang_factor: u64,
+    ) -> LocationAnalysis {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x10CA_7104);
+        let candidates = golden.candidates(technique).max(1);
+        let mut matrix = TransitionMatrix::default();
+
+        for i in 0..pairs {
+            let first_target = rng.gen_range(0..candidates);
+            let bit_seed = rng.gen::<u64>();
+            let win_value = worst_model.win_size.sample(&mut rng);
+
+            let single_spec = ExperimentSpec {
+                technique,
+                model: FaultModel::single_bit(),
+                first_target,
+                win_size_value: 0,
+                seed: bit_seed,
+                hang_factor,
+            };
+            let multi_spec = ExperimentSpec {
+                technique,
+                model: worst_model,
+                first_target,
+                win_size_value: win_value,
+                seed: bit_seed.wrapping_add(i as u64),
+                hang_factor,
+            };
+            let single = Experiment::run(module, golden, &single_spec);
+            let multi = Experiment::run(module, golden, &multi_spec);
+            matrix.record(single.outcome, multi.outcome);
+        }
+
+        LocationAnalysis {
+            technique,
+            worst_model,
+            matrix,
+        }
+    }
+
+    /// Transition I likelihood (Detection → SDC).
+    pub fn transition1(&self) -> f64 {
+        self.matrix.transition1()
+    }
+
+    /// Transition II likelihood (Benign → SDC).
+    pub fn transition2(&self) -> f64 {
+        self.matrix.transition2()
+    }
+
+    /// Fraction of single-bit locations that can be pruned from multi-bit
+    /// campaigns (those whose single-bit outcome was SDC or Detection).
+    pub fn prunable_fraction(&self) -> f64 {
+        self.matrix.prunable_fraction()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault_model::WinSize;
+    use mbfi_ir::{ModuleBuilder, Type};
+
+    #[test]
+    fn matrix_counts_and_probabilities() {
+        let mut m = TransitionMatrix::default();
+        for _ in 0..8 {
+            m.record(Outcome::Benign, Outcome::Benign);
+        }
+        for _ in 0..2 {
+            m.record(Outcome::Benign, Outcome::Sdc);
+        }
+        for _ in 0..9 {
+            m.record(Outcome::DetectedHwException, Outcome::DetectedHwException);
+        }
+        m.record(Outcome::DetectedHwException, Outcome::Sdc);
+        for _ in 0..5 {
+            m.record(Outcome::Sdc, Outcome::Sdc);
+        }
+
+        assert_eq!(m.total(), 25);
+        assert_eq!(m.total_from(Outcome::Benign), 10);
+        assert_eq!(m.total_from_detection(), 10);
+        assert!((m.transition2() - 0.2).abs() < 1e-12);
+        assert!((m.transition1() - 0.1).abs() < 1e-12);
+        // Prunable: Detection (10) + single-bit SDC (5) out of 25.
+        assert!((m.prunable_fraction() - 0.6).abs() < 1e-12);
+        assert_eq!(m.count(Outcome::Benign, Outcome::Hang), 0);
+        assert_eq!(m.probability(Outcome::Hang, Outcome::Sdc), 0.0);
+    }
+
+    #[test]
+    fn paired_analysis_runs_on_a_real_workload() {
+        let mut mb = ModuleBuilder::new("w");
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(main);
+            let data = f.alloca(Type::I64, 24i64);
+            f.counted_loop(Type::I64, 0i64, 24i64, |f, i| {
+                let v = f.xor(Type::I64, i, 0x2ai64);
+                f.store_elem(Type::I64, data, i, v);
+            });
+            let acc = f.slot(Type::I64);
+            f.store(Type::I64, 0i64, acc);
+            f.counted_loop(Type::I64, 0i64, 24i64, |f, i| {
+                let v = f.load_elem(Type::I64, data, i);
+                let cur = f.load(Type::I64, acc);
+                let next = f.add(Type::I64, cur, v);
+                f.store(Type::I64, next, acc);
+            });
+            let total = f.load(Type::I64, acc);
+            f.print_i64(total);
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        let module = mb.finish();
+        let golden = GoldenRun::capture(&module).unwrap();
+
+        let analysis = LocationAnalysis::run(
+            &module,
+            &golden,
+            Technique::InjectOnWrite,
+            FaultModel::multi_bit(3, WinSize::Fixed(1)),
+            120,
+            42,
+            10,
+        );
+        assert_eq!(analysis.matrix.total(), 120);
+        assert!(analysis.prunable_fraction() >= 0.0 && analysis.prunable_fraction() <= 1.0);
+        assert!(analysis.transition1() >= 0.0 && analysis.transition1() <= 1.0);
+        assert!(analysis.transition2() >= 0.0 && analysis.transition2() <= 1.0);
+    }
+
+    #[test]
+    fn empty_matrix_is_safe() {
+        let m = TransitionMatrix::default();
+        assert_eq!(m.transition1(), 0.0);
+        assert_eq!(m.transition2(), 0.0);
+        assert_eq!(m.prunable_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Plain-text rendering of tables and figure data series.
+//!
+//! The experiment harness in `mbfi-bench` uses these helpers to print the
+//! rows and series the paper reports, in a form that is easy to diff between
+//! runs and against EXPERIMENTS.md.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TextTable {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (each row should have `headers.len()` cells).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with the given title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> TextTable {
+        TextTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                if cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "{}", self.title);
+        }
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:<width$}", h, width = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header_line.join("  "));
+        let total_width = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total_width));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .take(ncols)
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+
+    /// Render as CSV (for plotting outside the harness).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+}
+
+/// A named data series (one line / bar group of a figure).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Series label (e.g. a win-size configuration).
+    pub label: String,
+    /// `(x label, y value)` points.
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    /// Create an empty series.
+    pub fn new(label: impl Into<String>) -> Series {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: impl Into<String>, y: f64) {
+        self.points.push((x.into(), y));
+    }
+
+    /// Maximum y value in the series (NaN-free assumption), 0 when empty.
+    pub fn max_y(&self) -> f64 {
+        self.points.iter().map(|(_, y)| *y).fold(0.0, f64::max)
+    }
+}
+
+/// Figure data: a collection of series, renderable as a per-x text block.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FigureData {
+    /// Figure title.
+    pub title: String,
+    /// Data series.
+    pub series: Vec<Series>,
+}
+
+impl FigureData {
+    /// Create an empty figure.
+    pub fn new(title: impl Into<String>) -> FigureData {
+        FigureData {
+            title: title.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Render as an aligned table with one column per series.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(self.title.clone(), &[""]);
+        table.headers = std::iter::once("x".to_string())
+            .chain(self.series.iter().map(|s| s.label.clone()))
+            .collect();
+        // Collect x labels in the order of the first series.
+        let xs: Vec<String> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|(x, _)| x.clone()).collect())
+            .unwrap_or_default();
+        for x in xs {
+            let mut row = vec![x.clone()];
+            for s in &self.series {
+                let y = s
+                    .points
+                    .iter()
+                    .find(|(px, _)| *px == x)
+                    .map(|(_, y)| format!("{y:.2}"))
+                    .unwrap_or_else(|| "-".to_string());
+                row.push(y);
+            }
+            table.add_row(row);
+        }
+        table.render()
+    }
+}
+
+/// Format a percentage with its ± error bar.
+pub fn pct_with_ci(pct: f64, half_width_pct: f64) -> String {
+    format!("{pct:.2}% ±{half_width_pct:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new("Demo", &["program", "sdc%"]);
+        t.add_row(vec!["basicmath".into(), "12.50".into()]);
+        t.add_row(vec!["qsort".into(), "7.00".into()]);
+        let out = t.render();
+        assert!(out.contains("Demo"));
+        assert!(out.contains("program"));
+        assert!(out.contains("basicmath  12.50"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("program,sdc%"));
+        assert!(csv.contains("qsort,7.00"));
+    }
+
+    #[test]
+    fn figure_renders_series_by_x() {
+        let mut fig = FigureData::new("Fig X");
+        let mut a = Series::new("w=1");
+        a.push("m=2", 10.0);
+        a.push("m=3", 8.0);
+        let mut b = Series::new("w=10");
+        b.push("m=2", 11.5);
+        b.push("m=3", 7.25);
+        fig.series.push(a);
+        fig.series.push(b);
+        let out = fig.render();
+        assert!(out.contains("Fig X"));
+        assert!(out.contains("w=1"));
+        assert!(out.contains("m=2"));
+        assert!(out.contains("11.50"));
+        assert_eq!(fig.series[0].max_y(), 10.0);
+    }
+
+    #[test]
+    fn missing_points_render_as_dash() {
+        let mut fig = FigureData::new("F");
+        let mut a = Series::new("a");
+        a.push("x1", 1.0);
+        a.push("x2", 2.0);
+        let mut b = Series::new("b");
+        b.push("x1", 3.0);
+        fig.series.push(a);
+        fig.series.push(b);
+        let out = fig.render();
+        assert!(out.lines().any(|l| l.contains("x2") && l.contains('-')));
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct_with_ci(12.3456, 0.789), "12.35% ±0.79");
+    }
+
+    #[test]
+    fn empty_figure_and_table_are_safe() {
+        let fig = FigureData::new("empty");
+        assert!(fig.render().contains("empty"));
+        let t = TextTable::new("", &["a"]);
+        assert!(t.render().contains('a'));
+    }
+}

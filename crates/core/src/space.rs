@@ -1,0 +1,110 @@
+//! Error-space size computations (§II-D of the paper).
+//!
+//! For a workload with `d` candidate dynamic instructions and registers of
+//! `b` bits, the single bit-flip error space has `d · b` elements.  Allowing
+//! up to `m` flips per run blows the space up to `Σ_{k=2}^{m} (d·b)^k`
+//! (the paper's formula), which is why clustering and pruning are needed.
+//! Because these numbers overflow `u64` for realistic workloads, they are
+//! reported in log10 form as well.
+
+use serde::{Deserialize, Serialize};
+
+/// Error-space sizes for one workload / technique.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorSpace {
+    /// Number of candidate dynamic instructions (`d`).
+    pub candidates: u64,
+    /// Register width used for the estimate (`b`).
+    pub bits_per_register: u32,
+}
+
+impl ErrorSpace {
+    /// Create an error-space descriptor.
+    pub fn new(candidates: u64, bits_per_register: u32) -> ErrorSpace {
+        ErrorSpace {
+            candidates,
+            bits_per_register,
+        }
+    }
+
+    /// Size of the single bit-flip error space, `d · b`.
+    pub fn single_bit_size(&self) -> u128 {
+        self.candidates as u128 * self.bits_per_register as u128
+    }
+
+    /// `log10` of the single bit-flip space size.
+    pub fn single_bit_log10(&self) -> f64 {
+        (self.single_bit_size() as f64).log10()
+    }
+
+    /// `log10` of the multi bit-flip space size for up to `max_mbf` flips,
+    /// `Σ_{k=2}^{m} (d·b)^k ≈ (d·b)^m` for any realistic `d·b`.
+    pub fn multi_bit_log10(&self, max_mbf: u32) -> f64 {
+        let base = self.single_bit_size() as f64;
+        if base <= 1.0 || max_mbf < 2 {
+            return 0.0;
+        }
+        // log10 of a geometric sum dominated by its largest term.
+        let log_largest = (max_mbf as f64) * base.log10();
+        // Correction for the smaller terms: sum_{k=2}^{m} base^k
+        //   = base^m * (1 - base^{-(m-1)}) / (1 - 1/base)
+        let correction = (1.0 / (1.0 - 1.0 / base)).log10();
+        log_largest + correction
+    }
+
+    /// How many orders of magnitude the multi-bit space is larger than the
+    /// single-bit space.
+    pub fn expansion_orders(&self, max_mbf: u32) -> f64 {
+        (self.multi_bit_log10(max_mbf) - self.single_bit_log10()).max(0.0)
+    }
+
+    /// Fraction of the single-bit space covered by `experiments` samples.
+    pub fn sampling_fraction(&self, experiments: u64) -> f64 {
+        let size = self.single_bit_size();
+        if size == 0 {
+            0.0
+        } else {
+            experiments as f64 / size as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bit_space_is_d_times_b() {
+        let s = ErrorSpace::new(1_000_000, 32);
+        assert_eq!(s.single_bit_size(), 32_000_000);
+        assert!((s.single_bit_log10() - 7.505).abs() < 1e-3);
+    }
+
+    #[test]
+    fn multi_bit_space_grows_by_orders_of_magnitude() {
+        let s = ErrorSpace::new(10_000, 32);
+        let single = s.single_bit_log10();
+        let double = s.multi_bit_log10(2);
+        let ten = s.multi_bit_log10(10);
+        assert!(double > single * 1.9);
+        assert!(ten > double);
+        assert!(s.expansion_orders(10) > 40.0);
+    }
+
+    #[test]
+    fn degenerate_spaces_are_safe() {
+        let s = ErrorSpace::new(0, 32);
+        assert_eq!(s.single_bit_size(), 0);
+        assert_eq!(s.multi_bit_log10(5), 0.0);
+        assert_eq!(s.sampling_fraction(100), 0.0);
+        let s = ErrorSpace::new(100, 32);
+        assert_eq!(s.multi_bit_log10(1), 0.0);
+    }
+
+    #[test]
+    fn sampling_fraction_reflects_campaign_size() {
+        let s = ErrorSpace::new(100_000, 64);
+        let f = s.sampling_fraction(10_000);
+        assert!((f - 10_000.0 / 6_400_000.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,197 @@
+//! Binomial proportion statistics with 95 % confidence intervals.
+//!
+//! The paper reports every outcome percentage with an error bar at the 95 %
+//! confidence level (§III-E).  This module provides both the normal
+//! approximation (what the paper's error bars use) and the Wilson score
+//! interval, which behaves better for proportions near 0 or 1 and for the
+//! smaller sample sizes this reproduction uses by default.
+
+use serde::{Deserialize, Serialize};
+
+/// z value for a two-sided 95 % confidence level.
+pub const Z_95: f64 = 1.959_963_984_540_054;
+
+/// A proportion estimate with its confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Proportion {
+    /// Number of successes.
+    pub successes: u64,
+    /// Number of trials.
+    pub trials: u64,
+    /// Point estimate `successes / trials` (0 for zero trials).
+    pub estimate: f64,
+    /// Lower bound of the 95 % confidence interval.
+    pub lower: f64,
+    /// Upper bound of the 95 % confidence interval.
+    pub upper: f64,
+}
+
+impl Proportion {
+    /// Half-width of the interval (the "error bar").
+    pub fn half_width(&self) -> f64 {
+        (self.upper - self.lower) / 2.0
+    }
+
+    /// The estimate as a percentage.
+    pub fn percentage(&self) -> f64 {
+        self.estimate * 100.0
+    }
+
+    /// Half-width as percentage points.
+    pub fn half_width_pct(&self) -> f64 {
+        self.half_width() * 100.0
+    }
+
+    /// Whether two proportions' confidence intervals overlap.
+    pub fn overlaps(&self, other: &Proportion) -> bool {
+        self.lower <= other.upper && other.lower <= self.upper
+    }
+}
+
+/// Normal-approximation ("Wald") interval: `p ± z * sqrt(p (1-p) / n)`,
+/// clamped to `[0, 1]`.
+pub fn wald_interval(successes: u64, trials: u64) -> Proportion {
+    if trials == 0 {
+        return Proportion {
+            successes,
+            trials,
+            estimate: 0.0,
+            lower: 0.0,
+            upper: 0.0,
+        };
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let half = Z_95 * (p * (1.0 - p) / n).sqrt();
+    Proportion {
+        successes,
+        trials,
+        estimate: p,
+        lower: (p - half).max(0.0),
+        upper: (p + half).min(1.0),
+    }
+}
+
+/// Wilson score interval at 95 % confidence.
+pub fn wilson_interval(successes: u64, trials: u64) -> Proportion {
+    if trials == 0 {
+        return Proportion {
+            successes,
+            trials,
+            estimate: 0.0,
+            lower: 0.0,
+            upper: 0.0,
+        };
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z = Z_95;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+    Proportion {
+        successes,
+        trials,
+        estimate: p,
+        lower: (centre - half).max(0.0),
+        upper: (centre + half).min(1.0),
+    }
+}
+
+/// Mean of a slice (0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Sample standard deviation (0 for fewer than two values).
+pub fn stddev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn wald_matches_textbook_example() {
+        // 300 successes out of 1000: p = 0.3, half-width ~= 0.0284.
+        let p = wald_interval(300, 1000);
+        assert!((p.estimate - 0.3).abs() < 1e-12);
+        assert!((p.half_width() - 0.0284).abs() < 5e-4);
+        assert!((p.percentage() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_trials_are_safe() {
+        for f in [wald_interval, wilson_interval] {
+            let p = f(0, 0);
+            assert_eq!(p.estimate, 0.0);
+            assert_eq!(p.lower, 0.0);
+            assert_eq!(p.upper, 0.0);
+        }
+    }
+
+    #[test]
+    fn extreme_proportions_stay_in_bounds() {
+        let p = wald_interval(0, 50);
+        assert_eq!(p.lower, 0.0);
+        let p = wald_interval(50, 50);
+        assert_eq!(p.upper, 1.0);
+        let w = wilson_interval(0, 50);
+        assert!(w.upper > 0.0, "Wilson upper bound is informative at p = 0");
+        let w = wilson_interval(50, 50);
+        assert!(w.lower < 1.0, "Wilson lower bound is informative at p = 1");
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = wald_interval(50, 100);
+        let b = wald_interval(55, 100);
+        let c = wald_interval(90, 100);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(stddev(&[1.0]), 0.0);
+        assert!((stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.138).abs() < 1e-3);
+    }
+
+    proptest! {
+        /// Intervals always contain the point estimate and stay within [0, 1].
+        #[test]
+        fn prop_intervals_contain_estimate(successes in 0u64..=1000, extra in 0u64..=1000) {
+            let trials = successes + extra;
+            prop_assume!(trials > 0);
+            for f in [wald_interval, wilson_interval] {
+                let p = f(successes, trials);
+                prop_assert!(p.lower <= p.estimate + 1e-12);
+                prop_assert!(p.upper >= p.estimate - 1e-12);
+                prop_assert!(p.lower >= 0.0 && p.upper <= 1.0);
+            }
+        }
+
+        /// More trials at the same proportion never widen the Wald interval.
+        #[test]
+        fn prop_more_data_tightens_interval(successes in 1u64..=100) {
+            let small = wald_interval(successes, 200);
+            let large = wald_interval(successes * 10, 2000);
+            prop_assert!(large.half_width() <= small.half_width() + 1e-12);
+        }
+    }
+}

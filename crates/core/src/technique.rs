@@ -1,0 +1,62 @@
+//! The two fault-injection techniques of the paper (§III-A).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Where in the dataflow a bit-flip is applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Technique {
+    /// Corrupt a source register just before an instruction reads it.
+    ///
+    /// Emulates errors that propagate into a register (e.g. a direct particle
+    /// hit on the register file).  All faults that hit a given bit between
+    /// the register's last write and this read are equivalent to this single
+    /// injection (Barbosa et al.'s pre-injection analysis).
+    InjectOnRead,
+    /// Corrupt a destination register right after an instruction writes it.
+    ///
+    /// Emulates errors in computation — ALUs and pipeline registers — that
+    /// manifest as a corrupted result.
+    InjectOnWrite,
+}
+
+impl Technique {
+    /// Both techniques, in the order the paper lists them.
+    pub const ALL: [Technique; 2] = [Technique::InjectOnRead, Technique::InjectOnWrite];
+
+    /// Whether this technique targets destination registers.
+    pub fn is_write(self) -> bool {
+        matches!(self, Technique::InjectOnWrite)
+    }
+
+    /// Short name used in tables and reports.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Technique::InjectOnRead => "read",
+            Technique::InjectOnWrite => "write",
+        }
+    }
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Technique::InjectOnRead => f.write_str("inject-on-read"),
+            Technique::InjectOnWrite => f.write_str("inject-on-write"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_flags() {
+        assert_eq!(Technique::InjectOnRead.to_string(), "inject-on-read");
+        assert_eq!(Technique::InjectOnWrite.short_name(), "write");
+        assert!(Technique::InjectOnWrite.is_write());
+        assert!(!Technique::InjectOnRead.is_write());
+        assert_eq!(Technique::ALL.len(), 2);
+    }
+}

@@ -1,0 +1,212 @@
+//! Textual rendering of IR modules.
+//!
+//! The format is line-based and intentionally close to LLVM's assembly
+//! syntax, so that workload IR can be dumped and inspected while debugging
+//! fault-injection campaigns.
+
+use crate::function::{BlockId, Function};
+use crate::instr::Instr;
+use crate::module::Module;
+use crate::value::Operand;
+use std::fmt::Write as _;
+
+/// Render an operand.
+fn fmt_operand(op: &Operand) -> String {
+    match op {
+        Operand::Reg(r) => format!("{r}"),
+        Operand::Const(c) => format!("{c}"),
+    }
+}
+
+fn fmt_operands(ops: &[Operand]) -> String {
+    ops.iter().map(fmt_operand).collect::<Vec<_>>().join(", ")
+}
+
+/// Render a single instruction on one line (without indentation).
+pub fn print_instr(instr: &Instr) -> String {
+    match instr {
+        Instr::Binary { dest, op, ty, lhs, rhs } => format!(
+            "{dest} = {} {ty} {}, {}",
+            op.mnemonic(),
+            fmt_operand(lhs),
+            fmt_operand(rhs)
+        ),
+        Instr::Icmp { dest, pred, ty, lhs, rhs } => format!(
+            "{dest} = icmp {} {ty} {}, {}",
+            pred.mnemonic(),
+            fmt_operand(lhs),
+            fmt_operand(rhs)
+        ),
+        Instr::Fcmp { dest, pred, ty, lhs, rhs } => format!(
+            "{dest} = fcmp {} {ty} {}, {}",
+            pred.mnemonic(),
+            fmt_operand(lhs),
+            fmt_operand(rhs)
+        ),
+        Instr::Cast { dest, op, from_ty, to_ty, src } => format!(
+            "{dest} = {} {} {} to {}",
+            op.mnemonic(),
+            from_ty,
+            fmt_operand(src),
+            to_ty
+        ),
+        Instr::Select { dest, ty, cond, then_val, else_val } => format!(
+            "{dest} = select {ty} {}, {}, {}",
+            fmt_operand(cond),
+            fmt_operand(then_val),
+            fmt_operand(else_val)
+        ),
+        Instr::Alloca { dest, elem_ty, count } => {
+            format!("{dest} = alloca {elem_ty}, {}", fmt_operand(count))
+        }
+        Instr::Load { dest, ty, addr } => format!("{dest} = load {ty}, {}", fmt_operand(addr)),
+        Instr::Store { ty, value, addr } => {
+            format!("store {ty} {}, {}", fmt_operand(value), fmt_operand(addr))
+        }
+        Instr::Gep { dest, base, index, elem_size, offset } => format!(
+            "{dest} = gep {}, {} x {elem_size} + {offset}",
+            fmt_operand(base),
+            fmt_operand(index)
+        ),
+        Instr::Call { dest, callee, args } => match dest {
+            Some(d) => format!("{d} = call @f{callee}({})", fmt_operands(args)),
+            None => format!("call @f{callee}({})", fmt_operands(args)),
+        },
+        Instr::IntrinsicCall { dest, which, args } => match dest {
+            Some(d) => format!("{d} = intrinsic {}({})", which.name(), fmt_operands(args)),
+            None => format!("intrinsic {}({})", which.name(), fmt_operands(args)),
+        },
+        Instr::Phi { dest, ty, incoming } => {
+            let arms = incoming
+                .iter()
+                .map(|(b, v)| format!("[{b}, {}]", fmt_operand(v)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("{dest} = phi {ty} {arms}")
+        }
+        Instr::Br { target } => format!("br {target}"),
+        Instr::CondBr { cond, then_bb, else_bb } => {
+            format!("condbr {}, {then_bb}, {else_bb}", fmt_operand(cond))
+        }
+        Instr::Switch { value, default, cases } => {
+            let arms = cases
+                .iter()
+                .map(|(v, b)| format!("{v} -> {b}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("switch {}, default {default} [{arms}]", fmt_operand(value))
+        }
+        Instr::Ret { value } => match value {
+            Some(v) => format!("ret {}", fmt_operand(v)),
+            None => "ret void".to_string(),
+        },
+        Instr::Unreachable => "unreachable".to_string(),
+    }
+}
+
+/// Render a function.
+pub fn print_function(func: &Function) -> String {
+    let mut out = String::new();
+    let params = func
+        .params
+        .iter()
+        .map(|r| format!("{} {r}", func.reg_ty(*r)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let ret = func
+        .ret_ty
+        .map(|t| t.to_string())
+        .unwrap_or_else(|| "void".to_string());
+    let _ = writeln!(out, "func @{}({params}) -> {ret} {{", func.name);
+    for (i, block) in func.blocks.iter().enumerate() {
+        let label = block.label.as_deref().unwrap_or("");
+        let _ = writeln!(out, "{}: ; {label}", BlockId(i as u32));
+        for instr in &block.instrs {
+            let _ = writeln!(out, "  {}", print_instr(instr));
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Render a whole module.
+pub fn print_module(module: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; module {}", module.name);
+    for (i, g) in module.globals.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "global @g{i} \"{}\" size={} align={} init_len={}",
+            g.name,
+            g.size,
+            g.align,
+            g.init.len()
+        );
+    }
+    for f in &module.functions {
+        out.push_str(&print_function(f));
+    }
+    if let Some(entry) = module.entry {
+        let _ = writeln!(out, "entry @{}", module.functions[entry.index()].name);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::types::Type;
+
+    #[test]
+    fn prints_a_small_module() {
+        let mut mb = ModuleBuilder::new("p");
+        let g = mb.global_i32s("tbl", &[1, 2]);
+        let main = mb.declare("main", &[], Some(Type::I32));
+        {
+            let mut f = mb.define(main);
+            let v = f.load_elem(Type::I32, g, 1i64);
+            let w = f.add(Type::I32, v, 5i32);
+            f.print_i64(w);
+            f.ret(w);
+        }
+        mb.set_entry(main);
+        let text = print_module(&mb.finish());
+        assert!(text.contains("; module p"));
+        assert!(text.contains("global @g0"));
+        assert!(text.contains("func @main()"));
+        assert!(text.contains("add i32"));
+        assert!(text.contains("intrinsic print_i64"));
+        assert!(text.contains("entry @main"));
+    }
+
+    #[test]
+    fn every_instruction_form_renders() {
+        use crate::instr::*;
+        use crate::value::{Constant, Operand, Reg};
+        let samples = vec![
+            Instr::Gep {
+                dest: Reg(0),
+                base: Operand::Const(Constant::Null),
+                index: Operand::Reg(Reg(1)),
+                elem_size: 4,
+                offset: 8,
+            },
+            Instr::Switch {
+                value: Operand::Reg(Reg(0)),
+                default: BlockId(1),
+                cases: vec![(0, BlockId(2))],
+            },
+            Instr::Phi {
+                dest: Reg(2),
+                ty: Type::I32,
+                incoming: vec![(BlockId(0), Operand::Const(Constant::i32(1)))],
+            },
+            Instr::Unreachable,
+            Instr::Ret { value: None },
+        ];
+        for s in samples {
+            assert!(!print_instr(&s).is_empty());
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Registers, constants and operands.
+//!
+//! A [`Reg`] names a virtual register inside a function.  An [`Operand`] is
+//! either a register or an immediate [`Constant`].  The fault model only ever
+//! targets register operands — constants are immune, exactly as in LLFI where
+//! immediates are not injection candidates.
+
+use crate::types::Type;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A virtual register identifier, local to a [`crate::Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Reg(pub u32);
+
+impl Reg {
+    /// The register's index into the function's register table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// An immediate constant value.
+///
+/// The payload is always carried as a raw 64-bit pattern; floats store their
+/// IEEE-754 encoding.  This is the same representation the VM uses for
+/// runtime values, which keeps bit-flips uniform across types.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Constant {
+    /// An integer constant of the given integer type.
+    Int { ty: Type, bits: u64 },
+    /// A floating-point constant of the given float type (bits = IEEE encoding).
+    Float { ty: Type, bits: u64 },
+    /// The null pointer.
+    Null,
+    /// The address of the module global with the given index; resolved to a
+    /// concrete address by the VM when the module is loaded.
+    Global { index: usize },
+}
+
+impl Constant {
+    /// Build an integer constant, truncating `value` to the width of `ty`.
+    pub fn int(ty: Type, value: i64) -> Constant {
+        debug_assert!(ty.is_int(), "Constant::int with non-integer type {ty}");
+        Constant::Int {
+            ty,
+            bits: (value as u64) & ty.bit_mask(),
+        }
+    }
+
+    /// Build a boolean (`i1`) constant.
+    pub fn bool(value: bool) -> Constant {
+        Constant::Int {
+            ty: Type::I1,
+            bits: value as u64,
+        }
+    }
+
+    /// Build an `i32` constant.
+    pub fn i32(value: i32) -> Constant {
+        Constant::int(Type::I32, value as i64)
+    }
+
+    /// Build an `i64` constant.
+    pub fn i64(value: i64) -> Constant {
+        Constant::int(Type::I64, value)
+    }
+
+    /// Build an `f64` constant.
+    pub fn f64(value: f64) -> Constant {
+        Constant::Float {
+            ty: Type::F64,
+            bits: value.to_bits(),
+        }
+    }
+
+    /// Build an `f32` constant.
+    pub fn f32(value: f32) -> Constant {
+        Constant::Float {
+            ty: Type::F32,
+            bits: value.to_bits() as u64,
+        }
+    }
+
+    /// Reference to a module global's address.
+    pub fn global(index: usize) -> Constant {
+        Constant::Global { index }
+    }
+
+    /// The type of the constant.
+    pub fn ty(&self) -> Type {
+        match self {
+            Constant::Int { ty, .. } | Constant::Float { ty, .. } => *ty,
+            Constant::Null | Constant::Global { .. } => Type::Ptr,
+        }
+    }
+
+    /// Raw 64-bit payload (IEEE bits for floats, zero for null).
+    ///
+    /// For [`Constant::Global`] the payload is the global's *index*, not its
+    /// runtime address; the VM resolves it at load time.
+    pub fn bits(&self) -> u64 {
+        match self {
+            Constant::Int { bits, .. } | Constant::Float { bits, .. } => *bits,
+            Constant::Null => 0,
+            Constant::Global { index } => *index as u64,
+        }
+    }
+
+    /// Interpret an integer constant as a signed value.
+    pub fn as_i64(&self) -> i64 {
+        let ty = self.ty();
+        let bits = self.bits();
+        sign_extend(bits, ty.bit_width())
+    }
+
+    /// Interpret a float constant as `f64` (widening `f32` as needed).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Constant::Float { ty: Type::F32, bits } => f32::from_bits(*bits as u32) as f64,
+            Constant::Float { bits, .. } => f64::from_bits(*bits),
+            other => other.as_i64() as f64,
+        }
+    }
+}
+
+/// Sign-extend the low `width` bits of `bits` into an `i64`.
+pub fn sign_extend(bits: u64, width: u32) -> i64 {
+    if width == 0 || width >= 64 {
+        return bits as i64;
+    }
+    let shift = 64 - width;
+    ((bits << shift) as i64) >> shift
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Int { ty, .. } => write!(f, "{} {}", ty, self.as_i64()),
+            Constant::Float { ty, bits } => match ty {
+                Type::F32 => write!(f, "{} {:?}", ty, f32::from_bits(*bits as u32)),
+                _ => write!(f, "{} {:?}", ty, f64::from_bits(*bits)),
+            },
+            Constant::Null => write!(f, "ptr null"),
+            Constant::Global { index } => write!(f, "ptr @g{index}"),
+        }
+    }
+}
+
+/// An instruction operand: a register or a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Operand {
+    /// A virtual register read.
+    Reg(Reg),
+    /// An immediate constant.
+    Const(Constant),
+}
+
+impl Operand {
+    /// The register behind this operand, if any.
+    pub fn as_reg(&self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(*r),
+            Operand::Const(_) => None,
+        }
+    }
+
+    /// Whether this operand reads a register (and is therefore an
+    /// inject-on-read candidate).
+    pub fn is_reg(&self) -> bool {
+        matches!(self, Operand::Reg(_))
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<Constant> for Operand {
+    fn from(c: Constant) -> Self {
+        Operand::Const(c)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(v: i32) -> Self {
+        Operand::Const(Constant::i32(v))
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Const(Constant::i64(v))
+    }
+}
+
+impl From<f64> for Operand {
+    fn from(v: f64) -> Self {
+        Operand::Const(Constant::f64(v))
+    }
+}
+
+impl From<bool> for Operand {
+    fn from(v: bool) -> Self {
+        Operand::Const(Constant::bool(v))
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_constants_truncate_to_width() {
+        let c = Constant::int(Type::I8, 0x1ff);
+        assert_eq!(c.bits(), 0xff);
+        assert_eq!(c.as_i64(), -1);
+    }
+
+    #[test]
+    fn negative_constants_sign_extend() {
+        let c = Constant::int(Type::I16, -2);
+        assert_eq!(c.bits(), 0xfffe);
+        assert_eq!(c.as_i64(), -2);
+        assert_eq!(Constant::i32(-1).as_i64(), -1);
+    }
+
+    #[test]
+    fn float_constants_round_trip_through_bits() {
+        let c = Constant::f64(3.5);
+        assert_eq!(c.as_f64(), 3.5);
+        let c = Constant::f32(-0.25);
+        assert_eq!(c.as_f64(), -0.25);
+    }
+
+    #[test]
+    fn sign_extend_handles_edge_widths() {
+        assert_eq!(sign_extend(1, 1), -1);
+        assert_eq!(sign_extend(0, 1), 0);
+        assert_eq!(sign_extend(u64::MAX, 64), -1);
+        assert_eq!(sign_extend(0x8000_0000, 32), i32::MIN as i64);
+    }
+
+    #[test]
+    fn operand_register_detection() {
+        assert!(Operand::Reg(Reg(3)).is_reg());
+        assert!(!Operand::from(7i32).is_reg());
+        assert_eq!(Operand::Reg(Reg(3)).as_reg(), Some(Reg(3)));
+        assert_eq!(Operand::from(7i32).as_reg(), None);
+    }
+
+    #[test]
+    fn constant_types_report_correctly() {
+        assert_eq!(Constant::bool(true).ty(), Type::I1);
+        assert_eq!(Constant::i32(0).ty(), Type::I32);
+        assert_eq!(Constant::f64(0.0).ty(), Type::F64);
+        assert_eq!(Constant::Null.ty(), Type::Ptr);
+        assert_eq!(Constant::Null.bits(), 0);
+    }
+}

@@ -1,0 +1,976 @@
+//! The IR interpreter.
+//!
+//! [`Vm::run`] executes a module's entry function to completion, to a trap,
+//! or until the dynamic-instruction limit is exceeded, routing every register
+//! read and write through the supplied [`ExecHook`].
+
+use crate::hooks::{ExecHook, InstrContext};
+use crate::limits::Limits;
+use crate::memory::{Memory, MemoryLayout};
+use crate::trap::Trap;
+use crate::value::Value;
+use mbfi_ir::{
+    BinOp, CastOp, Constant, FcmpPred, IcmpPred, Instr, Intrinsic, Module, Operand, Reg, Type,
+};
+
+/// How a run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// The entry function returned normally.
+    Completed {
+        /// Value returned by the entry function, if it returns one.
+        ret: Option<Value>,
+    },
+    /// A hardware exception terminated the run.
+    Trapped(Trap),
+    /// The dynamic-instruction limit was exceeded (hang).
+    InstrLimitExceeded,
+}
+
+impl RunOutcome {
+    /// Whether the run completed normally.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RunOutcome::Completed { .. })
+    }
+}
+
+/// Result of one program run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Number of dynamic instructions executed.
+    pub dynamic_instrs: u64,
+    /// Bytes produced by the print intrinsics.
+    pub output: Vec<u8>,
+}
+
+/// One activation record.
+struct Frame {
+    func: usize,
+    block: usize,
+    instr: usize,
+    prev_block: usize,
+    regs: Vec<Value>,
+    stack_mark: u64,
+    /// Where the caller wants this frame's return value.
+    ret_dest: Option<Reg>,
+    /// Context of the `call` instruction, for routing the return-value write
+    /// through the hook.
+    call_ctx: Option<InstrContext>,
+}
+
+/// The virtual machine executing one program run.
+pub struct Vm<'m> {
+    module: &'m Module,
+    mem: Memory,
+    limits: Limits,
+    output: Vec<u8>,
+    dyn_count: u64,
+}
+
+enum Step {
+    Next,
+    Jump(usize),
+    Call(Frame),
+    Return(Option<Value>),
+}
+
+impl<'m> Vm<'m> {
+    /// Create a VM for `module` with default memory layout.
+    pub fn new(module: &'m Module, limits: Limits) -> Vm<'m> {
+        Vm::with_layout(module, limits, MemoryLayout::default())
+    }
+
+    /// Create a VM with an explicit memory layout.
+    pub fn with_layout(module: &'m Module, limits: Limits, layout: MemoryLayout) -> Vm<'m> {
+        Vm {
+            module,
+            mem: Memory::for_module(module, layout),
+            limits,
+            output: Vec::new(),
+            dyn_count: 0,
+        }
+    }
+
+    /// Convenience: run the module's entry function with a no-op hook.
+    pub fn run_golden(module: &'m Module, limits: Limits) -> RunResult {
+        let mut hook = crate::hooks::NoopHook;
+        Vm::new(module, limits).run(&mut hook)
+    }
+
+    fn make_frame(&self, func_idx: usize, args: &[Value]) -> Frame {
+        let func = &self.module.functions[func_idx];
+        let mut regs: Vec<Value> = func.regs.iter().map(|r| Value::zero(r.ty)).collect();
+        for (param, arg) in func.params.iter().zip(args) {
+            regs[param.index()] = Value::new(func.regs[param.index()].ty, arg.bits);
+        }
+        Frame {
+            func: func_idx,
+            block: 0,
+            instr: 0,
+            prev_block: 0,
+            regs,
+            stack_mark: self.mem.stack_mark(),
+            ret_dest: None,
+            call_ctx: None,
+        }
+    }
+
+    fn resolve_const(&self, c: &Constant) -> Result<Value, Trap> {
+        match c {
+            Constant::Global { index } => match self.mem.global_addr(*index) {
+                Some(addr) => Ok(Value::ptr(addr)),
+                None => Err(Trap::Segfault { addr: 0 }),
+            },
+            other => Ok(Value::from_constant(other)),
+        }
+    }
+
+    fn read_operand(
+        &self,
+        frame: &Frame,
+        op: &Operand,
+        ctx: &InstrContext,
+        reg_read_idx: &mut usize,
+        hook: &mut dyn ExecHook,
+    ) -> Result<Value, Trap> {
+        match op {
+            Operand::Reg(r) => {
+                let value = frame.regs[r.index()];
+                let idx = *reg_read_idx;
+                *reg_read_idx += 1;
+                Ok(hook.on_read(ctx, idx, *r, value))
+            }
+            Operand::Const(c) => self.resolve_const(c),
+        }
+    }
+
+    fn write_dest(
+        frame: &mut Frame,
+        reg: Reg,
+        value: Value,
+        ctx: &InstrContext,
+        hook: &mut dyn ExecHook,
+    ) {
+        let value = hook.on_write(ctx, reg, value);
+        frame.regs[reg.index()] = value;
+    }
+
+    fn append_output(&mut self, bytes: &[u8]) {
+        let remaining = self.limits.max_output_bytes.saturating_sub(self.output.len());
+        let take = remaining.min(bytes.len());
+        self.output.extend_from_slice(&bytes[..take]);
+    }
+
+    /// Execute the module's entry function, routing register traffic through
+    /// `hook`.
+    pub fn run(mut self, hook: &mut dyn ExecHook) -> RunResult {
+        let entry = match self.module.entry {
+            Some(id) => id.index(),
+            None => {
+                return RunResult {
+                    outcome: RunOutcome::Trapped(Trap::InvalidCall { callee: u64::MAX }),
+                    dynamic_instrs: 0,
+                    output: Vec::new(),
+                }
+            }
+        };
+        let mut stack: Vec<Frame> = vec![self.make_frame(entry, &[])];
+
+        loop {
+            if self.dyn_count >= self.limits.max_dynamic_instrs {
+                return self.finish(RunOutcome::InstrLimitExceeded);
+            }
+
+            let step = {
+                let depth = stack.len();
+                let frame = stack.last_mut().expect("non-empty call stack");
+                let func = &self.module.functions[frame.func];
+                let block = &func.blocks[frame.block];
+                if frame.instr >= block.instrs.len() {
+                    // A verified module never falls off the end of a block.
+                    return self.finish(RunOutcome::Trapped(Trap::Abort));
+                }
+                let instr = &block.instrs[frame.instr];
+                let ctx = InstrContext {
+                    dyn_index: self.dyn_count,
+                    func: frame.func,
+                    block: frame.block,
+                    instr: frame.instr,
+                    opcode: instr.opcode(),
+                    reg_reads: instr.operands().iter().filter(|o| o.is_reg()).count(),
+                    has_dest: instr.dest().is_some(),
+                };
+                hook.on_instr(&ctx);
+                self.dyn_count += 1;
+
+                match self.exec_instr(frame, instr, &ctx, hook, depth) {
+                    Ok(step) => step,
+                    Err(trap) => return self.finish(RunOutcome::Trapped(trap)),
+                }
+            };
+
+            match step {
+                Step::Next => {
+                    stack.last_mut().unwrap().instr += 1;
+                }
+                Step::Jump(target) => {
+                    let frame = stack.last_mut().unwrap();
+                    frame.prev_block = frame.block;
+                    frame.block = target;
+                    frame.instr = 0;
+                }
+                Step::Call(new_frame) => {
+                    stack.push(new_frame);
+                }
+                Step::Return(value) => {
+                    let finished = stack.pop().unwrap();
+                    self.mem.stack_pop_to(finished.stack_mark);
+                    match stack.last_mut() {
+                        None => return self.finish(RunOutcome::Completed { ret: value }),
+                        Some(caller) => {
+                            if let (Some(dest), Some(v)) = (finished.ret_dest, value) {
+                                let ctx = finished.call_ctx.expect("call frame has call context");
+                                let ty = self.module.functions[caller.func].regs[dest.index()].ty;
+                                Self::write_dest(caller, dest, Value::new(ty, v.bits), &ctx, hook);
+                            }
+                            caller.instr += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(self, outcome: RunOutcome) -> RunResult {
+        RunResult {
+            outcome,
+            dynamic_instrs: self.dyn_count,
+            output: self.output,
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_instr(
+        &mut self,
+        frame: &mut Frame,
+        instr: &Instr,
+        ctx: &InstrContext,
+        hook: &mut dyn ExecHook,
+        depth: usize,
+    ) -> Result<Step, Trap> {
+        let mut reads = 0usize;
+        macro_rules! rd {
+            ($op:expr) => {
+                self.read_operand(frame, $op, ctx, &mut reads, hook)?
+            };
+        }
+
+        match instr {
+            Instr::Binary { dest, op, ty, lhs, rhs } => {
+                let a = rd!(lhs);
+                let b = rd!(rhs);
+                let result = eval_binary(*op, *ty, a, b)?;
+                Self::write_dest(frame, *dest, result, ctx, hook);
+                Ok(Step::Next)
+            }
+            Instr::Icmp { dest, pred, ty, lhs, rhs } => {
+                let a = rd!(lhs);
+                let b = rd!(rhs);
+                let result = Value::bool(eval_icmp(*pred, *ty, a, b));
+                Self::write_dest(frame, *dest, result, ctx, hook);
+                Ok(Step::Next)
+            }
+            Instr::Fcmp { dest, pred, lhs, rhs, .. } => {
+                let a = rd!(lhs);
+                let b = rd!(rhs);
+                let result = Value::bool(eval_fcmp(*pred, a.as_f64(), b.as_f64()));
+                Self::write_dest(frame, *dest, result, ctx, hook);
+                Ok(Step::Next)
+            }
+            Instr::Cast { dest, op, from_ty, to_ty, src } => {
+                let v = rd!(src);
+                let result = eval_cast(*op, *from_ty, *to_ty, v);
+                Self::write_dest(frame, *dest, result, ctx, hook);
+                Ok(Step::Next)
+            }
+            Instr::Select { dest, ty, cond, then_val, else_val } => {
+                let c = rd!(cond);
+                let t = rd!(then_val);
+                let e = rd!(else_val);
+                let result = if c.as_bool() { t } else { e };
+                Self::write_dest(frame, *dest, Value::new(*ty, result.bits), ctx, hook);
+                Ok(Step::Next)
+            }
+            Instr::Alloca { dest, elem_ty, count } => {
+                let n = rd!(count);
+                let size = elem_ty.byte_size().saturating_mul(n.as_u64());
+                let addr = self.mem.stack_push(size.max(1))?;
+                Self::write_dest(frame, *dest, Value::ptr(addr), ctx, hook);
+                Ok(Step::Next)
+            }
+            Instr::Load { dest, ty, addr } => {
+                let a = rd!(addr);
+                let bits = self.mem.load(*ty, a.as_u64())?;
+                Self::write_dest(frame, *dest, Value::new(*ty, bits), ctx, hook);
+                Ok(Step::Next)
+            }
+            Instr::Store { ty, value, addr } => {
+                let v = rd!(value);
+                let a = rd!(addr);
+                self.mem.store(*ty, a.as_u64(), v.bits)?;
+                Ok(Step::Next)
+            }
+            Instr::Gep { dest, base, index, elem_size, offset } => {
+                let b = rd!(base);
+                let i = rd!(index);
+                let addr = (b.as_u64())
+                    .wrapping_add((i.as_i64() as u64).wrapping_mul(*elem_size))
+                    .wrapping_add(*offset as u64);
+                Self::write_dest(frame, *dest, Value::ptr(addr), ctx, hook);
+                Ok(Step::Next)
+            }
+            Instr::Call { dest, callee, args } => {
+                if *callee >= self.module.functions.len() {
+                    return Err(Trap::InvalidCall {
+                        callee: *callee as u64,
+                    });
+                }
+                if depth >= self.limits.max_call_depth {
+                    return Err(Trap::StackOverflow);
+                }
+                let mut arg_values = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_values.push(rd!(a));
+                }
+                let mut new_frame = self.make_frame(*callee, &arg_values);
+                new_frame.ret_dest = *dest;
+                new_frame.call_ctx = Some(*ctx);
+                Ok(Step::Call(new_frame))
+            }
+            Instr::IntrinsicCall { dest, which, args } => {
+                let mut arg_values = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_values.push(rd!(a));
+                }
+                let result = self.exec_intrinsic(*which, &arg_values)?;
+                if let (Some(d), Some(v)) = (dest, result) {
+                    Self::write_dest(frame, *d, v, ctx, hook);
+                }
+                Ok(Step::Next)
+            }
+            Instr::Phi { dest, ty, incoming } => {
+                let arm = incoming
+                    .iter()
+                    .find(|(b, _)| b.index() == frame.prev_block)
+                    .or_else(|| incoming.first());
+                match arm {
+                    Some((_, op)) => {
+                        let v = rd!(op);
+                        Self::write_dest(frame, *dest, Value::new(*ty, v.bits), ctx, hook);
+                        Ok(Step::Next)
+                    }
+                    None => Err(Trap::Abort),
+                }
+            }
+            Instr::Br { target } => Ok(Step::Jump(target.index())),
+            Instr::CondBr { cond, then_bb, else_bb } => {
+                let c = rd!(cond);
+                let target = if c.as_bool() { then_bb } else { else_bb };
+                Ok(Step::Jump(target.index()))
+            }
+            Instr::Switch { value, default, cases } => {
+                let v = rd!(value);
+                let target = cases
+                    .iter()
+                    .find(|(case, _)| *case == v.as_u64())
+                    .map(|(_, b)| *b)
+                    .unwrap_or(*default);
+                Ok(Step::Jump(target.index()))
+            }
+            Instr::Ret { value } => {
+                let v = match value {
+                    Some(op) => Some(rd!(op)),
+                    None => None,
+                };
+                Ok(Step::Return(v))
+            }
+            Instr::Unreachable => Err(Trap::Abort),
+        }
+    }
+
+    fn exec_intrinsic(&mut self, which: Intrinsic, args: &[Value]) -> Result<Option<Value>, Trap> {
+        let arg = |i: usize| args.get(i).copied().unwrap_or(Value::i64(0));
+        match which {
+            Intrinsic::PrintI64 => {
+                let text = format!("{}\n", arg(0).as_i64());
+                self.append_output(text.as_bytes());
+                Ok(None)
+            }
+            Intrinsic::PrintF64 => {
+                let v = arg(0).as_f64();
+                let text = if v.is_finite() {
+                    format!("{v:.6}\n")
+                } else {
+                    format!("{v}\n")
+                };
+                self.append_output(text.as_bytes());
+                Ok(None)
+            }
+            Intrinsic::PrintChar => {
+                self.append_output(&[arg(0).as_u64() as u8]);
+                Ok(None)
+            }
+            Intrinsic::PrintBytes => {
+                let addr = arg(0).as_u64();
+                let len = arg(1).as_u64().min(self.limits.max_output_bytes as u64);
+                let bytes = self.mem.read_bytes(addr, len)?;
+                self.append_output(&bytes);
+                Ok(None)
+            }
+            Intrinsic::Abort => Err(Trap::Abort),
+            Intrinsic::Malloc => {
+                let addr = self.mem.heap_alloc(arg(0).as_u64())?;
+                Ok(Some(Value::ptr(addr)))
+            }
+            Intrinsic::Free => {
+                self.mem.heap_free(arg(0).as_u64())?;
+                Ok(None)
+            }
+            Intrinsic::Memcpy => {
+                self.mem.copy(arg(0).as_u64(), arg(1).as_u64(), arg(2).as_u64())?;
+                Ok(None)
+            }
+            Intrinsic::Memset => {
+                self.mem
+                    .fill(arg(0).as_u64(), arg(1).as_u64() as u8, arg(2).as_u64())?;
+                Ok(None)
+            }
+            Intrinsic::Sqrt => Ok(Some(Value::f64(arg(0).as_f64().sqrt()))),
+            Intrinsic::Sin => Ok(Some(Value::f64(arg(0).as_f64().sin()))),
+            Intrinsic::Cos => Ok(Some(Value::f64(arg(0).as_f64().cos()))),
+            Intrinsic::Atan => Ok(Some(Value::f64(arg(0).as_f64().atan()))),
+            Intrinsic::Pow => Ok(Some(Value::f64(arg(0).as_f64().powf(arg(1).as_f64())))),
+            Intrinsic::Exp => Ok(Some(Value::f64(arg(0).as_f64().exp()))),
+            Intrinsic::Log => Ok(Some(Value::f64(arg(0).as_f64().ln()))),
+            Intrinsic::Fabs => Ok(Some(Value::f64(arg(0).as_f64().abs()))),
+            Intrinsic::Floor => Ok(Some(Value::f64(arg(0).as_f64().floor()))),
+            Intrinsic::Ceil => Ok(Some(Value::f64(arg(0).as_f64().ceil()))),
+            Intrinsic::Cbrt => Ok(Some(Value::f64(arg(0).as_f64().cbrt()))),
+        }
+    }
+}
+
+/// Evaluate an integer or floating binary operation.
+fn eval_binary(op: BinOp, ty: Type, a: Value, b: Value) -> Result<Value, Trap> {
+    if op.is_float() {
+        let (x, y) = (a.as_f64(), b.as_f64());
+        let r = match op {
+            BinOp::FAdd => x + y,
+            BinOp::FSub => x - y,
+            BinOp::FMul => x * y,
+            BinOp::FDiv => x / y,
+            BinOp::FRem => x % y,
+            _ => unreachable!(),
+        };
+        return Ok(Value::from_f64(ty, r));
+    }
+
+    let width = ty.bit_width();
+    let ua = a.bits & ty.bit_mask();
+    let ub = b.bits & ty.bit_mask();
+    let sa = a.as_i64();
+    let sb = b.as_i64();
+    let bits = match op {
+        BinOp::Add => ua.wrapping_add(ub),
+        BinOp::Sub => ua.wrapping_sub(ub),
+        BinOp::Mul => ua.wrapping_mul(ub),
+        BinOp::UDiv => {
+            if ub == 0 {
+                return Err(Trap::DivideByZero);
+            }
+            ua / ub
+        }
+        BinOp::SDiv => {
+            if sb == 0 {
+                return Err(Trap::DivideByZero);
+            }
+            if sa == i64::MIN && sb == -1 {
+                return Err(Trap::DivideByZero);
+            }
+            (sa / sb) as u64
+        }
+        BinOp::URem => {
+            if ub == 0 {
+                return Err(Trap::DivideByZero);
+            }
+            ua % ub
+        }
+        BinOp::SRem => {
+            if sb == 0 {
+                return Err(Trap::DivideByZero);
+            }
+            if sa == i64::MIN && sb == -1 {
+                return Err(Trap::DivideByZero);
+            }
+            (sa % sb) as u64
+        }
+        BinOp::Shl => ua.wrapping_shl(ub as u32 % width),
+        BinOp::LShr => ua.wrapping_shr(ub as u32 % width),
+        BinOp::AShr => {
+            let shift = ub as u32 % width;
+            (sign_extend_to_i64(ua, width) >> shift) as u64
+        }
+        BinOp::And => ua & ub,
+        BinOp::Or => ua | ub,
+        BinOp::Xor => ua ^ ub,
+        _ => unreachable!("float ops handled above"),
+    };
+    Ok(Value::new(ty, bits))
+}
+
+fn sign_extend_to_i64(bits: u64, width: u32) -> i64 {
+    mbfi_ir::value::sign_extend(bits, width)
+}
+
+/// Evaluate an integer comparison.
+fn eval_icmp(pred: IcmpPred, ty: Type, a: Value, b: Value) -> bool {
+    let ua = a.bits & ty.bit_mask();
+    let ub = b.bits & ty.bit_mask();
+    let sa = sign_extend_to_i64(ua, ty.bit_width());
+    let sb = sign_extend_to_i64(ub, ty.bit_width());
+    match pred {
+        IcmpPred::Eq => ua == ub,
+        IcmpPred::Ne => ua != ub,
+        IcmpPred::Ugt => ua > ub,
+        IcmpPred::Uge => ua >= ub,
+        IcmpPred::Ult => ua < ub,
+        IcmpPred::Ule => ua <= ub,
+        IcmpPred::Sgt => sa > sb,
+        IcmpPred::Sge => sa >= sb,
+        IcmpPred::Slt => sa < sb,
+        IcmpPred::Sle => sa <= sb,
+    }
+}
+
+/// Evaluate a floating-point comparison.
+fn eval_fcmp(pred: FcmpPred, x: f64, y: f64) -> bool {
+    let unordered = x.is_nan() || y.is_nan();
+    match pred {
+        FcmpPred::Oeq => !unordered && x == y,
+        FcmpPred::One => !unordered && x != y,
+        FcmpPred::Ogt => !unordered && x > y,
+        FcmpPred::Oge => !unordered && x >= y,
+        FcmpPred::Olt => !unordered && x < y,
+        FcmpPred::Ole => !unordered && x <= y,
+        FcmpPred::Ord => !unordered,
+        FcmpPred::Uno => unordered,
+        FcmpPred::Ueq => unordered || x == y,
+        FcmpPred::Une => unordered || x != y,
+    }
+}
+
+/// Evaluate a cast.
+fn eval_cast(op: CastOp, from_ty: Type, to_ty: Type, v: Value) -> Value {
+    match op {
+        CastOp::Trunc | CastOp::Bitcast | CastOp::PtrToInt | CastOp::IntToPtr | CastOp::ZExt => {
+            Value::new(to_ty, v.bits & from_ty.bit_mask())
+        }
+        CastOp::SExt => {
+            let s = sign_extend_to_i64(v.bits & from_ty.bit_mask(), from_ty.bit_width());
+            Value::new(to_ty, s as u64)
+        }
+        CastOp::FpToSi => {
+            let f = if from_ty == Type::F32 {
+                f32::from_bits(v.bits as u32) as f64
+            } else {
+                f64::from_bits(v.bits)
+            };
+            Value::new(to_ty, f as i64 as u64)
+        }
+        CastOp::FpToUi => {
+            let f = if from_ty == Type::F32 {
+                f32::from_bits(v.bits as u32) as f64
+            } else {
+                f64::from_bits(v.bits)
+            };
+            Value::new(to_ty, f as u64)
+        }
+        CastOp::SiToFp => {
+            let s = sign_extend_to_i64(v.bits & from_ty.bit_mask(), from_ty.bit_width());
+            Value::from_f64(to_ty, s as f64)
+        }
+        CastOp::UiToFp => Value::from_f64(to_ty, (v.bits & from_ty.bit_mask()) as f64),
+        CastOp::FpTrunc => Value::f32(f64::from_bits(v.bits) as f32),
+        CastOp::FpExt => Value::f64(f32::from_bits(v.bits as u32) as f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NoopHook;
+    use mbfi_ir::{IcmpPred, ModuleBuilder};
+
+    fn run(module: &Module) -> RunResult {
+        Vm::run_golden(module, Limits::default())
+    }
+
+    #[test]
+    fn arithmetic_and_output() {
+        let mut mb = ModuleBuilder::new("t");
+        let main = mb.declare("main", &[], Some(Type::I32));
+        {
+            let mut f = mb.define(main);
+            let a = f.add(Type::I32, 20i32, 22i32);
+            f.print_i64(a);
+            f.ret(a);
+        }
+        mb.set_entry(main);
+        let m = mb.finish();
+        let r = run(&m);
+        assert_eq!(r.output, b"42\n");
+        assert!(matches!(r.outcome, RunOutcome::Completed { ret: Some(v) } if v.as_i64() == 42));
+    }
+
+    #[test]
+    fn loop_sums_correctly() {
+        let mut mb = ModuleBuilder::new("t");
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(main);
+            let acc = f.slot(Type::I64);
+            f.store(Type::I64, 0i64, acc);
+            f.counted_loop(Type::I64, 0i64, 100i64, |f, i| {
+                let cur = f.load(Type::I64, acc);
+                let next = f.add(Type::I64, cur, i);
+                f.store(Type::I64, next, acc);
+            });
+            let total = f.load(Type::I64, acc);
+            f.print_i64(total);
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        let r = run(&mb.finish());
+        assert_eq!(r.output, b"4950\n");
+    }
+
+    #[test]
+    fn function_calls_pass_arguments_and_return_values() {
+        let mut mb = ModuleBuilder::new("t");
+        let square = mb.declare("square", &[(Type::I64, "x")], Some(Type::I64));
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(square);
+            let x = f.param(0);
+            let r = f.mul(Type::I64, x, x);
+            f.ret(r);
+        }
+        {
+            let mut f = mb.define(main);
+            let v = f
+                .call(square, &[Operand::Const(Constant::i64(9))], Some(Type::I64))
+                .unwrap();
+            f.print_i64(v);
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        let r = run(&mb.finish());
+        assert_eq!(r.output, b"81\n");
+    }
+
+    #[test]
+    fn recursion_works_and_deep_recursion_overflows() {
+        let mut mb = ModuleBuilder::new("t");
+        let fib = mb.declare("fib", &[(Type::I64, "n")], Some(Type::I64));
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(fib);
+            let n = f.param(0);
+            let is_base = f.icmp(IcmpPred::Slt, Type::I64, n, 2i64);
+            let base_bb = f.new_block("base");
+            let rec_bb = f.new_block("rec");
+            f.cond_br(is_base, base_bb, rec_bb);
+            f.switch_to(base_bb);
+            f.ret(n);
+            f.switch_to(rec_bb);
+            let n1 = f.sub(Type::I64, n, 1i64);
+            let n2 = f.sub(Type::I64, n, 2i64);
+            let a = f.call(fib, &[Operand::Reg(n1)], Some(Type::I64)).unwrap();
+            let b = f.call(fib, &[Operand::Reg(n2)], Some(Type::I64)).unwrap();
+            let s = f.add(Type::I64, a, b);
+            f.ret(s);
+        }
+        {
+            let mut f = mb.define(main);
+            let v = f
+                .call(fib, &[Operand::Const(Constant::i64(12))], Some(Type::I64))
+                .unwrap();
+            f.print_i64(v);
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        let r = run(&mb.finish());
+        assert_eq!(r.output, b"144\n");
+    }
+
+    #[test]
+    fn divide_by_zero_traps() {
+        let mut mb = ModuleBuilder::new("t");
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(main);
+            let zero_slot = f.slot(Type::I32);
+            f.store(Type::I32, 0i32, zero_slot);
+            let z = f.load(Type::I32, zero_slot);
+            let d = f.sdiv(Type::I32, 10i32, z);
+            f.print_i64(d);
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        let r = run(&mb.finish());
+        assert_eq!(r.outcome, RunOutcome::Trapped(Trap::DivideByZero));
+    }
+
+    #[test]
+    fn wild_pointer_load_segfaults() {
+        let mut mb = ModuleBuilder::new("t");
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(main);
+            let p = f.cast(CastOp::IntToPtr, Type::I64, Type::Ptr, 0x10i64);
+            let v = f.load(Type::I64, p);
+            f.print_i64(v);
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        let r = run(&mb.finish());
+        assert!(matches!(r.outcome, RunOutcome::Trapped(Trap::Segfault { .. })));
+    }
+
+    #[test]
+    fn infinite_loop_hits_instruction_limit() {
+        let mut mb = ModuleBuilder::new("t");
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(main);
+            let spin = f.new_block("spin");
+            f.br(spin);
+            f.switch_to(spin);
+            f.br(spin);
+        }
+        mb.set_entry(main);
+        let m = mb.finish();
+        let mut hook = NoopHook;
+        let r = Vm::new(
+            &m,
+            Limits {
+                max_dynamic_instrs: 1_000,
+                ..Limits::default()
+            },
+        )
+        .run(&mut hook);
+        assert_eq!(r.outcome, RunOutcome::InstrLimitExceeded);
+        assert_eq!(r.dynamic_instrs, 1_000);
+    }
+
+    #[test]
+    fn global_data_and_memory_ops() {
+        let mut mb = ModuleBuilder::new("t");
+        let table = mb.global_i64s("table", &[10, 20, 30, 40]);
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(main);
+            let acc = f.slot(Type::I64);
+            f.store(Type::I64, 0i64, acc);
+            f.counted_loop(Type::I64, 0i64, 4i64, |f, i| {
+                let v = f.load_elem(Type::I64, table, i);
+                let cur = f.load(Type::I64, acc);
+                let next = f.add(Type::I64, cur, v);
+                f.store(Type::I64, next, acc);
+            });
+            let total = f.load(Type::I64, acc);
+            f.print_i64(total);
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        let r = run(&mb.finish());
+        assert_eq!(r.output, b"100\n");
+    }
+
+    #[test]
+    fn malloc_memset_memcpy_intrinsics() {
+        let mut mb = ModuleBuilder::new("t");
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(main);
+            let a = f.malloc(32i64);
+            let b = f.malloc(32i64);
+            f.intrinsic(
+                Intrinsic::Memset,
+                &[Operand::Reg(a), Operand::Const(Constant::i64(7)), Operand::Const(Constant::i64(8))],
+                None,
+            );
+            f.intrinsic(
+                Intrinsic::Memcpy,
+                &[Operand::Reg(b), Operand::Reg(a), Operand::Const(Constant::i64(8))],
+                None,
+            );
+            let v = f.load(Type::I8, b);
+            f.print_i64(v);
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        let r = run(&mb.finish());
+        assert_eq!(r.output, b"7\n");
+    }
+
+    #[test]
+    fn float_math_and_printing() {
+        let mut mb = ModuleBuilder::new("t");
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(main);
+            let x = f.sqrt(2.25f64);
+            let y = f.fmul(x, 2.0f64);
+            f.print_f64(y);
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        let r = run(&mb.finish());
+        assert_eq!(r.output, b"3.000000\n");
+    }
+
+    #[test]
+    fn abort_intrinsic_traps() {
+        let mut mb = ModuleBuilder::new("t");
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(main);
+            f.intrinsic(Intrinsic::Abort, &[], None);
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        let r = run(&mb.finish());
+        assert_eq!(r.outcome, RunOutcome::Trapped(Trap::Abort));
+    }
+
+    #[test]
+    fn switch_selects_matching_case() {
+        let mut mb = ModuleBuilder::new("t");
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(main);
+            let slot = f.slot(Type::I32);
+            f.store(Type::I32, 2i32, slot);
+            let v = f.load(Type::I32, slot);
+            let c1 = f.new_block("one");
+            let c2 = f.new_block("two");
+            let def = f.new_block("def");
+            let out = f.new_block("out");
+            f.switch(v, def, &[(1, c1), (2, c2)]);
+            f.switch_to(c1);
+            f.print_i64(100i64);
+            f.br(out);
+            f.switch_to(c2);
+            f.print_i64(200i64);
+            f.br(out);
+            f.switch_to(def);
+            f.print_i64(300i64);
+            f.br(out);
+            f.switch_to(out);
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        let r = run(&mb.finish());
+        assert_eq!(r.output, b"200\n");
+    }
+
+    #[test]
+    fn select_and_comparisons() {
+        let mut mb = ModuleBuilder::new("t");
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(main);
+            let slot = f.slot(Type::I64);
+            f.store(Type::I64, -5i64, slot);
+            let x = f.load(Type::I64, slot);
+            let neg = f.icmp(IcmpPred::Slt, Type::I64, x, 0i64);
+            let negated = f.sub(Type::I64, 0i64, x);
+            let abs = f.select(Type::I64, neg, negated, x);
+            f.print_i64(abs);
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        let r = run(&mb.finish());
+        assert_eq!(r.output, b"5\n");
+    }
+
+    #[test]
+    fn signed_division_overflow_traps() {
+        assert_eq!(
+            eval_binary(BinOp::SDiv, Type::I64, Value::i64(i64::MIN), Value::i64(-1)),
+            Err(Trap::DivideByZero)
+        );
+        assert_eq!(
+            eval_binary(BinOp::SRem, Type::I64, Value::i64(i64::MIN), Value::i64(-1)),
+            Err(Trap::DivideByZero)
+        );
+    }
+
+    #[test]
+    fn cast_semantics() {
+        assert_eq!(
+            eval_cast(CastOp::SExt, Type::I8, Type::I64, Value::new(Type::I8, 0xff)).as_i64(),
+            -1
+        );
+        assert_eq!(
+            eval_cast(CastOp::ZExt, Type::I8, Type::I64, Value::new(Type::I8, 0xff)).as_i64(),
+            255
+        );
+        assert_eq!(
+            eval_cast(CastOp::FpToSi, Type::F64, Type::I32, Value::f64(-3.7)).as_i64(),
+            -3
+        );
+        assert_eq!(
+            eval_cast(CastOp::SiToFp, Type::I32, Type::F64, Value::i32(-2)).as_f64(),
+            -2.0
+        );
+        assert_eq!(
+            eval_cast(CastOp::FpExt, Type::F32, Type::F64, Value::f32(1.5)).as_f64(),
+            1.5
+        );
+        assert_eq!(
+            eval_cast(CastOp::Trunc, Type::I64, Type::I8, Value::i64(0x1234)).as_u64(),
+            0x34
+        );
+    }
+
+    #[test]
+    fn icmp_signed_vs_unsigned() {
+        let a = Value::i32(-1);
+        let b = Value::i32(1);
+        assert!(eval_icmp(IcmpPred::Slt, Type::I32, a, b));
+        assert!(!eval_icmp(IcmpPred::Ult, Type::I32, a, b));
+        assert!(eval_icmp(IcmpPred::Ugt, Type::I32, a, b));
+        assert!(eval_icmp(IcmpPred::Ne, Type::I32, a, b));
+    }
+
+    #[test]
+    fn fcmp_handles_nan() {
+        assert!(!eval_fcmp(FcmpPred::Oeq, f64::NAN, 1.0));
+        assert!(eval_fcmp(FcmpPred::Uno, f64::NAN, 1.0));
+        assert!(eval_fcmp(FcmpPred::Ord, 1.0, 2.0));
+        assert!(eval_fcmp(FcmpPred::Une, f64::NAN, f64::NAN));
+        assert!(eval_fcmp(FcmpPred::Ole, 1.0, 1.0));
+    }
+
+    #[test]
+    fn shifts_wrap_amount_modulo_width() {
+        let v = eval_binary(BinOp::Shl, Type::I32, Value::i32(1), Value::i32(33)).unwrap();
+        assert_eq!(v.as_u64(), 2);
+        let v = eval_binary(BinOp::AShr, Type::I32, Value::i32(-8), Value::i32(2)).unwrap();
+        assert_eq!(v.as_i64(), -2);
+    }
+}

@@ -1,0 +1,34 @@
+//! # mbfi-vm
+//!
+//! The execution substrate of the mbfi fault-injection study: an interpreter
+//! for the `mbfi-ir` intermediate representation with
+//!
+//! * a segmented memory model whose invalid / misaligned accesses raise the
+//!   *hardware exceptions* of the paper's outcome taxonomy ([`Trap`]),
+//! * dynamic-instruction accounting and configurable execution limits used
+//!   for hang detection ([`Limits`]),
+//! * an output buffer collected from print intrinsics and compared
+//!   bit-wise against the golden run to detect silent data corruptions,
+//! * and — most importantly — the [`ExecHook`] trait: every register read
+//!   and every register write of every dynamic instruction is routed through
+//!   the hook, which is exactly the surface the inject-on-read and
+//!   inject-on-write techniques of LLFI corrupt.
+//!
+//! The fault injector itself lives in `mbfi-core`; this crate only knows how
+//! to execute programs faithfully and expose the injection surface.
+
+pub mod hooks;
+pub mod interp;
+pub mod limits;
+pub mod memory;
+pub mod profile;
+pub mod trap;
+pub mod value;
+
+pub use hooks::{ExecHook, InstrContext, NoopHook};
+pub use interp::{RunOutcome, RunResult, Vm};
+pub use limits::Limits;
+pub use memory::{Memory, MemoryLayout};
+pub use profile::{CountingHook, ExecutionProfile, TraceHook};
+pub use trap::Trap;
+pub use value::Value;

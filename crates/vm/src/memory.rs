@@ -1,0 +1,388 @@
+//! Segmented memory with trap semantics.
+//!
+//! The address space is divided into three disjoint segments — globals, heap
+//! and stack — separated by large unmapped gaps.  A corrupted pointer almost
+//! always lands in a gap or in the null page and raises a [`Trap::Segfault`],
+//! which is what makes address-carrying registers far more likely to end up
+//! in the *Detection* outcome category than data-carrying registers (the
+//! mechanism behind the inject-on-read vs. inject-on-write asymmetry the
+//! paper reports in §IV-A).
+
+use crate::trap::Trap;
+use mbfi_ir::{Module, Type};
+
+/// Layout constants for the virtual address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryLayout {
+    /// Base address of the globals segment.
+    pub globals_base: u64,
+    /// Base address of the heap segment.
+    pub heap_base: u64,
+    /// Maximum size of the heap arena in bytes.
+    pub heap_size: u64,
+    /// Base address of the stack segment.
+    pub stack_base: u64,
+    /// Maximum size of the stack in bytes.
+    pub stack_size: u64,
+}
+
+impl Default for MemoryLayout {
+    fn default() -> Self {
+        MemoryLayout {
+            globals_base: 0x0001_0000,
+            heap_base: 0x0100_0000,
+            heap_size: 8 << 20,
+            stack_base: 0x7000_0000,
+            stack_size: 4 << 20,
+        }
+    }
+}
+
+/// One contiguous mapped region.
+#[derive(Debug, Clone)]
+struct Segment {
+    base: u64,
+    data: Vec<u8>,
+}
+
+impl Segment {
+    fn contains(&self, addr: u64, len: u64) -> bool {
+        addr >= self.base && addr.saturating_add(len) <= self.base + self.data.len() as u64
+    }
+
+    fn slice(&self, addr: u64, len: u64) -> &[u8] {
+        let off = (addr - self.base) as usize;
+        &self.data[off..off + len as usize]
+    }
+
+    fn slice_mut(&mut self, addr: u64, len: u64) -> &mut [u8] {
+        let off = (addr - self.base) as usize;
+        &mut self.data[off..off + len as usize]
+    }
+}
+
+/// The VM's memory: globals, a bump-allocated heap, and a stack.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    layout: MemoryLayout,
+    globals: Segment,
+    heap: Segment,
+    /// High-water mark of the heap bump allocator (offset from heap base).
+    heap_top: u64,
+    stack: Segment,
+    /// Current top of stack (offset from stack base); grows upward.
+    stack_top: u64,
+    /// Resolved address of each module global, by global index.
+    global_addrs: Vec<u64>,
+}
+
+impl Memory {
+    /// Create the memory image for a module: lay out and initialise globals,
+    /// map the (empty) heap and stack.
+    pub fn for_module(module: &Module, layout: MemoryLayout) -> Memory {
+        let mut global_addrs = Vec::with_capacity(module.globals.len());
+        let mut globals_data = Vec::new();
+        for g in &module.globals {
+            // Align the next global.
+            let align = g.align.max(1);
+            while (layout.globals_base + globals_data.len() as u64) % align != 0 {
+                globals_data.push(0);
+            }
+            global_addrs.push(layout.globals_base + globals_data.len() as u64);
+            globals_data.extend_from_slice(&g.init);
+            globals_data.extend(std::iter::repeat(0).take((g.size as usize).saturating_sub(g.init.len())));
+        }
+
+        Memory {
+            layout,
+            globals: Segment {
+                base: layout.globals_base,
+                data: globals_data,
+            },
+            heap: Segment {
+                base: layout.heap_base,
+                data: Vec::new(),
+            },
+            heap_top: 0,
+            stack: Segment {
+                base: layout.stack_base,
+                data: Vec::new(),
+            },
+            stack_top: 0,
+            global_addrs,
+        }
+    }
+
+    /// The layout this memory was created with.
+    pub fn layout(&self) -> MemoryLayout {
+        self.layout
+    }
+
+    /// Resolved address of global `index`.
+    pub fn global_addr(&self, index: usize) -> Option<u64> {
+        self.global_addrs.get(index).copied()
+    }
+
+    /// Allocate `size` bytes on the heap (8-byte aligned), returning the
+    /// address, or [`Trap::OutOfMemory`] if the arena is exhausted.
+    pub fn heap_alloc(&mut self, size: u64) -> Result<u64, Trap> {
+        let aligned = size.div_ceil(8) * 8;
+        if self.heap_top + aligned > self.layout.heap_size {
+            return Err(Trap::OutOfMemory);
+        }
+        let addr = self.layout.heap_base + self.heap_top;
+        self.heap_top += aligned;
+        self.heap
+            .data
+            .resize(self.heap_top as usize, 0);
+        Ok(addr)
+    }
+
+    /// Free a heap allocation.  The bump allocator does not reclaim space;
+    /// the call only validates that the pointer points into the heap.
+    pub fn heap_free(&mut self, addr: u64) -> Result<(), Trap> {
+        if addr == 0 {
+            return Ok(());
+        }
+        if addr < self.layout.heap_base || addr >= self.layout.heap_base + self.heap_top {
+            return Err(Trap::Segfault { addr });
+        }
+        Ok(())
+    }
+
+    /// Push a stack frame of `size` bytes, returning its base address.
+    pub fn stack_push(&mut self, size: u64) -> Result<u64, Trap> {
+        let aligned = size.div_ceil(16) * 16;
+        if self.stack_top + aligned > self.layout.stack_size {
+            return Err(Trap::StackOverflow);
+        }
+        let addr = self.layout.stack_base + self.stack_top;
+        self.stack_top += aligned;
+        self.stack.data.resize(self.stack_top as usize, 0);
+        Ok(addr)
+    }
+
+    /// Pop the stack back to a previously saved mark (from [`Memory::stack_mark`]).
+    pub fn stack_pop_to(&mut self, mark: u64) {
+        self.stack_top = mark;
+        self.stack.data.truncate(mark as usize);
+    }
+
+    /// Current stack mark, to be restored when the active frame returns.
+    pub fn stack_mark(&self) -> u64 {
+        self.stack_top
+    }
+
+    fn segment_for(&self, addr: u64, len: u64) -> Result<&Segment, Trap> {
+        if self.globals.contains(addr, len) {
+            Ok(&self.globals)
+        } else if self.heap.contains(addr, len) {
+            Ok(&self.heap)
+        } else if self.stack.contains(addr, len) {
+            Ok(&self.stack)
+        } else {
+            Err(Trap::Segfault { addr })
+        }
+    }
+
+    fn segment_for_mut(&mut self, addr: u64, len: u64) -> Result<&mut Segment, Trap> {
+        if self.globals.contains(addr, len) {
+            Ok(&mut self.globals)
+        } else if self.heap.contains(addr, len) {
+            Ok(&mut self.heap)
+        } else if self.stack.contains(addr, len) {
+            Ok(&mut self.stack)
+        } else {
+            Err(Trap::Segfault { addr })
+        }
+    }
+
+    fn check_aligned(addr: u64, ty: Type) -> Result<(), Trap> {
+        let required = ty.alignment();
+        if addr % required != 0 {
+            Err(Trap::Misaligned { addr, required })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Load a typed scalar from `addr`.
+    pub fn load(&self, ty: Type, addr: u64) -> Result<u64, Trap> {
+        Self::check_aligned(addr, ty)?;
+        let len = ty.byte_size();
+        let seg = self.segment_for(addr, len)?;
+        let bytes = seg.slice(addr, len);
+        let mut buf = [0u8; 8];
+        buf[..bytes.len()].copy_from_slice(bytes);
+        Ok(u64::from_le_bytes(buf) & ty.bit_mask())
+    }
+
+    /// Store a typed scalar to `addr`.
+    pub fn store(&mut self, ty: Type, addr: u64, bits: u64) -> Result<(), Trap> {
+        Self::check_aligned(addr, ty)?;
+        let len = ty.byte_size();
+        let seg = self.segment_for_mut(addr, len)?;
+        let bytes = (bits & ty.bit_mask()).to_le_bytes();
+        seg.slice_mut(addr, len).copy_from_slice(&bytes[..len as usize]);
+        Ok(())
+    }
+
+    /// Read `len` raw bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, len: u64) -> Result<Vec<u8>, Trap> {
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let seg = self.segment_for(addr, len)?;
+        Ok(seg.slice(addr, len).to_vec())
+    }
+
+    /// Write raw bytes starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), Trap> {
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let seg = self.segment_for_mut(addr, bytes.len() as u64)?;
+        seg.slice_mut(addr, bytes.len() as u64).copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// `memcpy(dst, src, len)`.
+    pub fn copy(&mut self, dst: u64, src: u64, len: u64) -> Result<(), Trap> {
+        let data = self.read_bytes(src, len)?;
+        self.write_bytes(dst, &data)
+    }
+
+    /// `memset(dst, value, len)`.
+    pub fn fill(&mut self, dst: u64, value: u8, len: u64) -> Result<(), Trap> {
+        if len == 0 {
+            return Ok(());
+        }
+        let seg = self.segment_for_mut(dst, len)?;
+        seg.slice_mut(dst, len).fill(value);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbfi_ir::{Global, Module};
+
+    fn empty_memory() -> Memory {
+        Memory::for_module(&Module::new("t"), MemoryLayout::default())
+    }
+
+    fn memory_with_global(bytes: Vec<u8>) -> Memory {
+        let mut m = Module::new("t");
+        m.globals.push(Global::with_bytes("g", bytes));
+        Memory::for_module(&m, MemoryLayout::default())
+    }
+
+    #[test]
+    fn globals_are_initialised_and_addressable() {
+        let mem = memory_with_global(vec![1, 2, 3, 4]);
+        let addr = mem.global_addr(0).unwrap();
+        assert_eq!(mem.load(Type::I32, addr).unwrap(), 0x0403_0201);
+        assert!(mem.global_addr(1).is_none());
+    }
+
+    #[test]
+    fn null_and_unmapped_accesses_segfault() {
+        let mem = empty_memory();
+        assert_eq!(mem.load(Type::I64, 0), Err(Trap::Segfault { addr: 0 }));
+        assert_eq!(
+            mem.load(Type::I8, 0xdead_beef_0000),
+            Err(Trap::Segfault { addr: 0xdead_beef_0000 })
+        );
+    }
+
+    #[test]
+    fn misaligned_access_traps() {
+        let mut mem = empty_memory();
+        let addr = mem.heap_alloc(16).unwrap();
+        assert!(matches!(
+            mem.load(Type::I32, addr + 1),
+            Err(Trap::Misaligned { required: 4, .. })
+        ));
+        assert!(matches!(
+            mem.store(Type::I64, addr + 4, 1),
+            Err(Trap::Misaligned { required: 8, .. })
+        ));
+    }
+
+    #[test]
+    fn heap_alloc_and_rw_round_trip() {
+        let mut mem = empty_memory();
+        let a = mem.heap_alloc(32).unwrap();
+        mem.store(Type::I64, a, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(mem.load(Type::I64, a).unwrap(), 0x1122_3344_5566_7788);
+        mem.store(Type::I8, a + 8, 0xab).unwrap();
+        assert_eq!(mem.load(Type::I8, a + 8).unwrap(), 0xab);
+    }
+
+    #[test]
+    fn heap_exhaustion_reports_oom() {
+        let mut mem = Memory::for_module(
+            &Module::new("t"),
+            MemoryLayout {
+                heap_size: 64,
+                ..MemoryLayout::default()
+            },
+        );
+        assert!(mem.heap_alloc(48).is_ok());
+        assert_eq!(mem.heap_alloc(48), Err(Trap::OutOfMemory));
+    }
+
+    #[test]
+    fn heap_free_validates_pointer() {
+        let mut mem = empty_memory();
+        let a = mem.heap_alloc(8).unwrap();
+        assert!(mem.heap_free(a).is_ok());
+        assert!(mem.heap_free(0).is_ok());
+        assert!(matches!(mem.heap_free(0x42), Err(Trap::Segfault { .. })));
+    }
+
+    #[test]
+    fn stack_push_pop_restores_mark() {
+        let mut mem = empty_memory();
+        let mark = mem.stack_mark();
+        let a = mem.stack_push(100).unwrap();
+        mem.store(Type::I32, a, 7).unwrap();
+        assert_eq!(mem.load(Type::I32, a).unwrap(), 7);
+        mem.stack_pop_to(mark);
+        assert!(mem.load(Type::I32, a).is_err());
+    }
+
+    #[test]
+    fn stack_overflow_traps() {
+        let mut mem = Memory::for_module(
+            &Module::new("t"),
+            MemoryLayout {
+                stack_size: 128,
+                ..MemoryLayout::default()
+            },
+        );
+        assert!(mem.stack_push(64).is_ok());
+        assert_eq!(mem.stack_push(128), Err(Trap::StackOverflow));
+    }
+
+    #[test]
+    fn copy_and_fill() {
+        let mut mem = empty_memory();
+        let a = mem.heap_alloc(16).unwrap();
+        let b = mem.heap_alloc(16).unwrap();
+        mem.fill(a, 0x5a, 16).unwrap();
+        mem.copy(b, a, 16).unwrap();
+        assert_eq!(mem.read_bytes(b, 16).unwrap(), vec![0x5a; 16]);
+        assert!(mem.copy(b, 0x3, 4).is_err());
+    }
+
+    #[test]
+    fn cross_segment_access_is_rejected() {
+        let mem = memory_with_global(vec![0; 8]);
+        let addr = mem.global_addr(0).unwrap();
+        // Reading past the end of the globals segment must not silently
+        // succeed even though the next segment exists elsewhere.
+        assert!(mem.read_bytes(addr, 4096).is_err());
+    }
+}

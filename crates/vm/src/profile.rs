@@ -1,0 +1,184 @@
+//! Fault-free profiling of a workload.
+//!
+//! A campaign first runs the program once with a [`CountingHook`] to learn
+//!
+//! * the total number of dynamic instructions (used to derive the hang
+//!   threshold),
+//! * the number of **inject-on-read candidates** — dynamic instructions
+//!   reading at least one register operand, and
+//! * the number of **inject-on-write candidates** — dynamic instructions
+//!   producing a destination register.
+//!
+//! These are the per-workload "total number of candidate instructions for
+//! fault injection" columns of Table II in the paper.  Injection targets are
+//! then drawn uniformly from the candidate ordinals.
+
+use crate::hooks::{ExecHook, InstrContext};
+use mbfi_ir::Opcode;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Summary of a fault-free run.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ExecutionProfile {
+    /// Total dynamic instructions executed.
+    pub dynamic_instrs: u64,
+    /// Dynamic instructions that read at least one register operand.
+    pub read_candidates: u64,
+    /// Dynamic instructions that write a destination register.
+    pub write_candidates: u64,
+    /// Dynamic instruction count per opcode kind.
+    pub per_opcode: BTreeMap<String, u64>,
+}
+
+impl ExecutionProfile {
+    /// Candidate count for a given injection surface.
+    pub fn candidates_for(&self, on_write: bool) -> u64 {
+        if on_write {
+            self.write_candidates
+        } else {
+            self.read_candidates
+        }
+    }
+}
+
+/// Hook that builds an [`ExecutionProfile`] without perturbing execution.
+#[derive(Debug, Default, Clone)]
+pub struct CountingHook {
+    profile: ExecutionProfile,
+}
+
+impl CountingHook {
+    /// Create an empty counting hook.
+    pub fn new() -> CountingHook {
+        CountingHook::default()
+    }
+
+    /// Consume the hook and return the collected profile.
+    pub fn into_profile(self) -> ExecutionProfile {
+        self.profile
+    }
+
+    /// Borrow the profile collected so far.
+    pub fn profile(&self) -> &ExecutionProfile {
+        &self.profile
+    }
+}
+
+impl ExecHook for CountingHook {
+    fn on_instr(&mut self, ctx: &InstrContext) {
+        self.profile.dynamic_instrs += 1;
+        if ctx.reg_reads > 0 {
+            self.profile.read_candidates += 1;
+        }
+        if ctx.has_dest {
+            self.profile.write_candidates += 1;
+        }
+        *self
+            .profile
+            .per_opcode
+            .entry(ctx.opcode.to_string())
+            .or_insert(0) += 1;
+    }
+}
+
+/// Hook that records the opcode of every dynamic instruction (for debugging
+/// small programs and for tests that need full traces).
+#[derive(Debug, Default, Clone)]
+pub struct TraceHook {
+    /// Opcode of each dynamic instruction in execution order.
+    pub trace: Vec<Opcode>,
+    /// Cap on the trace length; further instructions are counted but not stored.
+    pub max_len: usize,
+    /// Total dynamic instructions observed (may exceed `trace.len()`).
+    pub total: u64,
+}
+
+impl TraceHook {
+    /// Create a trace hook storing at most `max_len` opcodes.
+    pub fn with_capacity(max_len: usize) -> TraceHook {
+        TraceHook {
+            trace: Vec::new(),
+            max_len,
+            total: 0,
+        }
+    }
+}
+
+impl ExecHook for TraceHook {
+    fn on_instr(&mut self, ctx: &InstrContext) {
+        self.total += 1;
+        if self.trace.len() < self.max_len {
+            self.trace.push(ctx.opcode);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Vm;
+    use crate::limits::Limits;
+    use mbfi_ir::{ModuleBuilder, Type};
+
+    fn sample_module() -> mbfi_ir::Module {
+        let mut mb = ModuleBuilder::new("p");
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(main);
+            let acc = f.slot(Type::I64);
+            f.store(Type::I64, 0i64, acc);
+            f.counted_loop(Type::I64, 0i64, 10i64, |f, i| {
+                let cur = f.load(Type::I64, acc);
+                let next = f.add(Type::I64, cur, i);
+                f.store(Type::I64, next, acc);
+            });
+            let total = f.load(Type::I64, acc);
+            f.print_i64(total);
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        mb.finish()
+    }
+
+    #[test]
+    fn counting_hook_counts_candidates() {
+        let m = sample_module();
+        let mut hook = CountingHook::new();
+        let result = Vm::new(&m, Limits::default()).run(&mut hook);
+        let profile = hook.into_profile();
+        assert!(result.outcome.is_completed());
+        assert_eq!(profile.dynamic_instrs, result.dynamic_instrs);
+        // Every instruction except the initial constant store/alloca reads a register.
+        assert!(profile.read_candidates > 0);
+        assert!(profile.write_candidates > 0);
+        // Stores and branches have no destination, so write candidates are fewer,
+        // matching the shape of Table II.
+        assert!(profile.write_candidates < profile.read_candidates);
+        assert!(profile.per_opcode.contains_key("load"));
+        assert!(profile.per_opcode.contains_key("store"));
+        let opcode_total: u64 = profile.per_opcode.values().sum();
+        assert_eq!(opcode_total, profile.dynamic_instrs);
+    }
+
+    #[test]
+    fn candidates_for_selects_surface() {
+        let p = ExecutionProfile {
+            dynamic_instrs: 10,
+            read_candidates: 7,
+            write_candidates: 4,
+            per_opcode: BTreeMap::new(),
+        };
+        assert_eq!(p.candidates_for(false), 7);
+        assert_eq!(p.candidates_for(true), 4);
+    }
+
+    #[test]
+    fn trace_hook_caps_its_length() {
+        let m = sample_module();
+        let mut hook = TraceHook::with_capacity(5);
+        let result = Vm::new(&m, Limits::default()).run(&mut hook);
+        assert_eq!(hook.trace.len(), 5);
+        assert_eq!(hook.total, result.dynamic_instrs);
+    }
+}

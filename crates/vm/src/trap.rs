@@ -1,0 +1,95 @@
+//! Hardware exceptions raised by the VM.
+//!
+//! These are the events the paper's outcome classifier files under
+//! *Detected by Hardware Exceptions*: segmentation faults, misaligned
+//! accesses, arithmetic errors and aborts (§III-E).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A hardware exception terminating execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Trap {
+    /// Access to an address outside every mapped segment (or to the null
+    /// page), i.e. a segmentation fault.
+    Segfault {
+        /// Offending address.
+        addr: u64,
+    },
+    /// Access that violates the natural alignment of the accessed type.
+    Misaligned {
+        /// Offending address.
+        addr: u64,
+        /// Required alignment in bytes.
+        required: u64,
+    },
+    /// Integer division or remainder by zero (or signed overflow `MIN / -1`).
+    DivideByZero,
+    /// The program called `abort()` or executed `unreachable`.
+    Abort,
+    /// Call stack exceeded the configured depth limit.
+    StackOverflow,
+    /// The heap allocator ran out of its configured arena.
+    OutOfMemory,
+    /// A call through a corrupted function index.
+    InvalidCall {
+        /// The function index that was out of range.
+        callee: u64,
+    },
+}
+
+impl Trap {
+    /// Short machine-readable name of the exception class.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Trap::Segfault { .. } => "segfault",
+            Trap::Misaligned { .. } => "misaligned",
+            Trap::DivideByZero => "divide-by-zero",
+            Trap::Abort => "abort",
+            Trap::StackOverflow => "stack-overflow",
+            Trap::OutOfMemory => "out-of-memory",
+            Trap::InvalidCall { .. } => "invalid-call",
+        }
+    }
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::Segfault { addr } => write!(f, "segmentation fault at {addr:#x}"),
+            Trap::Misaligned { addr, required } => {
+                write!(f, "misaligned access at {addr:#x} (requires {required}-byte alignment)")
+            }
+            Trap::DivideByZero => write!(f, "integer divide by zero"),
+            Trap::Abort => write!(f, "program aborted"),
+            Trap::StackOverflow => write!(f, "call stack overflow"),
+            Trap::OutOfMemory => write!(f, "heap arena exhausted"),
+            Trap::InvalidCall { callee } => write!(f, "call to invalid function index {callee}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct_and_display_works() {
+        let traps = [
+            Trap::Segfault { addr: 0x10 },
+            Trap::Misaligned { addr: 0x11, required: 4 },
+            Trap::DivideByZero,
+            Trap::Abort,
+            Trap::StackOverflow,
+            Trap::OutOfMemory,
+            Trap::InvalidCall { callee: 99 },
+        ];
+        let kinds: std::collections::HashSet<_> = traps.iter().map(|t| t.kind()).collect();
+        assert_eq!(kinds.len(), traps.len());
+        for t in traps {
+            assert!(!t.to_string().is_empty());
+        }
+    }
+}

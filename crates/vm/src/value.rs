@@ -1,0 +1,265 @@
+//! Runtime values and bit-level manipulation.
+//!
+//! A runtime [`Value`] is a `(Type, u64)` pair: the raw 64-bit payload plus
+//! the scalar type that says how many of those bits are live.  Keeping every
+//! value — integer, float or pointer — in the same representation is what
+//! makes the bit-flip fault model uniform: flipping bit `k` is a single XOR
+//! regardless of what the register semantically holds, exactly as in LLFI.
+
+use mbfi_ir::value::sign_extend;
+use mbfi_ir::{Constant, Type};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A runtime scalar value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Value {
+    /// The scalar type of the value.
+    pub ty: Type,
+    /// Raw payload; only the low [`Type::bit_width`] bits are meaningful
+    /// (floats store their IEEE-754 encoding, pointers their address).
+    pub bits: u64,
+}
+
+impl Value {
+    /// Construct a value, masking the payload to the type's width.
+    pub fn new(ty: Type, bits: u64) -> Value {
+        Value {
+            ty,
+            bits: bits & ty.bit_mask(),
+        }
+    }
+
+    /// The zero value of a type.
+    pub fn zero(ty: Type) -> Value {
+        Value { ty, bits: 0 }
+    }
+
+    /// A boolean (`i1`) value.
+    pub fn bool(b: bool) -> Value {
+        Value::new(Type::I1, b as u64)
+    }
+
+    /// An `i32` value.
+    pub fn i32(v: i32) -> Value {
+        Value::new(Type::I32, v as u32 as u64)
+    }
+
+    /// An `i64` value.
+    pub fn i64(v: i64) -> Value {
+        Value::new(Type::I64, v as u64)
+    }
+
+    /// A pointer value.
+    pub fn ptr(addr: u64) -> Value {
+        Value::new(Type::Ptr, addr)
+    }
+
+    /// An `f64` value.
+    pub fn f64(v: f64) -> Value {
+        Value::new(Type::F64, v.to_bits())
+    }
+
+    /// An `f32` value.
+    pub fn f32(v: f32) -> Value {
+        Value::new(Type::F32, v.to_bits() as u64)
+    }
+
+    /// Build a value of `ty` from an `f64`, encoding appropriately.
+    pub fn from_f64(ty: Type, v: f64) -> Value {
+        match ty {
+            Type::F32 => Value::f32(v as f32),
+            Type::F64 => Value::f64(v),
+            _ => Value::new(ty, v as i64 as u64),
+        }
+    }
+
+    /// The value as an unsigned integer (raw bits for floats / pointers).
+    pub fn as_u64(&self) -> u64 {
+        self.bits
+    }
+
+    /// The value interpreted as a signed integer of its width.
+    pub fn as_i64(&self) -> i64 {
+        sign_extend(self.bits, self.ty.bit_width())
+    }
+
+    /// The value interpreted as a float (widening `f32`, converting ints).
+    pub fn as_f64(&self) -> f64 {
+        match self.ty {
+            Type::F32 => f32::from_bits(self.bits as u32) as f64,
+            Type::F64 => f64::from_bits(self.bits),
+            _ => self.as_i64() as f64,
+        }
+    }
+
+    /// The value as a boolean (non-zero = true).
+    pub fn as_bool(&self) -> bool {
+        self.bits != 0
+    }
+
+    /// Flip bit `bit` (0 = least significant) of the value.
+    ///
+    /// Bits at or beyond the type's width are ignored, matching LLFI which
+    /// only flips bits inside the value's declared width.
+    pub fn flip_bit(&self, bit: u32) -> Value {
+        if bit >= self.ty.bit_width() {
+            return *self;
+        }
+        Value {
+            ty: self.ty,
+            bits: self.bits ^ (1u64 << bit),
+        }
+    }
+
+    /// Flip several bits at once (used by the same-register multi-bit model).
+    pub fn flip_bits(&self, bits: &[u32]) -> Value {
+        let mut v = *self;
+        for &b in bits {
+            v = v.flip_bit(b);
+        }
+        v
+    }
+
+    /// Convert an IR constant into a runtime value.
+    ///
+    /// `Global` constants must be resolved by the VM (which knows the load
+    /// addresses) and are rejected here.
+    pub fn from_constant(c: &Constant) -> Value {
+        match c {
+            Constant::Int { ty, bits } | Constant::Float { ty, bits } => Value::new(*ty, *bits),
+            Constant::Null => Value::ptr(0),
+            Constant::Global { .. } => {
+                panic!("global constants must be resolved by the VM, not Value::from_constant")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.ty {
+            Type::F32 | Type::F64 => write!(f, "{}:{}", self.ty, self.as_f64()),
+            Type::Ptr => write!(f, "ptr:{:#x}", self.bits),
+            _ => write!(f, "{}:{}", self.ty, self.as_i64()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_masks_to_width() {
+        assert_eq!(Value::new(Type::I8, 0x1ff).bits, 0xff);
+        assert_eq!(Value::new(Type::I1, 2).bits, 0);
+        assert_eq!(Value::new(Type::I64, u64::MAX).bits, u64::MAX);
+    }
+
+    #[test]
+    fn signed_interpretation() {
+        assert_eq!(Value::new(Type::I8, 0xff).as_i64(), -1);
+        assert_eq!(Value::i32(-5).as_i64(), -5);
+        assert_eq!(Value::i64(i64::MIN).as_i64(), i64::MIN);
+    }
+
+    #[test]
+    fn float_round_trip() {
+        assert_eq!(Value::f64(2.75).as_f64(), 2.75);
+        assert_eq!(Value::f32(-1.5).as_f64(), -1.5);
+        assert_eq!(Value::from_f64(Type::F32, 0.5).as_f64(), 0.5);
+        assert_eq!(Value::from_f64(Type::I32, 7.9).as_i64(), 7);
+    }
+
+    #[test]
+    fn flip_bit_changes_exactly_one_bit() {
+        let v = Value::i32(0);
+        let f = v.flip_bit(5);
+        assert_eq!(f.bits, 32);
+        assert_eq!(f.ty, Type::I32);
+    }
+
+    #[test]
+    fn flip_bit_out_of_width_is_noop() {
+        let v = Value::new(Type::I8, 0x0f);
+        assert_eq!(v.flip_bit(8), v);
+        assert_eq!(v.flip_bit(63), v);
+        let b = Value::bool(true);
+        assert_eq!(b.flip_bit(1), b);
+        assert_ne!(b.flip_bit(0), b);
+    }
+
+    #[test]
+    fn flip_bits_applies_all() {
+        let v = Value::i64(0);
+        let f = v.flip_bits(&[0, 1, 2]);
+        assert_eq!(f.as_i64(), 7);
+    }
+
+    #[test]
+    fn from_constant_matches_ir_constants() {
+        assert_eq!(Value::from_constant(&Constant::i32(-3)).as_i64(), -3);
+        assert_eq!(Value::from_constant(&Constant::f64(1.5)).as_f64(), 1.5);
+        assert_eq!(Value::from_constant(&Constant::Null).as_u64(), 0);
+        assert_eq!(Value::from_constant(&Constant::bool(true)).as_bool(), true);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolved by the VM")]
+    fn from_constant_rejects_globals() {
+        let _ = Value::from_constant(&Constant::global(0));
+    }
+
+    proptest! {
+        /// Flipping the same bit twice restores the original value.
+        #[test]
+        fn prop_flip_is_involutive(bits in any::<u64>(), bit in 0u32..64) {
+            for ty in Type::ALL {
+                let v = Value::new(ty, bits);
+                prop_assert_eq!(v.flip_bit(bit).flip_bit(bit), v);
+            }
+        }
+
+        /// A flip inside the width changes the value; outside it never does.
+        #[test]
+        fn prop_flip_changes_iff_in_width(bits in any::<u64>(), bit in 0u32..64) {
+            for ty in Type::ALL {
+                let v = Value::new(ty, bits);
+                let flipped = v.flip_bit(bit);
+                if bit < ty.bit_width() {
+                    prop_assert_ne!(flipped, v);
+                } else {
+                    prop_assert_eq!(flipped, v);
+                }
+            }
+        }
+
+        /// Values never carry bits outside their type's mask.
+        #[test]
+        fn prop_values_respect_mask(bits in any::<u64>(), bit in 0u32..64) {
+            for ty in Type::ALL {
+                let v = Value::new(ty, bits).flip_bit(bit);
+                prop_assert_eq!(v.bits & !ty.bit_mask(), 0);
+            }
+        }
+
+        /// Signed interpretation round-trips through i64 for i64 values.
+        #[test]
+        fn prop_i64_round_trip(v in any::<i64>()) {
+            prop_assert_eq!(Value::i64(v).as_i64(), v);
+        }
+
+        /// f64 values round-trip bit-exactly.
+        #[test]
+        fn prop_f64_round_trip(v in any::<f64>()) {
+            let round = Value::f64(v).as_f64();
+            if v.is_nan() {
+                prop_assert!(round.is_nan());
+            } else {
+                prop_assert_eq!(round, v);
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Property-based semantics tests: small programs built on the fly must
+//! compute the same results as native Rust arithmetic, and structural
+//! invariants of execution (instruction counting, output determinism,
+//! memory isolation between runs) must hold for arbitrary inputs.
+
+use mbfi_ir::{BinOp, IcmpPred, Module, ModuleBuilder, Operand, Type};
+use mbfi_vm::{Limits, NoopHook, RunOutcome, Trap, Vm};
+use proptest::prelude::*;
+
+/// Build a program that loads two i64 values from stack slots, applies `op`,
+/// and prints the result.
+fn binary_program(op: BinOp, a: i64, b: i64) -> Module {
+    let mut mb = ModuleBuilder::new("prop-binary");
+    let main = mb.declare("main", &[], None);
+    {
+        let mut f = mb.define(main);
+        let sa = f.slot(Type::I64);
+        f.store(Type::I64, a, sa);
+        let sb = f.slot(Type::I64);
+        f.store(Type::I64, b, sb);
+        let va = f.load(Type::I64, sa);
+        let vb = f.load(Type::I64, sb);
+        let r = f.binary(op, Type::I64, va, vb);
+        f.print_i64(r);
+        f.ret_void();
+    }
+    mb.set_entry(main);
+    mb.finish()
+}
+
+fn run(module: &Module) -> (RunOutcome, String) {
+    let result = Vm::run_golden(module, Limits::default());
+    let text = String::from_utf8_lossy(&result.output).trim().to_string();
+    (result.outcome, text)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Wrapping integer arithmetic matches Rust's wrapping semantics.
+    #[test]
+    fn prop_wrapping_arithmetic_matches_rust(a in any::<i64>(), b in any::<i64>()) {
+        for (op, expected) in [
+            (BinOp::Add, a.wrapping_add(b)),
+            (BinOp::Sub, a.wrapping_sub(b)),
+            (BinOp::Mul, a.wrapping_mul(b)),
+            (BinOp::And, a & b),
+            (BinOp::Or, a | b),
+            (BinOp::Xor, a ^ b),
+        ] {
+            let (outcome, text) = run(&binary_program(op, a, b));
+            prop_assert!(outcome.is_completed());
+            prop_assert_eq!(text.parse::<i64>().unwrap(), expected, "op {:?}", op);
+        }
+    }
+
+    /// Signed division matches Rust, and division by zero traps.
+    #[test]
+    fn prop_division_semantics(a in any::<i64>(), b in any::<i64>()) {
+        let (outcome, text) = run(&binary_program(BinOp::SDiv, a, b));
+        if b == 0 || (a == i64::MIN && b == -1) {
+            prop_assert_eq!(outcome, RunOutcome::Trapped(Trap::DivideByZero));
+        } else {
+            prop_assert!(outcome.is_completed());
+            prop_assert_eq!(text.parse::<i64>().unwrap(), a / b);
+        }
+    }
+
+    /// Comparison results match Rust's signed/unsigned comparisons.
+    #[test]
+    fn prop_comparisons_match_rust(a in any::<i64>(), b in any::<i64>()) {
+        let cases: Vec<(IcmpPred, bool)> = vec![
+            (IcmpPred::Eq, a == b),
+            (IcmpPred::Ne, a != b),
+            (IcmpPred::Slt, a < b),
+            (IcmpPred::Sge, a >= b),
+            (IcmpPred::Ult, (a as u64) < (b as u64)),
+            (IcmpPred::Uge, (a as u64) >= (b as u64)),
+        ];
+        for (pred, expected) in cases {
+            let mut mb = ModuleBuilder::new("prop-cmp");
+            let main = mb.declare("main", &[], None);
+            {
+                let mut f = mb.define(main);
+                let sa = f.slot(Type::I64);
+                f.store(Type::I64, a, sa);
+                let va = f.load(Type::I64, sa);
+                let c = f.icmp(pred, Type::I64, va, b);
+                let wide = f.zext(Type::I1, Type::I64, c);
+                f.print_i64(wide);
+                f.ret_void();
+            }
+            mb.set_entry(main);
+            let (outcome, text) = run(&mb.finish());
+            prop_assert!(outcome.is_completed());
+            prop_assert_eq!(text == "1", expected, "pred {:?}", pred);
+        }
+    }
+
+    /// Stored values round-trip through memory unchanged for every type width.
+    #[test]
+    fn prop_memory_round_trip(value in any::<i64>()) {
+        for ty in [Type::I8, Type::I16, Type::I32, Type::I64] {
+            let mut mb = ModuleBuilder::new("prop-mem");
+            let main = mb.declare("main", &[], None);
+            {
+                let mut f = mb.define(main);
+                let slot = f.slot(ty);
+                f.store(ty, Operand::Const(mbfi_ir::Constant::int(ty, value)), slot);
+                let v = f.load(ty, slot);
+                let wide = if ty == Type::I64 {
+                    v
+                } else {
+                    f.sext_to_i64(ty, v)
+                };
+                f.print_i64(wide);
+                f.ret_void();
+            }
+            mb.set_entry(main);
+            let (outcome, text) = run(&mb.finish());
+            prop_assert!(outcome.is_completed());
+            let expected = mbfi_ir::value::sign_extend(
+                (value as u64) & ty.bit_mask(),
+                ty.bit_width(),
+            );
+            prop_assert_eq!(text.parse::<i64>().unwrap(), expected, "type {}", ty);
+        }
+    }
+
+    /// Golden runs are deterministic: same module, same dynamic instruction
+    /// count and output, run after run.
+    #[test]
+    fn prop_runs_are_deterministic(a in any::<i64>(), b in 1i64..1000) {
+        let mut mb = ModuleBuilder::new("prop-det");
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(main);
+            let acc = f.slot(Type::I64);
+            f.store(Type::I64, a, acc);
+            f.counted_loop(Type::I64, 0i64, b % 64, |f, i| {
+                let cur = f.load(Type::I64, acc);
+                let nxt = f.add(Type::I64, cur, i);
+                f.store(Type::I64, nxt, acc);
+            });
+            let v = f.load(Type::I64, acc);
+            f.print_i64(v);
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        let module = mb.finish();
+        let r1 = Vm::run_golden(&module, Limits::default());
+        let r2 = Vm::run_golden(&module, Limits::default());
+        prop_assert_eq!(r1.output, r2.output);
+        prop_assert_eq!(r1.dynamic_instrs, r2.dynamic_instrs);
+    }
+
+    /// The dynamic instruction count reported by the VM equals the number of
+    /// times the hook's on_instr fires.
+    #[test]
+    fn prop_instruction_accounting(n in 1i64..200) {
+        struct Counter(u64);
+        impl mbfi_vm::ExecHook for Counter {
+            fn on_instr(&mut self, _ctx: &mbfi_vm::InstrContext) {
+                self.0 += 1;
+            }
+        }
+        let mut mb = ModuleBuilder::new("prop-count");
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(main);
+            let acc = f.slot(Type::I64);
+            f.store(Type::I64, 0i64, acc);
+            f.counted_loop(Type::I64, 0i64, n, |f, i| {
+                let cur = f.load(Type::I64, acc);
+                let nxt = f.add(Type::I64, cur, i);
+                f.store(Type::I64, nxt, acc);
+            });
+            let v = f.load(Type::I64, acc);
+            f.print_i64(v);
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        let module = mb.finish();
+        let mut counter = Counter(0);
+        let result = Vm::new(&module, Limits::default()).run(&mut counter);
+        prop_assert!(result.outcome.is_completed());
+        prop_assert_eq!(counter.0, result.dynamic_instrs);
+        // The loop body executes n times; the instruction count grows linearly.
+        prop_assert!(result.dynamic_instrs as i64 > 5 * n);
+    }
+}
+
+#[test]
+fn shift_amounts_wrap_modulo_the_width() {
+    let (outcome, text) = run(&binary_program(BinOp::Shl, 1, 65));
+    assert!(outcome.is_completed());
+    assert_eq!(text, "2", "shifting by 65 on i64 behaves like shifting by 1");
+}
+
+#[test]
+fn memory_is_isolated_between_runs() {
+    // A program that increments a global; two consecutive runs must see the
+    // same initial state (each VM builds a fresh memory image).
+    let mut mb = ModuleBuilder::new("iso");
+    let g = mb.global_i64s("counter", &[41]);
+    let main = mb.declare("main", &[], None);
+    {
+        let mut f = mb.define(main);
+        let v = f.load(Type::I64, g);
+        let v2 = f.add(Type::I64, v, 1i64);
+        f.store(Type::I64, v2, g);
+        f.print_i64(v2);
+        f.ret_void();
+    }
+    mb.set_entry(main);
+    let module = mb.finish();
+    let mut hook = NoopHook;
+    let r1 = Vm::new(&module, Limits::default()).run(&mut hook);
+    let r2 = Vm::new(&module, Limits::default()).run(&mut hook);
+    assert_eq!(r1.output, b"42\n");
+    assert_eq!(r2.output, b"42\n");
+}

@@ -1,0 +1,205 @@
+//! `basicmath` (MiBench / automotive): mathematical calculations such as
+//! integer square roots, angle conversions and cubic-equation root finding
+//! on a set of constants.
+
+use crate::workload::{InputSize, Suite, Workload};
+use mbfi_ir::{IcmpPred, Module, ModuleBuilder, Operand, Type};
+
+/// The `basicmath` workload.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BasicMath;
+
+impl BasicMath {
+    /// Number of integer square roots / angle steps per input size.
+    fn scale(size: InputSize) -> (i64, i64) {
+        match size {
+            InputSize::Tiny => (40, 90),
+            InputSize::Small => (200, 360),
+        }
+    }
+
+    /// Cubic equation coefficient sets `(a, b, c)` for `x^3 + a x^2 + b x + c`.
+    fn cubics() -> Vec<(f64, f64, f64)> {
+        vec![
+            (-6.0, 11.0, -6.0),
+            (1.5, -4.0, 2.0),
+            (0.0, -7.0, 6.0),
+            (2.0, -3.0, -10.0),
+        ]
+    }
+}
+
+impl Workload for BasicMath {
+    fn name(&self) -> &'static str {
+        "basicmath"
+    }
+
+    fn package(&self) -> &'static str {
+        "automotive"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::MiBench
+    }
+
+    fn description(&self) -> &'static str {
+        "integer square roots, degree/radian conversion and cubic-root finding on constants"
+    }
+
+    fn build_module(&self, size: InputSize) -> Module {
+        let (nsqrt, nangle) = Self::scale(size);
+        let cubics = Self::cubics();
+
+        let mut mb = ModuleBuilder::new("basicmath");
+        let coeffs: Vec<f64> = cubics.iter().flat_map(|(a, b, c)| [*a, *b, *c]).collect();
+        let coeff_table = mb.global_f64s("cubic_coeffs", &coeffs);
+
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(main);
+
+            // Part 1: integer square roots of v = 3*i*i + 7, accumulated.
+            let acc = f.slot(Type::I64);
+            f.store(Type::I64, 0i64, acc);
+            f.counted_loop(Type::I64, 0i64, nsqrt, |f, i| {
+                let sq = f.mul(Type::I64, i, i);
+                let three_sq = f.mul(Type::I64, sq, 3i64);
+                let v = f.add(Type::I64, three_sq, 7i64);
+                let vf = f.sitofp(Type::I64, v);
+                let root = f.sqrt(vf);
+                let iroot = f.fptosi(Type::I64, root);
+                let cur = f.load(Type::I64, acc);
+                let next = f.add(Type::I64, cur, iroot);
+                f.store(Type::I64, next, acc);
+            });
+            let total = f.load(Type::I64, acc);
+            f.print_i64(total);
+
+            // Part 2: degree -> radian conversion, accumulating sin(rad).
+            let fsum = f.slot(Type::F64);
+            f.store(Type::F64, 0.0f64, fsum);
+            f.counted_loop(Type::I64, 0i64, nangle, |f, d| {
+                let df = f.sitofp(Type::I64, d);
+                let rad = f.fmul(df, std::f64::consts::PI / 180.0);
+                let s = f.sin(rad);
+                let cur = f.load(Type::F64, fsum);
+                let next = f.fadd(cur, s);
+                f.store(Type::F64, next, fsum);
+            });
+            let rads = f.load(Type::F64, fsum);
+            f.print_f64(rads);
+
+            // Part 3: Newton iterations on each cubic x^3 + a x^2 + b x + c.
+            let ncubics = cubics.len() as i64;
+            f.counted_loop(Type::I64, 0i64, ncubics, |f, k| {
+                let base = f.mul(Type::I64, k, 3i64);
+                let a = f.load_elem(Type::F64, coeff_table, base);
+                let b_idx = f.add(Type::I64, base, 1i64);
+                let b = f.load_elem(Type::F64, coeff_table, b_idx);
+                let c_idx = f.add(Type::I64, base, 2i64);
+                let c = f.load_elem(Type::F64, coeff_table, c_idx);
+
+                let x = f.slot(Type::F64);
+                f.store(Type::F64, 4.0f64, x);
+                f.counted_loop(Type::I64, 0i64, 20i64, |f, _| {
+                    let xv = f.load(Type::F64, x);
+                    // fx = ((x + a) * x + b) * x + c
+                    let t1 = f.fadd(xv, a);
+                    let t2 = f.fmul(t1, xv);
+                    let t3 = f.fadd(t2, b);
+                    let t4 = f.fmul(t3, xv);
+                    let fx = f.fadd(t4, c);
+                    // dfx = (3x + 2a) * x + b
+                    let d1 = f.fmul(xv, 3.0f64);
+                    let two_a = f.fmul(a, 2.0f64);
+                    let d2 = f.fadd(d1, two_a);
+                    let d3 = f.fmul(d2, xv);
+                    let dfx = f.fadd(d3, b);
+                    let step = f.fdiv(fx, dfx);
+                    let next = f.fsub(xv, step);
+                    f.store(Type::F64, next, x);
+                });
+                let root = f.load(Type::F64, x);
+                f.print_f64(root);
+                let _ = k;
+            });
+
+            // Part 4: a final integer touch mixing the results (mod arithmetic).
+            let t = f.load(Type::I64, acc);
+            let mixed = f.srem(Type::I64, t, 9973i64);
+            let check = f.icmp(IcmpPred::Sge, Type::I64, mixed, 0i64);
+            let adjusted = f.select(Type::I64, check, mixed, Operand::Const(mbfi_ir::Constant::i64(0)));
+            f.print_i64(adjusted);
+
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        mb.finish()
+    }
+
+    fn reference_output(&self, size: InputSize) -> Vec<u8> {
+        let (nsqrt, nangle) = Self::scale(size);
+        let mut out = Vec::new();
+
+        let mut acc: i64 = 0;
+        for i in 0..nsqrt {
+            let v = 3 * i * i + 7;
+            acc += (v as f64).sqrt() as i64;
+        }
+        out.extend_from_slice(format!("{acc}\n").as_bytes());
+
+        let mut fsum = 0.0f64;
+        for d in 0..nangle {
+            let rad = d as f64 * (std::f64::consts::PI / 180.0);
+            fsum += rad.sin();
+        }
+        out.extend_from_slice(format!("{fsum:.6}\n").as_bytes());
+
+        for (a, b, c) in Self::cubics() {
+            let mut x = 4.0f64;
+            for _ in 0..20 {
+                let fx = ((x + a) * x + b) * x + c;
+                let dfx = (3.0 * x + 2.0 * a) * x + b;
+                x -= fx / dfx;
+            }
+            out.extend_from_slice(format!("{x:.6}\n").as_bytes());
+        }
+
+        let mixed = acc % 9973;
+        let adjusted = if mixed >= 0 { mixed } else { 0 };
+        out.extend_from_slice(format!("{adjusted}\n").as_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::execute_workload;
+
+    #[test]
+    fn matches_reference_on_both_sizes() {
+        for size in InputSize::ALL {
+            assert_eq!(
+                execute_workload(&BasicMath, size),
+                BasicMath.reference_output(size),
+                "mismatch at {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn cubic_roots_converge_to_known_values() {
+        // x^3 - 6x^2 + 11x - 6 has roots 1, 2, 3; Newton from 4.0 converges to 3.
+        let text = String::from_utf8(BasicMath.reference_output(InputSize::Tiny)).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[2].starts_with("3.000000"));
+    }
+
+    #[test]
+    fn output_scales_with_input_size() {
+        let tiny = BasicMath.reference_output(InputSize::Tiny);
+        let small = BasicMath.reference_output(InputSize::Small);
+        assert_ne!(tiny, small);
+    }
+}

@@ -1,0 +1,210 @@
+//! `bfs` (Parboil / base): breadth-first search computing shortest-path cost
+//! (in hops) from a single source to every reachable node of an irregular
+//! graph in CSR form.
+
+use crate::inputs;
+use crate::workload::{InputSize, Suite, Workload};
+use mbfi_ir::{IcmpPred, Module, ModuleBuilder, Type};
+
+/// The `bfs` workload.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Bfs;
+
+impl Bfs {
+    fn nodes(size: InputSize) -> usize {
+        match size {
+            InputSize::Tiny => 24,
+            InputSize::Small => 72,
+        }
+    }
+
+    fn graph(size: InputSize) -> (Vec<i32>, Vec<i32>) {
+        let n = Self::nodes(size);
+        inputs::csr_graph(n, n, 0xBF5_0001)
+    }
+
+    /// Reference BFS returning per-node hop counts (-1 = unreachable).
+    fn costs(offsets: &[i32], neighbours: &[i32], n: usize) -> Vec<i32> {
+        let mut cost = vec![-1i32; n];
+        let mut queue = std::collections::VecDeque::new();
+        cost[0] = 0;
+        queue.push_back(0usize);
+        while let Some(u) = queue.pop_front() {
+            for k in offsets[u]..offsets[u + 1] {
+                let v = neighbours[k as usize] as usize;
+                if cost[v] < 0 {
+                    cost[v] = cost[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        cost
+    }
+}
+
+impl Workload for Bfs {
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn package(&self) -> &'static str {
+        "base"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parboil
+    }
+
+    fn description(&self) -> &'static str {
+        "breadth-first search over a CSR graph from a single source node"
+    }
+
+    fn build_module(&self, size: InputSize) -> Module {
+        let n = Self::nodes(size) as i64;
+        let (offsets, neighbours) = Self::graph(size);
+
+        let mut mb = ModuleBuilder::new("bfs");
+        let offsets_g = mb.global_i32s("row_offsets", &offsets);
+        let neighbours_g = mb.global_i32s("neighbours", &neighbours);
+
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(main);
+            let cost = f.alloca(Type::I32, n);
+            let queue = f.alloca(Type::I32, n);
+            f.counted_loop(Type::I64, 0i64, n, |f, i| {
+                f.store_elem(Type::I32, cost, i, -1i32);
+            });
+            f.store_elem(Type::I32, cost, 0i64, 0i32);
+            f.store_elem(Type::I32, queue, 0i64, 0i32);
+
+            let head = f.slot(Type::I64);
+            f.store(Type::I64, 0i64, head);
+            let tail = f.slot(Type::I64);
+            f.store(Type::I64, 1i64, tail);
+
+            // while head < tail
+            let loop_head = f.new_block("bfs.head");
+            let loop_body = f.new_block("bfs.body");
+            let loop_exit = f.new_block("bfs.exit");
+            f.br(loop_head);
+
+            f.switch_to(loop_head);
+            let h = f.load(Type::I64, head);
+            let t = f.load(Type::I64, tail);
+            let more = f.icmp(IcmpPred::Slt, Type::I64, h, t);
+            f.cond_br(more, loop_body, loop_exit);
+
+            f.switch_to(loop_body);
+            let h2 = f.load(Type::I64, head);
+            let u32v = f.load_elem(Type::I32, queue, h2);
+            let u = f.sext_to_i64(Type::I32, u32v);
+            let h_next = f.add(Type::I64, h2, 1i64);
+            f.store(Type::I64, h_next, head);
+
+            let row_start = f.load_elem(Type::I32, offsets_g, u);
+            let row_start64 = f.sext_to_i64(Type::I32, row_start);
+            let u_plus = f.add(Type::I64, u, 1i64);
+            let row_end = f.load_elem(Type::I32, offsets_g, u_plus);
+            let row_end64 = f.sext_to_i64(Type::I32, row_end);
+            let cu = f.load_elem(Type::I32, cost, u);
+
+            f.counted_loop(Type::I64, row_start64, row_end64, |f, k| {
+                let v32 = f.load_elem(Type::I32, neighbours_g, k);
+                let v = f.sext_to_i64(Type::I32, v32);
+                let cv = f.load_elem(Type::I32, cost, v);
+                let unseen = f.icmp(IcmpPred::Slt, Type::I32, cv, 0i32);
+                f.if_then(unseen, |f| {
+                    let new_cost = f.add(Type::I32, cu, 1i32);
+                    f.store_elem(Type::I32, cost, v, new_cost);
+                    let tv = f.load(Type::I64, tail);
+                    f.store_elem(Type::I32, queue, tv, v32);
+                    let t_next = f.add(Type::I64, tv, 1i64);
+                    f.store(Type::I64, t_next, tail);
+                });
+            });
+            f.br(loop_head);
+
+            f.switch_to(loop_exit);
+            // Print per-node costs, then visited count and total cost.
+            let visited = f.slot(Type::I64);
+            f.store(Type::I64, 0i64, visited);
+            let total = f.slot(Type::I64);
+            f.store(Type::I64, 0i64, total);
+            f.counted_loop(Type::I64, 0i64, n, |f, i| {
+                let c = f.load_elem(Type::I32, cost, i);
+                f.print_i64(c);
+                let reached = f.icmp(IcmpPred::Sge, Type::I32, c, 0i32);
+                f.if_then(reached, |f| {
+                    let vc = f.load(Type::I64, visited);
+                    let vc2 = f.add(Type::I64, vc, 1i64);
+                    f.store(Type::I64, vc2, visited);
+                    let c64 = f.sext_to_i64(Type::I32, c);
+                    let tt = f.load(Type::I64, total);
+                    let tt2 = f.add(Type::I64, tt, c64);
+                    f.store(Type::I64, tt2, total);
+                });
+            });
+            let vc = f.load(Type::I64, visited);
+            f.print_i64(vc);
+            let tt = f.load(Type::I64, total);
+            f.print_i64(tt);
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        mb.finish()
+    }
+
+    fn reference_output(&self, size: InputSize) -> Vec<u8> {
+        let n = Self::nodes(size);
+        let (offsets, neighbours) = Self::graph(size);
+        let costs = Self::costs(&offsets, &neighbours, n);
+        let mut out = Vec::new();
+        let mut visited = 0i64;
+        let mut total = 0i64;
+        for &c in &costs {
+            out.extend_from_slice(format!("{c}\n").as_bytes());
+            if c >= 0 {
+                visited += 1;
+                total += c as i64;
+            }
+        }
+        out.extend_from_slice(format!("{visited}\n").as_bytes());
+        out.extend_from_slice(format!("{total}\n").as_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::execute_workload;
+
+    #[test]
+    fn matches_reference_on_both_sizes() {
+        for size in InputSize::ALL {
+            assert_eq!(
+                execute_workload(&Bfs, size),
+                Bfs.reference_output(size),
+                "mismatch at {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn graph_is_fully_reachable() {
+        let n = Bfs::nodes(InputSize::Small);
+        let (offsets, neighbours) = Bfs::graph(InputSize::Small);
+        let costs = Bfs::costs(&offsets, &neighbours, n);
+        assert_eq!(costs[0], 0);
+        assert!(costs.iter().all(|&c| c >= 0), "ring backbone keeps the graph connected");
+    }
+
+    #[test]
+    fn bfs_costs_on_a_known_graph() {
+        // Path graph 0-1-2-3.
+        let offsets = vec![0, 1, 3, 5, 6];
+        let neighbours = vec![1, 0, 2, 1, 3, 2];
+        assert_eq!(Bfs::costs(&offsets, &neighbours, 4), vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,154 @@
+//! `CRC32` (MiBench / telecomm): table-driven 32-bit cyclic redundancy check
+//! over an ASCII buffer (the original processes a sound file).
+
+use crate::inputs;
+use crate::workload::{InputSize, Suite, Workload};
+use mbfi_ir::{IcmpPred, Module, ModuleBuilder, Type};
+
+/// The CRC-32 polynomial (reflected form).
+pub const CRC32_POLY: u32 = 0xEDB8_8320;
+
+/// The `CRC32` workload.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Crc32;
+
+impl Crc32 {
+    fn input(size: InputSize) -> Vec<u8> {
+        let len = match size {
+            InputSize::Tiny => 160,
+            InputSize::Small => 1024,
+        };
+        inputs::ascii_text(len)
+    }
+
+    /// Reference CRC-32 (bitwise definition, identical to the table version).
+    pub fn crc32(data: &[u8]) -> u32 {
+        let mut crc = 0xFFFF_FFFFu32;
+        for &b in data {
+            crc ^= b as u32;
+            for _ in 0..8 {
+                let mask = (crc & 1).wrapping_neg();
+                crc = (crc >> 1) ^ (CRC32_POLY & mask);
+            }
+        }
+        !crc
+    }
+}
+
+impl Workload for Crc32 {
+    fn name(&self) -> &'static str {
+        "CRC32"
+    }
+
+    fn package(&self) -> &'static str {
+        "telecomm"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::MiBench
+    }
+
+    fn description(&self) -> &'static str {
+        "table-driven 32-bit cyclic redundancy check over an ASCII buffer"
+    }
+
+    fn build_module(&self, size: InputSize) -> Module {
+        let data = Self::input(size);
+        let n = data.len() as i64;
+
+        let mut mb = ModuleBuilder::new("CRC32");
+        let buffer = mb.global_bytes("buffer", data);
+
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(main);
+
+            // Build the 256-entry CRC table on the stack, exactly as the
+            // MiBench implementation precomputes it.
+            let table = f.alloca(Type::I32, 256i64);
+            f.counted_loop(Type::I64, 0i64, 256i64, |f, i| {
+                let c = f.slot(Type::I32);
+                let i32v = f.trunc(Type::I64, Type::I32, i);
+                f.store(Type::I32, i32v, c);
+                f.counted_loop(Type::I64, 0i64, 8i64, |f, _| {
+                    let cur = f.load(Type::I32, c);
+                    let lsb = f.and(Type::I32, cur, 1i32);
+                    let shifted = f.lshr(Type::I32, cur, 1i32);
+                    let is_set = f.icmp(IcmpPred::Ne, Type::I32, lsb, 0i32);
+                    let xored = f.xor(Type::I32, shifted, CRC32_POLY as i32);
+                    let next = f.select(Type::I32, is_set, xored, shifted);
+                    f.store(Type::I32, next, c);
+                });
+                let entry = f.load(Type::I32, c);
+                f.store_elem(Type::I32, table, i, entry);
+            });
+
+            // crc = 0xFFFFFFFF; per byte: crc = (crc >> 8) ^ table[(crc ^ byte) & 0xff]
+            let crc = f.slot(Type::I32);
+            f.store(Type::I32, -1i32, crc);
+            f.counted_loop(Type::I64, 0i64, n, |f, i| {
+                let byte = f.load_elem(Type::I8, buffer, i);
+                let byte32 = f.zext(Type::I8, Type::I32, byte);
+                let cur = f.load(Type::I32, crc);
+                let mix = f.xor(Type::I32, cur, byte32);
+                let idx32 = f.and(Type::I32, mix, 0xffi32);
+                let idx = f.zext(Type::I32, Type::I64, idx32);
+                let entry = f.load_elem(Type::I32, table, idx);
+                let hi = f.lshr(Type::I32, cur, 8i32);
+                let next = f.xor(Type::I32, hi, entry);
+                f.store(Type::I32, next, crc);
+            });
+            let final_crc = f.load(Type::I32, crc);
+            let inverted = f.xor(Type::I32, final_crc, -1i32);
+            let wide = f.zext(Type::I32, Type::I64, inverted);
+            f.print_i64(wide);
+
+            // Also report the number of bytes processed, like the original
+            // prints the file length alongside the CRC.
+            f.print_i64(n);
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        mb.finish()
+    }
+
+    fn reference_output(&self, size: InputSize) -> Vec<u8> {
+        let data = Self::input(size);
+        let crc = Self::crc32(&data);
+        let mut out = Vec::new();
+        out.extend_from_slice(format!("{}\n", crc as u64).as_bytes());
+        out.extend_from_slice(format!("{}\n", data.len()).as_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::execute_workload;
+
+    #[test]
+    fn matches_reference_on_both_sizes() {
+        for size in InputSize::ALL {
+            assert_eq!(
+                execute_workload(&Crc32, size),
+                Crc32.reference_output(size),
+                "mismatch at {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn crc_matches_known_test_vector() {
+        // The classic check value for "123456789".
+        assert_eq!(Crc32::crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(Crc32::crc32(b""), 0);
+    }
+
+    #[test]
+    fn different_inputs_give_different_crcs() {
+        let a = Crc32::crc32(&Crc32::input(InputSize::Tiny));
+        let b = Crc32::crc32(&Crc32::input(InputSize::Small));
+        assert_ne!(a, b);
+    }
+}

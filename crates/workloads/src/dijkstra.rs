@@ -1,0 +1,211 @@
+//! `dijkstra` (MiBench / network): single-source shortest paths over an
+//! adjacency-matrix graph using Dijkstra's algorithm.
+
+use crate::inputs;
+use crate::workload::{InputSize, Suite, Workload};
+use mbfi_ir::{IcmpPred, Module, ModuleBuilder, Type};
+
+/// A large-but-safe "infinite" distance (fits in i32 without overflow when
+/// adding edge weights).
+const INF: i32 = 1_000_000;
+
+/// The `dijkstra` workload.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Dijkstra;
+
+impl Dijkstra {
+    fn nodes(size: InputSize) -> usize {
+        match size {
+            InputSize::Tiny => 10,
+            InputSize::Small => 20,
+        }
+    }
+
+    fn matrix(size: InputSize) -> Vec<i32> {
+        let n = Self::nodes(size);
+        inputs::adjacency_matrix(n, n * 2, SEED)
+    }
+
+    /// Reference Dijkstra over the adjacency matrix.
+    fn shortest_paths(matrix: &[i32], n: usize) -> Vec<i32> {
+        let mut dist = vec![INF; n];
+        let mut visited = vec![false; n];
+        dist[0] = 0;
+        for _ in 0..n {
+            let mut best = INF;
+            let mut u = n;
+            for (i, &d) in dist.iter().enumerate() {
+                if !visited[i] && d < best {
+                    best = d;
+                    u = i;
+                }
+            }
+            if u == n {
+                break;
+            }
+            visited[u] = true;
+            for v in 0..n {
+                let w = matrix[u * n + v];
+                if w > 0 && dist[u] + w < dist[v] {
+                    dist[v] = dist[u] + w;
+                }
+            }
+        }
+        dist
+    }
+}
+
+/// Seed for the deterministic input graph.
+const SEED: u64 = 0xD1_7057_27;
+
+impl Workload for Dijkstra {
+    fn name(&self) -> &'static str {
+        "dijkstra"
+    }
+
+    fn package(&self) -> &'static str {
+        "network"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::MiBench
+    }
+
+    fn description(&self) -> &'static str {
+        "single-source shortest paths over an adjacency-matrix graph"
+    }
+
+    fn build_module(&self, size: InputSize) -> Module {
+        let n = Self::nodes(size) as i64;
+        let matrix = Self::matrix(size);
+
+        let mut mb = ModuleBuilder::new("dijkstra");
+        let adj = mb.global_i32s("adjacency", &matrix);
+
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(main);
+            let dist = f.alloca(Type::I32, n);
+            let visited = f.alloca(Type::I32, n);
+
+            // Initialise dist = INF (except source) and visited = 0.
+            f.counted_loop(Type::I64, 0i64, n, |f, i| {
+                f.store_elem(Type::I32, dist, i, INF);
+                f.store_elem(Type::I32, visited, i, 0i32);
+            });
+            f.store_elem(Type::I32, dist, 0i64, 0i32);
+
+            // Main loop: pick the unvisited node with the smallest distance,
+            // then relax its outgoing edges.
+            f.counted_loop(Type::I64, 0i64, n, |f, _| {
+                let best = f.slot(Type::I32);
+                f.store(Type::I32, INF, best);
+                let best_idx = f.slot(Type::I64);
+                f.store(Type::I64, -1i64, best_idx);
+
+                f.counted_loop(Type::I64, 0i64, n, |f, i| {
+                    let seen = f.load_elem(Type::I32, visited, i);
+                    let unseen = f.icmp(IcmpPred::Eq, Type::I32, seen, 0i32);
+                    f.if_then(unseen, |f| {
+                        let d = f.load_elem(Type::I32, dist, i);
+                        let b = f.load(Type::I32, best);
+                        let closer = f.icmp(IcmpPred::Slt, Type::I32, d, b);
+                        f.if_then(closer, |f| {
+                            f.store(Type::I32, d, best);
+                            f.store(Type::I64, i, best_idx);
+                        });
+                    });
+                });
+
+                let u = f.load(Type::I64, best_idx);
+                let found = f.icmp(IcmpPred::Sge, Type::I64, u, 0i64);
+                f.if_then(found, |f| {
+                    f.store_elem(Type::I32, visited, u, 1i32);
+                    let du = f.load_elem(Type::I32, dist, u);
+                    let row = f.mul(Type::I64, u, n);
+                    f.counted_loop(Type::I64, 0i64, n, |f, v| {
+                        let idx = f.add(Type::I64, row, v);
+                        let w = f.load_elem(Type::I32, adj, idx);
+                        let has_edge = f.icmp(IcmpPred::Sgt, Type::I32, w, 0i32);
+                        f.if_then(has_edge, |f| {
+                            let cand = f.add(Type::I32, du, w);
+                            let dv = f.load_elem(Type::I32, dist, v);
+                            let better = f.icmp(IcmpPred::Slt, Type::I32, cand, dv);
+                            f.if_then(better, |f| {
+                                f.store_elem(Type::I32, dist, v, cand);
+                            });
+                        });
+                    });
+                });
+            });
+
+            // Print every distance, then their sum.
+            let total = f.slot(Type::I64);
+            f.store(Type::I64, 0i64, total);
+            f.counted_loop(Type::I64, 0i64, n, |f, i| {
+                let d = f.load_elem(Type::I32, dist, i);
+                f.print_i64(d);
+                let d64 = f.sext_to_i64(Type::I32, d);
+                let cur = f.load(Type::I64, total);
+                let next = f.add(Type::I64, cur, d64);
+                f.store(Type::I64, next, total);
+            });
+            let sum = f.load(Type::I64, total);
+            f.print_i64(sum);
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        mb.finish()
+    }
+
+    fn reference_output(&self, size: InputSize) -> Vec<u8> {
+        let n = Self::nodes(size);
+        let matrix = Self::matrix(size);
+        let dist = Self::shortest_paths(&matrix, n);
+        let mut out = Vec::new();
+        let mut sum: i64 = 0;
+        for d in &dist {
+            out.extend_from_slice(format!("{d}\n").as_bytes());
+            sum += *d as i64;
+        }
+        out.extend_from_slice(format!("{sum}\n").as_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::execute_workload;
+
+    #[test]
+    fn matches_reference_on_both_sizes() {
+        for size in InputSize::ALL {
+            assert_eq!(
+                execute_workload(&Dijkstra, size),
+                Dijkstra.reference_output(size),
+                "mismatch at {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_nodes_are_reachable() {
+        let n = Dijkstra::nodes(InputSize::Small);
+        let dist = Dijkstra::shortest_paths(&Dijkstra::matrix(InputSize::Small), n);
+        assert_eq!(dist[0], 0);
+        assert!(dist.iter().all(|&d| d < INF), "graph must be connected");
+    }
+
+    #[test]
+    fn shortest_paths_on_a_known_graph() {
+        // 3 nodes: 0-1 weight 2, 1-2 weight 3, 0-2 weight 10 => dist = [0, 2, 5].
+        #[rustfmt::skip]
+        let m = vec![
+            0, 2, 10,
+            2, 0, 3,
+            10, 3, 0,
+        ];
+        assert_eq!(Dijkstra::shortest_paths(&m, 3), vec![0, 2, 5]);
+    }
+}

@@ -1,0 +1,401 @@
+//! `FFT` / `IFFT` (MiBench / telecomm): iterative radix-2 fast Fourier
+//! transform (and its inverse) over an array of pseudo-random samples.
+
+use crate::inputs::Lcg;
+use crate::workload::{InputSize, Suite, Workload};
+use mbfi_ir::{IcmpPred, Intrinsic, Module, ModuleBuilder, Operand, Type};
+
+fn points(size: InputSize) -> usize {
+    match size {
+        InputSize::Tiny => 16,
+        InputSize::Small => 64,
+    }
+}
+
+fn samples(size: InputSize) -> Vec<f64> {
+    let n = points(size);
+    let mut lcg = Lcg::new(0xFF7_0001);
+    (0..n).map(|_| lcg.next_f64() * 2.0 - 1.0).collect()
+}
+
+/// Build the FFT or IFFT module.
+fn build_fft(inverse: bool, size: InputSize) -> Module {
+    let n = points(size);
+    let log2n = n.trailing_zeros() as i64;
+    let ni = n as i64;
+    let input = samples(size);
+
+    let name = if inverse { "IFFT" } else { "FFT" };
+    let mut mb = ModuleBuilder::new(name);
+    let input_table = mb.global_f64s("samples", &input);
+
+    let main = mb.declare("main", &[], None);
+    {
+        let mut f = mb.define(main);
+        let re = f.alloca(Type::F64, ni);
+        let im = f.alloca(Type::F64, ni);
+
+        // Load the input samples (imaginary parts start at zero).
+        f.counted_loop(Type::I64, 0i64, ni, |f, i| {
+            let v = f.load_elem(Type::F64, input_table, i);
+            f.store_elem(Type::F64, re, i, v);
+            f.store_elem(Type::F64, im, i, 0.0f64);
+        });
+
+        // Bit-reversal permutation.
+        f.counted_loop(Type::I64, 0i64, ni, |f, i| {
+            let j_slot = f.slot(Type::I64);
+            f.store(Type::I64, 0i64, j_slot);
+            let t_slot = f.slot(Type::I64);
+            f.store(Type::I64, i, t_slot);
+            f.counted_loop(Type::I64, 0i64, log2n, |f, _| {
+                let j = f.load(Type::I64, j_slot);
+                let t = f.load(Type::I64, t_slot);
+                let j2 = f.shl(Type::I64, j, 1i64);
+                let bit = f.and(Type::I64, t, 1i64);
+                let jn = f.or(Type::I64, j2, bit);
+                f.store(Type::I64, jn, j_slot);
+                let tn = f.lshr(Type::I64, t, 1i64);
+                f.store(Type::I64, tn, t_slot);
+            });
+            let j = f.load(Type::I64, j_slot);
+            let swap = f.icmp(IcmpPred::Slt, Type::I64, i, j);
+            f.if_then(swap, |f| {
+                let ri = f.load_elem(Type::F64, re, i);
+                let rj = f.load_elem(Type::F64, re, j);
+                f.store_elem(Type::F64, re, i, rj);
+                f.store_elem(Type::F64, re, j, ri);
+                let ii = f.load_elem(Type::F64, im, i);
+                let ij = f.load_elem(Type::F64, im, j);
+                f.store_elem(Type::F64, im, i, ij);
+                f.store_elem(Type::F64, im, j, ii);
+            });
+        });
+
+        // Butterfly stages.
+        let sign = if inverse { 1.0 } else { -1.0 };
+        f.counted_loop(Type::I64, 1i64, log2n + 1, |f, s| {
+            let len = f.shl(Type::I64, 1i64, s);
+            let half = f.lshr(Type::I64, len, 1i64);
+            let len_f = f.sitofp(Type::I64, len);
+            let tau = f.fmul(len_f, 1.0f64);
+            let ang = f.fdiv(sign * 2.0 * std::f64::consts::PI, tau);
+            let wlen_re = f.cos(ang);
+            let wlen_im = f.sin(ang);
+            let blocks = f.sdiv(Type::I64, ni, len);
+
+            f.counted_loop(Type::I64, 0i64, blocks, |f, b| {
+                let i0 = f.mul(Type::I64, b, len);
+                let w_re = f.slot(Type::F64);
+                f.store(Type::F64, 1.0f64, w_re);
+                let w_im = f.slot(Type::F64);
+                f.store(Type::F64, 0.0f64, w_im);
+
+                f.counted_loop(Type::I64, 0i64, half, |f, j| {
+                    let idx1 = f.add(Type::I64, i0, j);
+                    let idx2 = f.add(Type::I64, idx1, half);
+                    let u_re = f.load_elem(Type::F64, re, idx1);
+                    let u_im = f.load_elem(Type::F64, im, idx1);
+                    let v_re0 = f.load_elem(Type::F64, re, idx2);
+                    let v_im0 = f.load_elem(Type::F64, im, idx2);
+                    let wr = f.load(Type::F64, w_re);
+                    let wi = f.load(Type::F64, w_im);
+
+                    let a = f.fmul(v_re0, wr);
+                    let b2 = f.fmul(v_im0, wi);
+                    let v_re = f.fsub(a, b2);
+                    let c = f.fmul(v_re0, wi);
+                    let d = f.fmul(v_im0, wr);
+                    let v_im = f.fadd(c, d);
+
+                    let sum_re = f.fadd(u_re, v_re);
+                    let sum_im = f.fadd(u_im, v_im);
+                    let diff_re = f.fsub(u_re, v_re);
+                    let diff_im = f.fsub(u_im, v_im);
+                    f.store_elem(Type::F64, re, idx1, sum_re);
+                    f.store_elem(Type::F64, im, idx1, sum_im);
+                    f.store_elem(Type::F64, re, idx2, diff_re);
+                    f.store_elem(Type::F64, im, idx2, diff_im);
+
+                    let nw_a = f.fmul(wr, wlen_re);
+                    let nw_b = f.fmul(wi, wlen_im);
+                    let nw_re = f.fsub(nw_a, nw_b);
+                    let nw_c = f.fmul(wr, wlen_im);
+                    let nw_d = f.fmul(wi, wlen_re);
+                    let nw_im = f.fadd(nw_c, nw_d);
+                    f.store(Type::F64, nw_re, w_re);
+                    f.store(Type::F64, nw_im, w_im);
+                });
+            });
+        });
+
+        // Inverse transforms are scaled by 1/n.
+        if inverse {
+            f.counted_loop(Type::I64, 0i64, ni, |f, i| {
+                let r = f.load_elem(Type::F64, re, i);
+                let rn = f.fdiv(r, ni as f64);
+                f.store_elem(Type::F64, re, i, rn);
+                let v = f.load_elem(Type::F64, im, i);
+                let vn = f.fdiv(v, ni as f64);
+                f.store_elem(Type::F64, im, i, vn);
+            });
+        }
+
+        // Print the first four bins and an L1 magnitude checksum.
+        f.counted_loop(Type::I64, 0i64, 4i64, |f, i| {
+            let r = f.load_elem(Type::F64, re, i);
+            f.print_f64(r);
+            let v = f.load_elem(Type::F64, im, i);
+            f.print_f64(v);
+        });
+        let total = f.slot(Type::F64);
+        f.store(Type::F64, 0.0f64, total);
+        f.counted_loop(Type::I64, 0i64, ni, |f, i| {
+            let r = f.load_elem(Type::F64, re, i);
+            let ra = f.intrinsic(Intrinsic::Fabs, &[Operand::Reg(r)], Some(Type::F64)).unwrap();
+            let v = f.load_elem(Type::F64, im, i);
+            let va = f.intrinsic(Intrinsic::Fabs, &[Operand::Reg(v)], Some(Type::F64)).unwrap();
+            let cur = f.load(Type::F64, total);
+            let t1 = f.fadd(cur, ra);
+            let t2 = f.fadd(t1, va);
+            f.store(Type::F64, t2, total);
+        });
+        let checksum = f.load(Type::F64, total);
+        f.print_f64(checksum);
+        f.ret_void();
+    }
+    mb.set_entry(main);
+    mb.finish()
+}
+
+/// Rust oracle mirroring `build_fft` operation for operation.
+fn reference_fft(inverse: bool, size: InputSize) -> Vec<u8> {
+    let n = points(size);
+    let log2n = n.trailing_zeros();
+    let input = samples(size);
+    let mut re: Vec<f64> = input.clone();
+    let mut im: Vec<f64> = vec![0.0; n];
+
+    for i in 0..n {
+        let mut j = 0usize;
+        let mut t = i;
+        for _ in 0..log2n {
+            j = (j << 1) | (t & 1);
+            t >>= 1;
+        }
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+
+    let sign = if inverse { 1.0 } else { -1.0 };
+    for s in 1..=log2n as usize {
+        let len = 1usize << s;
+        let half = len >> 1;
+        let ang = (sign * 2.0 * std::f64::consts::PI) / (len as f64 * 1.0);
+        let wlen_re = ang.cos();
+        let wlen_im = ang.sin();
+        let blocks = n / len;
+        for b in 0..blocks {
+            let i0 = b * len;
+            let mut wr = 1.0f64;
+            let mut wi = 0.0f64;
+            for j in 0..half {
+                let idx1 = i0 + j;
+                let idx2 = idx1 + half;
+                let (u_re, u_im) = (re[idx1], im[idx1]);
+                let (v_re0, v_im0) = (re[idx2], im[idx2]);
+                let v_re = v_re0 * wr - v_im0 * wi;
+                let v_im = v_re0 * wi + v_im0 * wr;
+                re[idx1] = u_re + v_re;
+                im[idx1] = u_im + v_im;
+                re[idx2] = u_re - v_re;
+                im[idx2] = u_im - v_im;
+                let nw_re = wr * wlen_re - wi * wlen_im;
+                let nw_im = wr * wlen_im + wi * wlen_re;
+                wr = nw_re;
+                wi = nw_im;
+            }
+        }
+    }
+
+    if inverse {
+        for i in 0..n {
+            re[i] /= n as f64;
+            im[i] /= n as f64;
+        }
+    }
+
+    let mut out = Vec::new();
+    let print_f64 = |out: &mut Vec<u8>, v: f64| {
+        let text = if v.is_finite() {
+            format!("{v:.6}\n")
+        } else {
+            format!("{v}\n")
+        };
+        out.extend_from_slice(text.as_bytes());
+    };
+    for i in 0..4 {
+        print_f64(&mut out, re[i]);
+        print_f64(&mut out, im[i]);
+    }
+    let mut total = 0.0f64;
+    for i in 0..n {
+        total = total + re[i].abs();
+        total = total + im[i].abs();
+    }
+    print_f64(&mut out, total);
+    out
+}
+
+/// The `FFT` workload.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Fft;
+
+/// The `IFFT` workload.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Ifft;
+
+impl Workload for Fft {
+    fn name(&self) -> &'static str {
+        "FFT"
+    }
+    fn package(&self) -> &'static str {
+        "telecomm"
+    }
+    fn suite(&self) -> Suite {
+        Suite::MiBench
+    }
+    fn description(&self) -> &'static str {
+        "radix-2 fast Fourier transform over pseudo-random samples"
+    }
+    fn build_module(&self, size: InputSize) -> Module {
+        build_fft(false, size)
+    }
+    fn reference_output(&self, size: InputSize) -> Vec<u8> {
+        reference_fft(false, size)
+    }
+}
+
+impl Workload for Ifft {
+    fn name(&self) -> &'static str {
+        "IFFT"
+    }
+    fn package(&self) -> &'static str {
+        "telecomm"
+    }
+    fn suite(&self) -> Suite {
+        Suite::MiBench
+    }
+    fn description(&self) -> &'static str {
+        "inverse radix-2 Fourier transform over pseudo-random samples"
+    }
+    fn build_module(&self, size: InputSize) -> Module {
+        build_fft(true, size)
+    }
+    fn reference_output(&self, size: InputSize) -> Vec<u8> {
+        reference_fft(true, size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::execute_workload;
+
+    #[test]
+    fn fft_matches_reference_on_both_sizes() {
+        for size in InputSize::ALL {
+            assert_eq!(
+                execute_workload(&Fft, size),
+                Fft.reference_output(size),
+                "FFT mismatch at {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn ifft_matches_reference_on_both_sizes() {
+        for size in InputSize::ALL {
+            assert_eq!(
+                execute_workload(&Ifft, size),
+                Ifft.reference_output(size),
+                "IFFT mismatch at {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_then_inverse_recovers_the_signal() {
+        // Validate the transform algebra of the oracle itself: FFT followed by
+        // IFFT (on the FFT's output) must recover the original samples.
+        let n = points(InputSize::Tiny);
+        let input = samples(InputSize::Tiny);
+        let mut re = input.clone();
+        let mut im = vec![0.0f64; n];
+        fft_in_place(&mut re, &mut im, false);
+        fft_in_place(&mut re, &mut im, true);
+        for i in 0..n {
+            re[i] /= n as f64;
+            im[i] /= n as f64;
+        }
+        for i in 0..n {
+            assert!((re[i] - input[i]).abs() < 1e-9, "bin {i} diverges");
+            assert!(im[i].abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dc_bin_is_the_sample_sum() {
+        let input = samples(InputSize::Tiny);
+        let mut re = input.clone();
+        let mut im = vec![0.0f64; input.len()];
+        fft_in_place(&mut re, &mut im, false);
+        let expected: f64 = input.iter().sum();
+        assert!((re[0] - expected).abs() < 1e-9);
+    }
+
+    /// Test-only helper mirroring the oracle's butterfly loop.
+    fn fft_in_place(re: &mut [f64], im: &mut [f64], inverse: bool) {
+        let n = re.len();
+        let log2n = n.trailing_zeros();
+        for i in 0..n {
+            let mut j = 0usize;
+            let mut t = i;
+            for _ in 0..log2n {
+                j = (j << 1) | (t & 1);
+                t >>= 1;
+            }
+            if i < j {
+                re.swap(i, j);
+                im.swap(i, j);
+            }
+        }
+        let sign = if inverse { 1.0 } else { -1.0 };
+        for s in 1..=log2n as usize {
+            let len = 1usize << s;
+            let half = len >> 1;
+            let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+            let (wlen_re, wlen_im) = (ang.cos(), ang.sin());
+            for b in 0..(n / len) {
+                let i0 = b * len;
+                let (mut wr, mut wi) = (1.0f64, 0.0f64);
+                for j in 0..half {
+                    let (idx1, idx2) = (i0 + j, i0 + j + half);
+                    let (u_re, u_im) = (re[idx1], im[idx1]);
+                    let v_re = re[idx2] * wr - im[idx2] * wi;
+                    let v_im = re[idx2] * wi + im[idx2] * wr;
+                    re[idx1] = u_re + v_re;
+                    im[idx1] = u_im + v_im;
+                    re[idx2] = u_re - v_re;
+                    im[idx2] = u_im - v_im;
+                    let nw_re = wr * wlen_re - wi * wlen_im;
+                    let nw_im = wr * wlen_im + wi * wlen_re;
+                    wr = nw_re;
+                    wi = nw_im;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! `histo` (Parboil / base): 2-D saturating histogram with a maximum bin
+//! count of 255.
+
+use crate::inputs;
+use crate::workload::{InputSize, Suite, Workload};
+use mbfi_ir::{IcmpPred, Module, ModuleBuilder, Type};
+
+/// Histogram dimensions (bins = `WIDTH * HEIGHT`).
+const HIST_WIDTH: usize = 16;
+/// Histogram height.
+const HIST_HEIGHT: usize = 8;
+/// Saturation limit per bin.
+const SATURATION: i32 = 255;
+
+/// The `histo` workload.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Histo;
+
+impl Histo {
+    fn input(size: InputSize) -> Vec<u8> {
+        let len = match size {
+            InputSize::Tiny => 512,
+            InputSize::Small => 3072,
+        };
+        // Skew the data so that some bins saturate (as in the Parboil input,
+        // which is highly non-uniform).
+        let raw = inputs::random_bytes(0x415_0001, len);
+        raw.iter()
+            .map(|&b| if b % 2 == 0 { b % 4 } else { b % 128 })
+            .collect()
+    }
+
+    fn bins() -> usize {
+        HIST_WIDTH * HIST_HEIGHT
+    }
+
+    /// Reference histogram.
+    fn histogram(data: &[u8]) -> Vec<i32> {
+        let mut bins = vec![0i32; Self::bins()];
+        for &d in data {
+            let idx = d as usize % Self::bins();
+            if bins[idx] < SATURATION {
+                bins[idx] += 1;
+            }
+        }
+        bins
+    }
+}
+
+impl Workload for Histo {
+    fn name(&self) -> &'static str {
+        "histo"
+    }
+
+    fn package(&self) -> &'static str {
+        "base"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parboil
+    }
+
+    fn description(&self) -> &'static str {
+        "2-D saturating histogram (max bin count 255) of a skewed byte stream"
+    }
+
+    fn build_module(&self, size: InputSize) -> Module {
+        let data = Self::input(size);
+        let n = data.len() as i64;
+        let nbins = Self::bins() as i64;
+
+        let mut mb = ModuleBuilder::new("histo");
+        let data_g = mb.global_bytes("input", data);
+
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(main);
+            let bins = f.alloca(Type::I32, nbins);
+            f.counted_loop(Type::I64, 0i64, nbins, |f, i| {
+                f.store_elem(Type::I32, bins, i, 0i32);
+            });
+
+            f.counted_loop(Type::I64, 0i64, n, |f, i| {
+                let b = f.load_elem(Type::I8, data_g, i);
+                let b64 = f.zext(Type::I8, Type::I64, b);
+                let idx = f.srem(Type::I64, b64, nbins);
+                let cur = f.load_elem(Type::I32, bins, idx);
+                let below = f.icmp(IcmpPred::Slt, Type::I32, cur, SATURATION);
+                f.if_then(below, |f| {
+                    let next = f.add(Type::I32, cur, 1i32);
+                    f.store_elem(Type::I32, bins, idx, next);
+                });
+            });
+
+            // Print summary rows: per histogram row, the row sum; then the
+            // number of saturated bins, non-zero bins, and a weighted checksum.
+            let saturated = f.slot(Type::I64);
+            f.store(Type::I64, 0i64, saturated);
+            let nonzero = f.slot(Type::I64);
+            f.store(Type::I64, 0i64, nonzero);
+            let checksum = f.slot(Type::I64);
+            f.store(Type::I64, 0i64, checksum);
+
+            f.counted_loop(Type::I64, 0i64, HIST_HEIGHT as i64, |f, row| {
+                let row_sum = f.slot(Type::I64);
+                f.store(Type::I64, 0i64, row_sum);
+                f.counted_loop(Type::I64, 0i64, HIST_WIDTH as i64, |f, col| {
+                    let base = f.mul(Type::I64, row, HIST_WIDTH as i64);
+                    let idx = f.add(Type::I64, base, col);
+                    let v = f.load_elem(Type::I32, bins, idx);
+                    let v64 = f.sext_to_i64(Type::I32, v);
+                    let rs = f.load(Type::I64, row_sum);
+                    let rs2 = f.add(Type::I64, rs, v64);
+                    f.store(Type::I64, rs2, row_sum);
+
+                    let is_sat = f.icmp(IcmpPred::Sge, Type::I32, v, SATURATION);
+                    f.if_then(is_sat, |f| {
+                        let s = f.load(Type::I64, saturated);
+                        let s2 = f.add(Type::I64, s, 1i64);
+                        f.store(Type::I64, s2, saturated);
+                    });
+                    let is_nz = f.icmp(IcmpPred::Sgt, Type::I32, v, 0i32);
+                    f.if_then(is_nz, |f| {
+                        let z = f.load(Type::I64, nonzero);
+                        let z2 = f.add(Type::I64, z, 1i64);
+                        f.store(Type::I64, z2, nonzero);
+                    });
+                    let ip1 = f.add(Type::I64, idx, 1i64);
+                    let w = f.mul(Type::I64, v64, ip1);
+                    let cs = f.load(Type::I64, checksum);
+                    let cs2 = f.add(Type::I64, cs, w);
+                    f.store(Type::I64, cs2, checksum);
+                });
+                let rs = f.load(Type::I64, row_sum);
+                f.print_i64(rs);
+            });
+
+            let s = f.load(Type::I64, saturated);
+            f.print_i64(s);
+            let z = f.load(Type::I64, nonzero);
+            f.print_i64(z);
+            let cs = f.load(Type::I64, checksum);
+            f.print_i64(cs);
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        mb.finish()
+    }
+
+    fn reference_output(&self, size: InputSize) -> Vec<u8> {
+        let bins = Self::histogram(&Self::input(size));
+        let mut out = Vec::new();
+        let mut saturated = 0i64;
+        let mut nonzero = 0i64;
+        let mut checksum = 0i64;
+        for row in 0..HIST_HEIGHT {
+            let mut row_sum = 0i64;
+            for col in 0..HIST_WIDTH {
+                let idx = row * HIST_WIDTH + col;
+                let v = bins[idx] as i64;
+                row_sum += v;
+                if bins[idx] >= SATURATION {
+                    saturated += 1;
+                }
+                if bins[idx] > 0 {
+                    nonzero += 1;
+                }
+                checksum += v * (idx as i64 + 1);
+            }
+            out.extend_from_slice(format!("{row_sum}\n").as_bytes());
+        }
+        out.extend_from_slice(format!("{saturated}\n").as_bytes());
+        out.extend_from_slice(format!("{nonzero}\n").as_bytes());
+        out.extend_from_slice(format!("{checksum}\n").as_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::execute_workload;
+
+    #[test]
+    fn matches_reference_on_both_sizes() {
+        for size in InputSize::ALL {
+            assert_eq!(
+                execute_workload(&Histo, size),
+                Histo.reference_output(size),
+                "mismatch at {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_counts_every_sample_until_saturation() {
+        let data = Histo::input(InputSize::Tiny);
+        let bins = Histo::histogram(&data);
+        let total: i64 = bins.iter().map(|&b| b as i64).sum();
+        assert!(total <= data.len() as i64);
+        assert!(bins.iter().all(|&b| b <= SATURATION));
+    }
+
+    #[test]
+    fn skewed_input_saturates_at_least_one_bin_on_small() {
+        let bins = Histo::histogram(&Histo::input(InputSize::Small));
+        assert!(
+            bins.iter().any(|&b| b == SATURATION),
+            "the skewed input should saturate a bin, max was {}",
+            bins.iter().max().unwrap()
+        );
+    }
+}

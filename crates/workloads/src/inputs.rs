@@ -1,0 +1,261 @@
+//! Deterministic input generation shared by IR builders and Rust oracles.
+//!
+//! All inputs are derived from a small linear-congruential generator so that
+//! the IR module's global initialisers and the reference implementation see
+//! exactly the same data without depending on external files (the original
+//! suites ship input files; see DESIGN.md for the substitution rationale).
+
+/// A tiny deterministic PRNG (Numerical Recipes LCG).
+#[derive(Debug, Clone)]
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Lcg {
+        Lcg {
+            state: seed.wrapping_mul(6364136223846793005).wrapping_add(1),
+        }
+    }
+
+    /// Next raw 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.state >> 33) as u32
+    }
+
+    /// Uniform value in `0..bound` (bound must be non-zero).
+    pub fn next_below(&mut self, bound: u32) -> u32 {
+        self.next_u32() % bound
+    }
+
+    /// Uniform `i32` in `lo..hi`.
+    pub fn next_range(&mut self, lo: i32, hi: i32) -> i32 {
+        lo + (self.next_below((hi - lo) as u32) as i32)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.next_u32() as f64 / (u32::MAX as f64 + 1.0)
+    }
+}
+
+/// Pseudo-random `i32` vector.
+pub fn random_i32s(seed: u64, len: usize, lo: i32, hi: i32) -> Vec<i32> {
+    let mut lcg = Lcg::new(seed);
+    (0..len).map(|_| lcg.next_range(lo, hi)).collect()
+}
+
+/// Pseudo-random byte vector.
+pub fn random_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut lcg = Lcg::new(seed);
+    (0..len).map(|_| (lcg.next_u32() & 0xff) as u8).collect()
+}
+
+/// A synthetic black & white image of a filled rectangle on a plain
+/// background — the input shape the susan benchmarks use ("a black & white
+/// image of a rectangle", Table II).  Pixels are 0 (background) or 200
+/// (rectangle), with mild deterministic noise.
+pub fn rectangle_image(width: usize, height: usize) -> Vec<u8> {
+    let mut img = vec![20u8; width * height];
+    let (x0, y0) = (width / 4, height / 4);
+    let (x1, y1) = (3 * width / 4, 3 * height / 4);
+    let mut lcg = Lcg::new(0x5A5A);
+    for y in 0..height {
+        for x in 0..width {
+            let inside = x >= x0 && x < x1 && y >= y0 && y < y1;
+            let base = if inside { 200u8 } else { 20u8 };
+            let noise = (lcg.next_below(5)) as u8;
+            img[y * width + x] = base.saturating_add(noise);
+        }
+    }
+    img
+}
+
+/// A synthetic text corpus for CRC32 / sha / stringsearch: a repeated,
+/// slightly varied ASCII sentence.
+pub fn ascii_text(len: usize) -> Vec<u8> {
+    const BASE: &[u8] = b"the quick brown fox jumps over the lazy dog 0123456789 ";
+    let mut out = Vec::with_capacity(len);
+    let mut lcg = Lcg::new(0xA5C11);
+    while out.len() < len {
+        for &b in BASE {
+            if out.len() >= len {
+                break;
+            }
+            // Occasionally flip the case of a letter for variety.
+            let b = if b.is_ascii_lowercase() && lcg.next_below(17) == 0 {
+                b.to_ascii_uppercase()
+            } else {
+                b
+            };
+            out.push(b);
+        }
+    }
+    out
+}
+
+/// A random connected adjacency matrix with `n` nodes; `0` means no edge.
+/// Weights are in `1..=9`.  The graph is made connected by a ring backbone.
+pub fn adjacency_matrix(n: usize, extra_edges: usize, seed: u64) -> Vec<i32> {
+    let mut m = vec![0i32; n * n];
+    let mut lcg = Lcg::new(seed);
+    for i in 0..n {
+        let j = (i + 1) % n;
+        let w = lcg.next_range(1, 10);
+        m[i * n + j] = w;
+        m[j * n + i] = w;
+    }
+    for _ in 0..extra_edges {
+        let i = lcg.next_below(n as u32) as usize;
+        let j = lcg.next_below(n as u32) as usize;
+        if i != j {
+            let w = lcg.next_range(1, 10);
+            m[i * n + j] = w;
+            m[j * n + i] = w;
+        }
+    }
+    m
+}
+
+/// An undirected graph in compressed adjacency-list form (CSR), returned as
+/// `(row_offsets, neighbours)`, connected via a ring plus random chords.
+pub fn csr_graph(n: usize, extra_edges: usize, seed: u64) -> (Vec<i32>, Vec<i32>) {
+    let mut adj: Vec<Vec<i32>> = vec![Vec::new(); n];
+    let add = |adj: &mut Vec<Vec<i32>>, a: usize, b: usize| {
+        if a != b && !adj[a].contains(&(b as i32)) {
+            adj[a].push(b as i32);
+            adj[b].push(a as i32);
+        }
+    };
+    for i in 0..n {
+        add(&mut adj, i, (i + 1) % n);
+    }
+    let mut lcg = Lcg::new(seed);
+    for _ in 0..extra_edges {
+        let a = lcg.next_below(n as u32) as usize;
+        let b = lcg.next_below(n as u32) as usize;
+        add(&mut adj, a, b);
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut neighbours = Vec::new();
+    offsets.push(0);
+    for list in &adj {
+        neighbours.extend_from_slice(list);
+        offsets.push(neighbours.len() as i32);
+    }
+    (offsets, neighbours)
+}
+
+/// A sparse matrix in coordinate (COO) format: `(rows, cols, values, n)` with
+/// roughly `nnz` non-zeros on an `n x n` matrix (always includes the diagonal).
+pub fn coo_matrix(n: usize, nnz_extra: usize, seed: u64) -> (Vec<i32>, Vec<i32>, Vec<f64>, usize) {
+    let mut rows = Vec::new();
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    let mut lcg = Lcg::new(seed);
+    for i in 0..n {
+        rows.push(i as i32);
+        cols.push(i as i32);
+        vals.push(1.0 + lcg.next_f64() * 4.0);
+    }
+    for _ in 0..nnz_extra {
+        let r = lcg.next_below(n as u32) as i32;
+        let c = lcg.next_below(n as u32) as i32;
+        rows.push(r);
+        cols.push(c);
+        vals.push(lcg.next_f64() * 2.0 - 1.0);
+    }
+    (rows, cols, vals, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic() {
+        let a: Vec<u32> = {
+            let mut l = Lcg::new(7);
+            (0..10).map(|_| l.next_u32()).collect()
+        };
+        let b: Vec<u32> = {
+            let mut l = Lcg::new(7);
+            (0..10).map(|_| l.next_u32()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u32> = {
+            let mut l = Lcg::new(8);
+            (0..10).map(|_| l.next_u32()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut l = Lcg::new(3);
+        for _ in 0..100 {
+            let v = l.next_range(-5, 5);
+            assert!((-5..5).contains(&v));
+            let f = l.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            assert!(l.next_below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn rectangle_image_has_two_intensity_regions() {
+        let img = rectangle_image(16, 16);
+        assert_eq!(img.len(), 256);
+        let bright = img.iter().filter(|&&p| p > 100).count();
+        assert!(bright > 32 && bright < 160);
+    }
+
+    #[test]
+    fn ascii_text_is_ascii_and_exact_length() {
+        let t = ascii_text(333);
+        assert_eq!(t.len(), 333);
+        assert!(t.iter().all(|b| b.is_ascii()));
+    }
+
+    #[test]
+    fn adjacency_matrix_is_symmetric_and_connected_ring() {
+        let n = 12;
+        let m = adjacency_matrix(n, 10, 1);
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(m[i * n + j], m[j * n + i]);
+            }
+            assert!(m[i * n + (i + 1) % n] > 0);
+        }
+    }
+
+    #[test]
+    fn csr_graph_offsets_are_monotone() {
+        let (offsets, neighbours) = csr_graph(20, 15, 2);
+        assert_eq!(offsets.len(), 21);
+        assert_eq!(*offsets.last().unwrap() as usize, neighbours.len());
+        for w in offsets.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(neighbours.iter().all(|&v| (v as usize) < 20));
+    }
+
+    #[test]
+    fn coo_matrix_includes_diagonal() {
+        let (rows, cols, vals, n) = coo_matrix(8, 20, 3);
+        assert_eq!(n, 8);
+        assert_eq!(rows.len(), cols.len());
+        assert_eq!(rows.len(), vals.len());
+        for i in 0..8 {
+            assert!(rows
+                .iter()
+                .zip(&cols)
+                .any(|(&r, &c)| r == i as i32 && c == i as i32));
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # mbfi-workloads
+//!
+//! The benchmark programs used by the fault-injection study, re-implemented
+//! against the `mbfi-ir` builder API.  The paper evaluates 15 programs from
+//! two suites:
+//!
+//! * **MiBench** — basicmath, qsort, susan (corners / edges / smoothing),
+//!   FFT, IFFT, CRC32, dijkstra, sha, stringsearch;
+//! * **Parboil** — bfs, histo, sad, spmv.
+//!
+//! Every workload provides
+//!
+//! * [`Workload::build_module`] — the program as an IR [`mbfi_ir::Module`]
+//!   whose only observable output is what it prints, and
+//! * [`Workload::reference_output`] — an independent, pure-Rust oracle that
+//!   computes the byte-exact expected output.
+//!
+//! Inputs are scaled down relative to the original suites (the paper uses
+//! MiBench's *small* inputs) so that a fault-free run is thousands to a few
+//! hundred thousand dynamic instructions; the input-size knob
+//! ([`InputSize`]) selects between a tiny CI-friendly input and the default
+//! "small" input used by the experiment harness.
+
+pub mod basicmath;
+pub mod bfs;
+pub mod crc32;
+pub mod dijkstra;
+pub mod fft;
+pub mod histo;
+pub mod inputs;
+pub mod qsort;
+pub mod registry;
+pub mod sad;
+pub mod sha;
+pub mod spmv;
+pub mod stringsearch;
+pub mod susan;
+pub mod workload;
+
+pub use registry::{all_workloads, workload_by_name};
+pub use workload::{InputSize, Suite, Workload};

@@ -1,0 +1,214 @@
+//! `qsort` (MiBench / automotive): quicksort over a pseudo-random array,
+//! followed by a positional checksum of the sorted data.
+
+use crate::inputs;
+use crate::workload::{InputSize, Suite, Workload};
+use mbfi_ir::{IcmpPred, Module, ModuleBuilder, Operand, Reg, Type};
+
+/// The `qsort` workload.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct QSort;
+
+impl QSort {
+    fn input(size: InputSize) -> Vec<i32> {
+        let len = match size {
+            InputSize::Tiny => 48,
+            InputSize::Small => 200,
+        };
+        inputs::random_i32s(0x9_50F7, len, -5_000, 5_000)
+    }
+}
+
+impl Workload for QSort {
+    fn name(&self) -> &'static str {
+        "qsort"
+    }
+
+    fn package(&self) -> &'static str {
+        "automotive"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::MiBench
+    }
+
+    fn description(&self) -> &'static str {
+        "quicksort of a pseudo-random integer array plus a positional checksum"
+    }
+
+    fn build_module(&self, size: InputSize) -> Module {
+        let data = Self::input(size);
+        let n = data.len() as i64;
+
+        let mut mb = ModuleBuilder::new("qsort");
+        let array = mb.global_i32s("data", &data);
+
+        // quicksort(arr: ptr, lo: i64, hi: i64)
+        let quicksort = mb.declare(
+            "quicksort",
+            &[(Type::Ptr, "arr"), (Type::I64, "lo"), (Type::I64, "hi")],
+            None,
+        );
+        let main = mb.declare("main", &[], None);
+
+        {
+            let mut f = mb.define(quicksort);
+            let arr = f.param(0);
+            let lo = f.param(1);
+            let hi = f.param(2);
+
+            let done = f.icmp(IcmpPred::Sge, Type::I64, lo, hi);
+            let ret_bb = f.new_block("early.ret");
+            let work_bb = f.new_block("work");
+            f.cond_br(done, ret_bb, work_bb);
+            f.switch_to(ret_bb);
+            f.ret_void();
+
+            f.switch_to(work_bb);
+            // Lomuto partition with pivot = arr[hi].
+            let pivot = f.load_elem(Type::I32, arr, hi);
+            let store_idx = f.slot(Type::I64);
+            f.store(Type::I64, lo, store_idx);
+
+            f.counted_loop(Type::I64, lo, hi, |f, j| {
+                let vj = f.load_elem(Type::I32, arr, j);
+                let lt = f.icmp(IcmpPred::Slt, Type::I32, vj, pivot);
+                f.if_then(lt, |f| {
+                    let i = f.load(Type::I64, store_idx);
+                    let vi = f.load_elem(Type::I32, arr, i);
+                    let vj2 = f.load_elem(Type::I32, arr, j);
+                    f.store_elem(Type::I32, arr, i, vj2);
+                    f.store_elem(Type::I32, arr, j, vi);
+                    let inext = f.add(Type::I64, i, 1i64);
+                    f.store(Type::I64, inext, store_idx);
+                });
+            });
+
+            let i = f.load(Type::I64, store_idx);
+            let vi = f.load_elem(Type::I32, arr, i);
+            let vhi = f.load_elem(Type::I32, arr, hi);
+            f.store_elem(Type::I32, arr, i, vhi);
+            f.store_elem(Type::I32, arr, hi, vi);
+
+            let left_hi = f.sub(Type::I64, i, 1i64);
+            let right_lo = f.add(Type::I64, i, 1i64);
+            f.call(
+                quicksort,
+                &[Operand::Reg(arr), Operand::Reg(lo), Operand::Reg(left_hi)],
+                None,
+            );
+            f.call(
+                quicksort,
+                &[Operand::Reg(arr), Operand::Reg(right_lo), Operand::Reg(hi)],
+                None,
+            );
+            f.ret_void();
+        }
+
+        {
+            let mut f = mb.define(main);
+            let last = n - 1;
+            let arr_slot = f.slot(Type::Ptr);
+            // Materialise the global address through a register so the sort
+            // operates on pointer-carrying registers, like the original C code.
+            f.store(Type::Ptr, array, arr_slot);
+            let arr: Reg = f.load(Type::Ptr, arr_slot);
+            f.call(
+                quicksort,
+                &[
+                    Operand::Reg(arr),
+                    Operand::Const(mbfi_ir::Constant::i64(0)),
+                    Operand::Const(mbfi_ir::Constant::i64(last)),
+                ],
+                None,
+            );
+
+            // Positional checksum: sum (i+1) * arr[i], plus order verification.
+            let checksum = f.slot(Type::I64);
+            f.store(Type::I64, 0i64, checksum);
+            let sorted_flag = f.slot(Type::I64);
+            f.store(Type::I64, 1i64, sorted_flag);
+            f.counted_loop(Type::I64, 0i64, n, |f, i| {
+                let v = f.load_elem(Type::I32, arr, i);
+                let v64 = f.sext_to_i64(Type::I32, v);
+                let ip1 = f.add(Type::I64, i, 1i64);
+                let term = f.mul(Type::I64, v64, ip1);
+                let cur = f.load(Type::I64, checksum);
+                let next = f.add(Type::I64, cur, term);
+                f.store(Type::I64, next, checksum);
+
+                let has_prev = f.icmp(IcmpPred::Sgt, Type::I64, i, 0i64);
+                f.if_then(has_prev, |f| {
+                    let prev_idx = f.sub(Type::I64, i, 1i64);
+                    let prev = f.load_elem(Type::I32, arr, prev_idx);
+                    let out_of_order = f.icmp(IcmpPred::Sgt, Type::I32, prev, v);
+                    f.if_then(out_of_order, |f| {
+                        f.store(Type::I64, 0i64, sorted_flag);
+                    });
+                });
+            });
+            let cs = f.load(Type::I64, checksum);
+            f.print_i64(cs);
+            let flag = f.load(Type::I64, sorted_flag);
+            f.print_i64(flag);
+            let first = f.load_elem(Type::I32, arr, 0i64);
+            f.print_i64(first);
+            let last_v = f.load_elem(Type::I32, arr, last);
+            f.print_i64(last_v);
+            f.ret_void();
+        }
+
+        mb.set_entry(main);
+        mb.finish()
+    }
+
+    fn reference_output(&self, size: InputSize) -> Vec<u8> {
+        let mut data = Self::input(size);
+        data.sort_unstable();
+        let mut out = Vec::new();
+        let checksum: i64 = data
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as i64 + 1) * v as i64)
+            .sum();
+        let sorted = data.windows(2).all(|w| w[0] <= w[1]) as i64;
+        out.extend_from_slice(format!("{checksum}\n").as_bytes());
+        out.extend_from_slice(format!("{sorted}\n").as_bytes());
+        out.extend_from_slice(format!("{}\n", data[0]).as_bytes());
+        out.extend_from_slice(format!("{}\n", data[data.len() - 1]).as_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::execute_workload;
+
+    #[test]
+    fn matches_reference_on_both_sizes() {
+        for size in InputSize::ALL {
+            assert_eq!(
+                execute_workload(&QSort, size),
+                QSort.reference_output(size),
+                "mismatch at {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn reference_reports_sorted_output() {
+        let text = String::from_utf8(QSort.reference_output(InputSize::Tiny)).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[1], "1", "sorted flag must be set");
+        let first: i32 = lines[2].parse().unwrap();
+        let last: i32 = lines[3].parse().unwrap();
+        assert!(first <= last);
+    }
+
+    #[test]
+    fn input_is_not_already_sorted() {
+        let data = QSort::input(InputSize::Small);
+        assert!(data.windows(2).any(|w| w[0] > w[1]));
+    }
+}

@@ -1,0 +1,146 @@
+//! The registry of all 15 benchmark workloads (Table II of the paper).
+
+use crate::workload::{InputSize, Workload};
+use mbfi_ir::Module;
+use mbfi_vm::{Limits, RunOutcome, Vm};
+
+/// All 15 workloads, in the order Table II lists them.
+pub fn all_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(crate::basicmath::BasicMath),
+        Box::new(crate::qsort::QSort),
+        Box::new(crate::susan::SusanCorners),
+        Box::new(crate::susan::SusanEdges),
+        Box::new(crate::susan::SusanSmoothing),
+        Box::new(crate::fft::Fft),
+        Box::new(crate::fft::Ifft),
+        Box::new(crate::crc32::Crc32),
+        Box::new(crate::dijkstra::Dijkstra),
+        Box::new(crate::sha::Sha),
+        Box::new(crate::stringsearch::StringSearch),
+        Box::new(crate::bfs::Bfs),
+        Box::new(crate::histo::Histo),
+        Box::new(crate::sad::Sad),
+        Box::new(crate::spmv::Spmv),
+    ]
+}
+
+/// Look up a workload by its (case-insensitive) name.
+pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
+    all_workloads()
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(name))
+}
+
+/// Execute a workload module in the VM and return its output.
+///
+/// # Panics
+///
+/// Panics if the fault-free run traps or exceeds the instruction limit —
+/// a workload that cannot complete its golden run is a bug.
+pub fn execute_module(module: &Module) -> Vec<u8> {
+    let result = Vm::run_golden(module, Limits::default());
+    match result.outcome {
+        RunOutcome::Completed { .. } => result.output,
+        RunOutcome::Trapped(trap) => panic!("golden run of '{}' trapped: {trap}", module.name),
+        RunOutcome::InstrLimitExceeded => {
+            panic!("golden run of '{}' exceeded the instruction limit", module.name)
+        }
+    }
+}
+
+/// Execute a workload at a given input size and return its output.
+pub fn execute_workload(workload: &dyn Workload, size: InputSize) -> Vec<u8> {
+    execute_module(&workload.build_module(size))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbfi_ir::verify_module;
+    use std::collections::HashSet;
+
+    #[test]
+    fn registry_has_the_15_programs_of_table2() {
+        let all = all_workloads();
+        assert_eq!(all.len(), 15);
+        let names: HashSet<_> = all.iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), 15, "workload names must be unique");
+        for expected in [
+            "basicmath",
+            "qsort",
+            "susan_corners",
+            "susan_edges",
+            "susan_smoothing",
+            "FFT",
+            "IFFT",
+            "CRC32",
+            "dijkstra",
+            "sha",
+            "stringsearch",
+            "bfs",
+            "histo",
+            "sad",
+            "spmv",
+        ] {
+            assert!(names.contains(expected), "missing workload {expected}");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_is_case_insensitive() {
+        assert!(workload_by_name("crc32").is_some());
+        assert!(workload_by_name("Basicmath").is_some());
+        assert!(workload_by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn every_workload_module_verifies() {
+        for w in all_workloads() {
+            let module = w.build_module(InputSize::Tiny);
+            if let Err(errors) = verify_module(&module) {
+                panic!("workload {} fails verification: {:?}", w.name(), errors);
+            }
+        }
+    }
+
+    #[test]
+    fn every_workload_matches_its_reference_oracle_on_tiny_input() {
+        for w in all_workloads() {
+            let out = execute_workload(w.as_ref(), InputSize::Tiny);
+            let expected = w.reference_output(InputSize::Tiny);
+            assert_eq!(
+                out,
+                expected,
+                "workload {} diverges from its oracle (tiny input)\n IR: {}\n rust: {}",
+                w.name(),
+                String::from_utf8_lossy(&out),
+                String::from_utf8_lossy(&expected)
+            );
+            assert!(!out.is_empty(), "workload {} produced no output", w.name());
+        }
+    }
+
+    #[test]
+    fn every_workload_matches_its_reference_oracle_on_small_input() {
+        for w in all_workloads() {
+            let out = execute_workload(w.as_ref(), InputSize::Small);
+            let expected = w.reference_output(InputSize::Small);
+            assert_eq!(
+                out,
+                expected,
+                "workload {} diverges from its oracle (small input)",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn workload_metadata_is_populated() {
+        for w in all_workloads() {
+            assert!(!w.name().is_empty());
+            assert!(!w.package().is_empty());
+            assert!(!w.description().is_empty());
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! `sad` (Parboil / cpu): sum of absolute differences between a reference
+//! block and every position of a search frame (the kernel of motion
+//! estimation).
+
+use crate::inputs;
+use crate::workload::{InputSize, Suite, Workload};
+use mbfi_ir::{IcmpPred, Module, ModuleBuilder, Type};
+
+/// Block edge length in pixels.
+const BLOCK: usize = 4;
+
+/// The `sad` workload.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Sad;
+
+impl Sad {
+    fn frame_dim(size: InputSize) -> usize {
+        match size {
+            InputSize::Tiny => 12,
+            InputSize::Small => 20,
+        }
+    }
+
+    fn frame(size: InputSize) -> Vec<u8> {
+        let d = Self::frame_dim(size);
+        inputs::random_bytes(0x5AD_0001, d * d)
+    }
+
+    fn block(size: InputSize) -> Vec<u8> {
+        // Take the block from inside the frame so a perfect match exists.
+        let d = Self::frame_dim(size);
+        let frame = Self::frame(size);
+        let (bx, by) = (d / 3, d / 2);
+        let mut block = Vec::with_capacity(BLOCK * BLOCK);
+        for y in 0..BLOCK {
+            for x in 0..BLOCK {
+                block.push(frame[(by + y) * d + (bx + x)]);
+            }
+        }
+        block
+    }
+
+    /// Reference SAD sweep returning (min SAD, argmin position index, total).
+    fn sweep(frame: &[u8], block: &[u8], d: usize) -> (i64, i64, i64) {
+        let positions = d - BLOCK + 1;
+        let mut best = i64::MAX;
+        let mut best_pos = -1i64;
+        let mut total = 0i64;
+        for py in 0..positions {
+            for px in 0..positions {
+                let mut sad = 0i64;
+                for y in 0..BLOCK {
+                    for x in 0..BLOCK {
+                        let f = frame[(py + y) * d + (px + x)] as i64;
+                        let b = block[y * BLOCK + x] as i64;
+                        sad += (f - b).abs();
+                    }
+                }
+                total += sad;
+                if sad < best {
+                    best = sad;
+                    best_pos = (py * positions + px) as i64;
+                }
+            }
+        }
+        (best, best_pos, total)
+    }
+}
+
+impl Workload for Sad {
+    fn name(&self) -> &'static str {
+        "sad"
+    }
+
+    fn package(&self) -> &'static str {
+        "cpu"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parboil
+    }
+
+    fn description(&self) -> &'static str {
+        "sum-of-absolute-differences block matching over a search frame"
+    }
+
+    fn build_module(&self, size: InputSize) -> Module {
+        let d = Self::frame_dim(size) as i64;
+        let positions = d - BLOCK as i64 + 1;
+        let frame = Self::frame(size);
+        let block = Self::block(size);
+
+        let mut mb = ModuleBuilder::new("sad");
+        let frame_g = mb.global_bytes("frame", frame);
+        let block_g = mb.global_bytes("block", block);
+
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(main);
+            let best = f.slot(Type::I64);
+            f.store(Type::I64, i64::MAX, best);
+            let best_pos = f.slot(Type::I64);
+            f.store(Type::I64, -1i64, best_pos);
+            let total = f.slot(Type::I64);
+            f.store(Type::I64, 0i64, total);
+
+            f.counted_loop(Type::I64, 0i64, positions, |f, py| {
+                f.counted_loop(Type::I64, 0i64, positions, |f, px| {
+                    let sad = f.slot(Type::I64);
+                    f.store(Type::I64, 0i64, sad);
+                    f.counted_loop(Type::I64, 0i64, BLOCK as i64, |f, y| {
+                        f.counted_loop(Type::I64, 0i64, BLOCK as i64, |f, x| {
+                            let fy = f.add(Type::I64, py, y);
+                            let frow = f.mul(Type::I64, fy, d);
+                            let fx = f.add(Type::I64, px, x);
+                            let fidx = f.add(Type::I64, frow, fx);
+                            let fp = f.load_elem(Type::I8, frame_g, fidx);
+                            let fp64 = f.zext(Type::I8, Type::I64, fp);
+
+                            let brow = f.mul(Type::I64, y, BLOCK as i64);
+                            let bidx = f.add(Type::I64, brow, x);
+                            let bp = f.load_elem(Type::I8, block_g, bidx);
+                            let bp64 = f.zext(Type::I8, Type::I64, bp);
+
+                            let diff = f.sub(Type::I64, fp64, bp64);
+                            let neg = f.icmp(IcmpPred::Slt, Type::I64, diff, 0i64);
+                            let negated = f.sub(Type::I64, 0i64, diff);
+                            let absdiff = f.select(Type::I64, neg, negated, diff);
+                            let cur = f.load(Type::I64, sad);
+                            let next = f.add(Type::I64, cur, absdiff);
+                            f.store(Type::I64, next, sad);
+                        });
+                    });
+                    let s = f.load(Type::I64, sad);
+                    let t = f.load(Type::I64, total);
+                    let t2 = f.add(Type::I64, t, s);
+                    f.store(Type::I64, t2, total);
+
+                    let b = f.load(Type::I64, best);
+                    let better = f.icmp(IcmpPred::Slt, Type::I64, s, b);
+                    f.if_then(better, |f| {
+                        f.store(Type::I64, s, best);
+                        let row_pos = f.mul(Type::I64, py, positions);
+                        let pos = f.add(Type::I64, row_pos, px);
+                        f.store(Type::I64, pos, best_pos);
+                    });
+                });
+            });
+
+            let b = f.load(Type::I64, best);
+            f.print_i64(b);
+            let p = f.load(Type::I64, best_pos);
+            f.print_i64(p);
+            let t = f.load(Type::I64, total);
+            f.print_i64(t);
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        mb.finish()
+    }
+
+    fn reference_output(&self, size: InputSize) -> Vec<u8> {
+        let d = Self::frame_dim(size);
+        let (best, best_pos, total) = Self::sweep(&Self::frame(size), &Self::block(size), d);
+        let mut out = Vec::new();
+        out.extend_from_slice(format!("{best}\n").as_bytes());
+        out.extend_from_slice(format!("{best_pos}\n").as_bytes());
+        out.extend_from_slice(format!("{total}\n").as_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::execute_workload;
+
+    #[test]
+    fn matches_reference_on_both_sizes() {
+        for size in InputSize::ALL {
+            assert_eq!(
+                execute_workload(&Sad, size),
+                Sad.reference_output(size),
+                "mismatch at {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn perfect_match_exists_in_the_frame() {
+        let d = Sad::frame_dim(InputSize::Small);
+        let (best, best_pos, _) =
+            Sad::sweep(&Sad::frame(InputSize::Small), &Sad::block(InputSize::Small), d);
+        assert_eq!(best, 0, "the block was cut from the frame, so SAD 0 must exist");
+        let positions = (d - BLOCK + 1) as i64;
+        let (bx, by) = (d as i64 / 3, d as i64 / 2);
+        assert_eq!(best_pos, by * positions + bx);
+    }
+
+    #[test]
+    fn total_sad_is_positive() {
+        let d = Sad::frame_dim(InputSize::Tiny);
+        let (_, _, total) = Sad::sweep(&Sad::frame(InputSize::Tiny), &Sad::block(InputSize::Tiny), d);
+        assert!(total > 0);
+    }
+}

@@ -1,0 +1,349 @@
+//! `sha` (MiBench / security): SHA-1 digest of an ASCII buffer.
+
+use crate::inputs;
+use crate::workload::{InputSize, Suite, Workload};
+use mbfi_ir::{Module, ModuleBuilder, Operand, Type};
+
+/// The `sha` workload.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Sha;
+
+impl Sha {
+    fn input(size: InputSize) -> Vec<u8> {
+        let len = match size {
+            InputSize::Tiny => 96,
+            InputSize::Small => 512,
+        };
+        inputs::ascii_text(len)
+    }
+
+    /// SHA-1 padding: append `0x80`, zero-fill to 56 mod 64, append the
+    /// bit length as a big-endian u64.
+    fn pad(message: &[u8]) -> Vec<u8> {
+        let mut out = message.to_vec();
+        let bit_len = (message.len() as u64) * 8;
+        out.push(0x80);
+        while out.len() % 64 != 56 {
+            out.push(0);
+        }
+        out.extend_from_slice(&bit_len.to_be_bytes());
+        out
+    }
+
+    /// Reference SHA-1, returning the five state words.
+    pub fn sha1(message: &[u8]) -> [u32; 5] {
+        let padded = Self::pad(message);
+        let mut h: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+        let mut w = [0u32; 80];
+        for chunk in padded.chunks_exact(64) {
+            for i in 0..16 {
+                w[i] = u32::from_be_bytes([
+                    chunk[4 * i],
+                    chunk[4 * i + 1],
+                    chunk[4 * i + 2],
+                    chunk[4 * i + 3],
+                ]);
+            }
+            for i in 16..80 {
+                w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+            }
+            let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+            for (i, &wi) in w.iter().enumerate() {
+                let (f, k) = match i {
+                    0..=19 => ((b & c) | ((!b) & d), 0x5A827999u32),
+                    20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                    40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                    _ => (b ^ c ^ d, 0xCA62C1D6),
+                };
+                let temp = a
+                    .rotate_left(5)
+                    .wrapping_add(f)
+                    .wrapping_add(e)
+                    .wrapping_add(k)
+                    .wrapping_add(wi);
+                e = d;
+                d = c;
+                c = b.rotate_left(30);
+                b = a;
+                a = temp;
+            }
+            h[0] = h[0].wrapping_add(a);
+            h[1] = h[1].wrapping_add(b);
+            h[2] = h[2].wrapping_add(c);
+            h[3] = h[3].wrapping_add(d);
+            h[4] = h[4].wrapping_add(e);
+        }
+        h
+    }
+}
+
+impl Workload for Sha {
+    fn name(&self) -> &'static str {
+        "sha"
+    }
+
+    fn package(&self) -> &'static str {
+        "security"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::MiBench
+    }
+
+    fn description(&self) -> &'static str {
+        "SHA-1 digest (five 32-bit state words) of an ASCII buffer"
+    }
+
+    fn build_module(&self, size: InputSize) -> Module {
+        let padded = Self::pad(&Self::input(size));
+        let nchunks = (padded.len() / 64) as i64;
+
+        let mut mb = ModuleBuilder::new("sha");
+        let msg = mb.global_bytes("message", padded);
+        let init = mb.global_i32s(
+            "h_init",
+            &[
+                0x67452301u32 as i32,
+                0xEFCDAB89u32 as i32,
+                0x98BADCFEu32 as i32,
+                0x10325476u32 as i32,
+                0xC3D2E1F0u32 as i32,
+            ],
+        );
+
+        // rotl(x, n) = (x << n) | (x >> (32 - n))
+        let rotl = mb.declare("rotl", &[(Type::I32, "x"), (Type::I32, "n")], Some(Type::I32));
+        let main = mb.declare("main", &[], None);
+
+        {
+            let mut f = mb.define(rotl);
+            let x = f.param(0);
+            let n = f.param(1);
+            let left = f.shl(Type::I32, x, n);
+            let inv = f.sub(Type::I32, 32i32, n);
+            let right = f.lshr(Type::I32, x, inv);
+            let out = f.or(Type::I32, left, right);
+            f.ret(out);
+        }
+
+        {
+            let mut f = mb.define(main);
+            let h = f.alloca(Type::I32, 5i64);
+            f.counted_loop(Type::I64, 0i64, 5i64, |f, i| {
+                let v = f.load_elem(Type::I32, init, i);
+                f.store_elem(Type::I32, h, i, v);
+            });
+            let w = f.alloca(Type::I32, 80i64);
+
+            f.counted_loop(Type::I64, 0i64, nchunks, |f, chunk| {
+                let base = f.mul(Type::I64, chunk, 64i64);
+
+                // Message schedule w[0..16] from big-endian bytes.
+                f.counted_loop(Type::I64, 0i64, 16i64, |f, i| {
+                    let word_off = f.mul(Type::I64, i, 4i64);
+                    let off = f.add(Type::I64, base, word_off);
+                    let acc = f.slot(Type::I32);
+                    f.store(Type::I32, 0i32, acc);
+                    f.counted_loop(Type::I64, 0i64, 4i64, |f, b| {
+                        let idx = f.add(Type::I64, off, b);
+                        let byte = f.load_elem(Type::I8, msg, idx);
+                        let byte32 = f.zext(Type::I8, Type::I32, byte);
+                        let cur = f.load(Type::I32, acc);
+                        let shifted = f.shl(Type::I32, cur, 8i32);
+                        let next = f.or(Type::I32, shifted, byte32);
+                        f.store(Type::I32, next, acc);
+                    });
+                    let word = f.load(Type::I32, acc);
+                    f.store_elem(Type::I32, w, i, word);
+                });
+
+                // Expand w[16..80].
+                f.counted_loop(Type::I64, 16i64, 80i64, |f, i| {
+                    let i3 = f.sub(Type::I64, i, 3i64);
+                    let w3 = f.load_elem(Type::I32, w, i3);
+                    let i8v = f.sub(Type::I64, i, 8i64);
+                    let w8 = f.load_elem(Type::I32, w, i8v);
+                    let i14 = f.sub(Type::I64, i, 14i64);
+                    let w14 = f.load_elem(Type::I32, w, i14);
+                    let i16v = f.sub(Type::I64, i, 16i64);
+                    let w16 = f.load_elem(Type::I32, w, i16v);
+                    let x1 = f.xor(Type::I32, w3, w8);
+                    let x2 = f.xor(Type::I32, x1, w14);
+                    let x3 = f.xor(Type::I32, x2, w16);
+                    let rot = f
+                        .call(
+                            rotl,
+                            &[Operand::Reg(x3), Operand::Const(mbfi_ir::Constant::i32(1))],
+                            Some(Type::I32),
+                        )
+                        .unwrap();
+                    f.store_elem(Type::I32, w, i, rot);
+                });
+
+                // Working variables.
+                let a = f.slot(Type::I32);
+                let b = f.slot(Type::I32);
+                let c = f.slot(Type::I32);
+                let d = f.slot(Type::I32);
+                let e = f.slot(Type::I32);
+                for (slot, idx) in [(a, 0i64), (b, 1), (c, 2), (d, 3), (e, 4)] {
+                    let v = f.load_elem(Type::I32, h, idx);
+                    f.store(Type::I32, v, slot);
+                }
+
+                f.counted_loop(Type::I64, 0i64, 80i64, |f, i| {
+                    let bv = f.load(Type::I32, b);
+                    let cv = f.load(Type::I32, c);
+                    let dv = f.load(Type::I32, d);
+
+                    let fval = f.slot(Type::I32);
+                    let kval = f.slot(Type::I32);
+                    let lt20 = f.icmp(mbfi_ir::IcmpPred::Slt, Type::I64, i, 20i64);
+                    let lt40 = f.icmp(mbfi_ir::IcmpPred::Slt, Type::I64, i, 40i64);
+                    let lt60 = f.icmp(mbfi_ir::IcmpPred::Slt, Type::I64, i, 60i64);
+                    f.if_else(
+                        lt20,
+                        |f| {
+                            let bc = f.and(Type::I32, bv, cv);
+                            let nb = f.xor(Type::I32, bv, -1i32);
+                            let nbd = f.and(Type::I32, nb, dv);
+                            let fv = f.or(Type::I32, bc, nbd);
+                            f.store(Type::I32, fv, fval);
+                            f.store(Type::I32, 0x5A827999u32 as i32, kval);
+                        },
+                        |f| {
+                            f.if_else(
+                                lt40,
+                                |f| {
+                                    let x = f.xor(Type::I32, bv, cv);
+                                    let fv = f.xor(Type::I32, x, dv);
+                                    f.store(Type::I32, fv, fval);
+                                    f.store(Type::I32, 0x6ED9EBA1u32 as i32, kval);
+                                },
+                                |f| {
+                                    f.if_else(
+                                        lt60,
+                                        |f| {
+                                            let bc = f.and(Type::I32, bv, cv);
+                                            let bd = f.and(Type::I32, bv, dv);
+                                            let cd = f.and(Type::I32, cv, dv);
+                                            let o1 = f.or(Type::I32, bc, bd);
+                                            let fv = f.or(Type::I32, o1, cd);
+                                            f.store(Type::I32, fv, fval);
+                                            f.store(Type::I32, 0x8F1BBCDCu32 as i32, kval);
+                                        },
+                                        |f| {
+                                            let x = f.xor(Type::I32, bv, cv);
+                                            let fv = f.xor(Type::I32, x, dv);
+                                            f.store(Type::I32, fv, fval);
+                                            f.store(Type::I32, 0xCA62C1D6u32 as i32, kval);
+                                        },
+                                    );
+                                },
+                            );
+                        },
+                    );
+
+                    let av = f.load(Type::I32, a);
+                    let rot5 = f
+                        .call(
+                            rotl,
+                            &[Operand::Reg(av), Operand::Const(mbfi_ir::Constant::i32(5))],
+                            Some(Type::I32),
+                        )
+                        .unwrap();
+                    let fv = f.load(Type::I32, fval);
+                    let kv = f.load(Type::I32, kval);
+                    let ev = f.load(Type::I32, e);
+                    let wi = f.load_elem(Type::I32, w, i);
+                    let t1 = f.add(Type::I32, rot5, fv);
+                    let t2 = f.add(Type::I32, t1, ev);
+                    let t3 = f.add(Type::I32, t2, kv);
+                    let temp = f.add(Type::I32, t3, wi);
+
+                    let dv2 = f.load(Type::I32, d);
+                    f.store(Type::I32, dv2, e);
+                    let cv2 = f.load(Type::I32, c);
+                    f.store(Type::I32, cv2, d);
+                    let bv2 = f.load(Type::I32, b);
+                    let rot30 = f
+                        .call(
+                            rotl,
+                            &[Operand::Reg(bv2), Operand::Const(mbfi_ir::Constant::i32(30))],
+                            Some(Type::I32),
+                        )
+                        .unwrap();
+                    f.store(Type::I32, rot30, c);
+                    let av2 = f.load(Type::I32, a);
+                    f.store(Type::I32, av2, b);
+                    f.store(Type::I32, temp, a);
+                });
+
+                for (slot, idx) in [(a, 0i64), (b, 1), (c, 2), (d, 3), (e, 4)] {
+                    let hv = f.load_elem(Type::I32, h, idx);
+                    let sv = f.load(Type::I32, slot);
+                    let sum = f.add(Type::I32, hv, sv);
+                    f.store_elem(Type::I32, h, idx, sum);
+                }
+            });
+
+            f.counted_loop(Type::I64, 0i64, 5i64, |f, i| {
+                let v = f.load_elem(Type::I32, h, i);
+                let wide = f.zext(Type::I32, Type::I64, v);
+                f.print_i64(wide);
+            });
+            f.ret_void();
+        }
+
+        mb.set_entry(main);
+        mb.finish()
+    }
+
+    fn reference_output(&self, size: InputSize) -> Vec<u8> {
+        let digest = Self::sha1(&Self::input(size));
+        let mut out = Vec::new();
+        for word in digest {
+            out.extend_from_slice(format!("{}\n", word as u64).as_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::execute_workload;
+
+    #[test]
+    fn matches_reference_on_both_sizes() {
+        for size in InputSize::ALL {
+            assert_eq!(
+                execute_workload(&Sha, size),
+                Sha.reference_output(size),
+                "mismatch at {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn sha1_matches_known_test_vectors() {
+        // SHA-1("abc") = a9993e36 4706816a ba3e2571 7850c26c 9cd0d89d
+        assert_eq!(
+            Sha::sha1(b"abc"),
+            [0xa9993e36, 0x4706816a, 0xba3e2571, 0x7850c26c, 0x9cd0d89d]
+        );
+        // SHA-1("") = da39a3ee 5e6b4b0d 3255bfef 95601890 afd80709
+        assert_eq!(
+            Sha::sha1(b""),
+            [0xda39a3ee, 0x5e6b4b0d, 0x3255bfef, 0x95601890, 0xafd80709]
+        );
+    }
+
+    #[test]
+    fn padding_length_is_a_multiple_of_64() {
+        for len in [0usize, 1, 55, 56, 63, 64, 100] {
+            let padded = Sha::pad(&vec![0xAA; len]);
+            assert_eq!(padded.len() % 64, 0, "padding broken for length {len}");
+        }
+    }
+}

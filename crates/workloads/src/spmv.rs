@@ -1,0 +1,177 @@
+//! `spmv` (Parboil / cpu): product of a sparse matrix in coordinate format
+//! with a dense vector.
+
+use crate::inputs;
+use crate::workload::{InputSize, Suite, Workload};
+use mbfi_ir::{Module, ModuleBuilder, Type};
+
+/// The `spmv` workload.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Spmv;
+
+impl Spmv {
+    fn dims(size: InputSize) -> (usize, usize) {
+        match size {
+            InputSize::Tiny => (16, 48),
+            InputSize::Small => (32, 160),
+        }
+    }
+
+    fn matrix(size: InputSize) -> (Vec<i32>, Vec<i32>, Vec<f64>, usize) {
+        let (n, extra) = Self::dims(size);
+        inputs::coo_matrix(n, extra, 0x5335_0001)
+    }
+
+    fn vector(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i % 7) as f64 + 1.0) * 0.5).collect()
+    }
+
+    /// Reference sparse matrix-vector product.
+    fn multiply(rows: &[i32], cols: &[i32], vals: &[f64], x: &[f64], n: usize) -> Vec<f64> {
+        let mut y = vec![0.0f64; n];
+        for k in 0..rows.len() {
+            let r = rows[k] as usize;
+            let c = cols[k] as usize;
+            y[r] += vals[k] * x[c];
+        }
+        y
+    }
+}
+
+impl Workload for Spmv {
+    fn name(&self) -> &'static str {
+        "spmv"
+    }
+
+    fn package(&self) -> &'static str {
+        "cpu"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parboil
+    }
+
+    fn description(&self) -> &'static str {
+        "sparse matrix (COO format) times dense vector product"
+    }
+
+    fn build_module(&self, size: InputSize) -> Module {
+        let (rows, cols, vals, n) = Self::matrix(size);
+        let x = Self::vector(n);
+        let nnz = rows.len() as i64;
+        let ni = n as i64;
+
+        let mut mb = ModuleBuilder::new("spmv");
+        let rows_g = mb.global_i32s("rows", &rows);
+        let cols_g = mb.global_i32s("cols", &cols);
+        let vals_g = mb.global_f64s("vals", &vals);
+        let x_g = mb.global_f64s("x", &x);
+
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(main);
+            let y = f.alloca(Type::F64, ni);
+            f.counted_loop(Type::I64, 0i64, ni, |f, i| {
+                f.store_elem(Type::F64, y, i, 0.0f64);
+            });
+
+            f.counted_loop(Type::I64, 0i64, nnz, |f, k| {
+                let r32 = f.load_elem(Type::I32, rows_g, k);
+                let r = f.sext_to_i64(Type::I32, r32);
+                let c32 = f.load_elem(Type::I32, cols_g, k);
+                let c = f.sext_to_i64(Type::I32, c32);
+                let v = f.load_elem(Type::F64, vals_g, k);
+                let xc = f.load_elem(Type::F64, x_g, c);
+                let prod = f.fmul(v, xc);
+                let cur = f.load_elem(Type::F64, y, r);
+                let next = f.fadd(cur, prod);
+                f.store_elem(Type::F64, y, r, next);
+            });
+
+            // Print the first entries and an L1 checksum of the result.
+            f.counted_loop(Type::I64, 0i64, 6i64, |f, i| {
+                let v = f.load_elem(Type::F64, y, i);
+                f.print_f64(v);
+            });
+            let total = f.slot(Type::F64);
+            f.store(Type::F64, 0.0f64, total);
+            f.counted_loop(Type::I64, 0i64, ni, |f, i| {
+                let v = f.load_elem(Type::F64, y, i);
+                let a = f.intrinsic(
+                    mbfi_ir::Intrinsic::Fabs,
+                    &[mbfi_ir::Operand::Reg(v)],
+                    Some(Type::F64),
+                )
+                .unwrap();
+                let cur = f.load(Type::F64, total);
+                let next = f.fadd(cur, a);
+                f.store(Type::F64, next, total);
+            });
+            let t = f.load(Type::F64, total);
+            f.print_f64(t);
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        mb.finish()
+    }
+
+    fn reference_output(&self, size: InputSize) -> Vec<u8> {
+        let (rows, cols, vals, n) = Self::matrix(size);
+        let x = Self::vector(n);
+        let y = Self::multiply(&rows, &cols, &vals, &x, n);
+        let mut out = Vec::new();
+        for item in y.iter().take(6) {
+            out.extend_from_slice(format!("{item:.6}\n").as_bytes());
+        }
+        let mut total = 0.0f64;
+        for item in &y {
+            total += item.abs();
+        }
+        out.extend_from_slice(format!("{total:.6}\n").as_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::execute_workload;
+
+    #[test]
+    fn matches_reference_on_both_sizes() {
+        for size in InputSize::ALL {
+            assert_eq!(
+                execute_workload(&Spmv, size),
+                Spmv.reference_output(size),
+                "mismatch at {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn multiply_matches_dense_computation() {
+        let (rows, cols, vals, n) = Spmv::matrix(InputSize::Tiny);
+        let x = Spmv::vector(n);
+        let sparse = Spmv::multiply(&rows, &cols, &vals, &x, n);
+
+        // Dense re-computation.
+        let mut dense_matrix = vec![0.0f64; n * n];
+        for k in 0..rows.len() {
+            dense_matrix[rows[k] as usize * n + cols[k] as usize] += vals[k];
+        }
+        for (r, expected) in sparse.iter().enumerate() {
+            let dense: f64 = (0..n).map(|c| dense_matrix[r * n + c] * x[c]).sum();
+            assert!((dense - expected).abs() < 1e-9, "row {r} diverges");
+        }
+    }
+
+    #[test]
+    fn identity_like_diagonal_dominates() {
+        let (rows, cols, vals, n) = Spmv::matrix(InputSize::Tiny);
+        // The generator always emits the diagonal first, so every row has at
+        // least one non-zero and the product is non-trivial.
+        let x = Spmv::vector(n);
+        let y = Spmv::multiply(&rows, &cols, &vals, &x, n);
+        assert!(y.iter().any(|&v| v.abs() > 0.1));
+    }
+}

@@ -1,0 +1,248 @@
+//! `stringsearch` (MiBench / office): case-insensitive substring search of
+//! several patterns in an ASCII text.
+
+use crate::inputs;
+use crate::workload::{InputSize, Suite, Workload};
+use mbfi_ir::{IcmpPred, Module, ModuleBuilder, Type};
+
+/// The `stringsearch` workload.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StringSearch;
+
+impl StringSearch {
+    fn text(size: InputSize) -> Vec<u8> {
+        let len = match size {
+            InputSize::Tiny => 192,
+            InputSize::Small => 768,
+        };
+        inputs::ascii_text(len)
+    }
+
+    fn patterns() -> Vec<&'static [u8]> {
+        vec![
+            b"QUICK".as_slice(),
+            b"lazy dog".as_slice(),
+            b"42".as_slice(),
+            b"FOX JUMPS".as_slice(),
+            b"zebra".as_slice(),
+            b"0123".as_slice(),
+        ]
+    }
+
+    fn to_lower(b: u8) -> u8 {
+        if b.is_ascii_uppercase() {
+            b + 32
+        } else {
+            b
+        }
+    }
+
+    /// Case-insensitive search returning (first index or -1, match count).
+    fn search(text: &[u8], pattern: &[u8]) -> (i64, i64) {
+        if pattern.is_empty() || pattern.len() > text.len() {
+            return (-1, 0);
+        }
+        let mut first: i64 = -1;
+        let mut count: i64 = 0;
+        for start in 0..=(text.len() - pattern.len()) {
+            let mut matched = true;
+            for (k, &p) in pattern.iter().enumerate() {
+                if Self::to_lower(text[start + k]) != Self::to_lower(p) {
+                    matched = false;
+                    break;
+                }
+            }
+            if matched {
+                count += 1;
+                if first < 0 {
+                    first = start as i64;
+                }
+            }
+        }
+        (first, count)
+    }
+}
+
+impl Workload for StringSearch {
+    fn name(&self) -> &'static str {
+        "stringsearch"
+    }
+
+    fn package(&self) -> &'static str {
+        "office"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::MiBench
+    }
+
+    fn description(&self) -> &'static str {
+        "case-insensitive substring search of several patterns in an ASCII text"
+    }
+
+    fn build_module(&self, size: InputSize) -> Module {
+        let text = Self::text(size);
+        let text_len = text.len() as i64;
+        let patterns = Self::patterns();
+
+        let mut mb = ModuleBuilder::new("stringsearch");
+        let text_g = mb.global_bytes("text", text);
+        // Pack patterns into one blob with an offset/length table.
+        let mut blob = Vec::new();
+        let mut offsets = Vec::new();
+        let mut lengths = Vec::new();
+        for p in &patterns {
+            offsets.push(blob.len() as i32);
+            lengths.push(p.len() as i32);
+            blob.extend_from_slice(p);
+        }
+        let blob_g = mb.global_bytes("patterns", blob);
+        let offsets_g = mb.global_i32s("pattern_offsets", &offsets);
+        let lengths_g = mb.global_i32s("pattern_lengths", &lengths);
+
+        // to_lower(c: i32) -> i32
+        let to_lower = mb.declare("to_lower", &[(Type::I32, "c")], Some(Type::I32));
+        let main = mb.declare("main", &[], None);
+
+        {
+            let mut f = mb.define(to_lower);
+            let c = f.param(0);
+            let ge_a = f.icmp(IcmpPred::Sge, Type::I32, c, 'A' as i32);
+            let le_z = f.icmp(IcmpPred::Sle, Type::I32, c, 'Z' as i32);
+            let upper = f.and(Type::I1, ge_a, le_z);
+            let lowered = f.add(Type::I32, c, 32i32);
+            let out = f.select(Type::I32, upper, lowered, c);
+            f.ret(out);
+        }
+
+        {
+            let mut f = mb.define(main);
+            let npat = patterns.len() as i64;
+            let total_matches = f.slot(Type::I64);
+            f.store(Type::I64, 0i64, total_matches);
+
+            f.counted_loop(Type::I64, 0i64, npat, |f, p| {
+                let off = f.load_elem(Type::I32, offsets_g, p);
+                let off64 = f.sext_to_i64(Type::I32, off);
+                let len = f.load_elem(Type::I32, lengths_g, p);
+                let len64 = f.sext_to_i64(Type::I32, len);
+
+                let first = f.slot(Type::I64);
+                f.store(Type::I64, -1i64, first);
+                let count = f.slot(Type::I64);
+                f.store(Type::I64, 0i64, count);
+
+                let last_start = f.sub(Type::I64, text_len, len64);
+                let end = f.add(Type::I64, last_start, 1i64);
+                f.counted_loop(Type::I64, 0i64, end, |f, start| {
+                    let matched = f.slot(Type::I64);
+                    f.store(Type::I64, 1i64, matched);
+                    f.counted_loop(Type::I64, 0i64, len64, |f, k| {
+                        let still = f.load(Type::I64, matched);
+                        let active = f.icmp(IcmpPred::Ne, Type::I64, still, 0i64);
+                        f.if_then(active, |f| {
+                            let tidx = f.add(Type::I64, start, k);
+                            let tb = f.load_elem(Type::I8, text_g, tidx);
+                            let tb32 = f.zext(Type::I8, Type::I32, tb);
+                            let tl = f
+                                .call(to_lower, &[mbfi_ir::Operand::Reg(tb32)], Some(Type::I32))
+                                .unwrap();
+                            let pidx = f.add(Type::I64, off64, k);
+                            let pb = f.load_elem(Type::I8, blob_g, pidx);
+                            let pb32 = f.zext(Type::I8, Type::I32, pb);
+                            let pl = f
+                                .call(to_lower, &[mbfi_ir::Operand::Reg(pb32)], Some(Type::I32))
+                                .unwrap();
+                            let differ = f.icmp(IcmpPred::Ne, Type::I32, tl, pl);
+                            f.if_then(differ, |f| {
+                                f.store(Type::I64, 0i64, matched);
+                            });
+                        });
+                    });
+                    let hit = f.load(Type::I64, matched);
+                    let is_hit = f.icmp(IcmpPred::Ne, Type::I64, hit, 0i64);
+                    f.if_then(is_hit, |f| {
+                        let c = f.load(Type::I64, count);
+                        let c2 = f.add(Type::I64, c, 1i64);
+                        f.store(Type::I64, c2, count);
+                        let fv = f.load(Type::I64, first);
+                        let unset = f.icmp(IcmpPred::Slt, Type::I64, fv, 0i64);
+                        f.if_then(unset, |f| {
+                            f.store(Type::I64, start, first);
+                        });
+                    });
+                });
+
+                let fv = f.load(Type::I64, first);
+                f.print_i64(fv);
+                let cv = f.load(Type::I64, count);
+                f.print_i64(cv);
+                let t = f.load(Type::I64, total_matches);
+                let t2 = f.add(Type::I64, t, cv);
+                f.store(Type::I64, t2, total_matches);
+            });
+
+            let total = f.load(Type::I64, total_matches);
+            f.print_i64(total);
+            f.ret_void();
+        }
+
+        mb.set_entry(main);
+        mb.finish()
+    }
+
+    fn reference_output(&self, size: InputSize) -> Vec<u8> {
+        let text = Self::text(size);
+        let mut out = Vec::new();
+        let mut total = 0i64;
+        for p in Self::patterns() {
+            let (first, count) = Self::search(&text, p);
+            out.extend_from_slice(format!("{first}\n").as_bytes());
+            out.extend_from_slice(format!("{count}\n").as_bytes());
+            total += count;
+        }
+        out.extend_from_slice(format!("{total}\n").as_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::execute_workload;
+
+    #[test]
+    fn matches_reference_on_both_sizes() {
+        for size in InputSize::ALL {
+            assert_eq!(
+                execute_workload(&StringSearch, size),
+                StringSearch.reference_output(size),
+                "mismatch at {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn search_is_case_insensitive() {
+        let (first, count) = StringSearch::search(b"The QUICK brown fox", b"quick");
+        assert_eq!(first, 4);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn missing_pattern_reports_minus_one() {
+        let (first, count) = StringSearch::search(b"hello world", b"zebra");
+        assert_eq!(first, -1);
+        assert_eq!(count, 0);
+        let (first, count) = StringSearch::search(b"hi", b"a longer pattern");
+        assert_eq!(first, -1);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn some_patterns_are_found_in_the_corpus() {
+        let text = String::from_utf8(StringSearch.reference_output(InputSize::Small)).unwrap();
+        let total: i64 = text.lines().last().unwrap().parse().unwrap();
+        assert!(total > 0, "the corpus should contain some of the patterns");
+    }
+}

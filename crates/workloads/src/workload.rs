@@ -1,0 +1,84 @@
+//! The [`Workload`] trait and its supporting types.
+
+use mbfi_ir::Module;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which benchmark suite a workload is modelled after.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// MiBench: commercially representative embedded programs.
+    MiBench,
+    /// Parboil: scientific and commercial throughput computing programs.
+    Parboil,
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Suite::MiBench => f.write_str("MiBench"),
+            Suite::Parboil => f.write_str("Parboil"),
+        }
+    }
+}
+
+/// Input scale for a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum InputSize {
+    /// A minimal input used by unit tests and doc examples.
+    Tiny,
+    /// The default input of the experiment harness, analogous to MiBench's
+    /// "small" inputs (§III-D of the paper).
+    #[default]
+    Small,
+}
+
+impl InputSize {
+    /// Both sizes, smallest first.
+    pub const ALL: [InputSize; 2] = [InputSize::Tiny, InputSize::Small];
+}
+
+impl fmt::Display for InputSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InputSize::Tiny => f.write_str("tiny"),
+            InputSize::Small => f.write_str("small"),
+        }
+    }
+}
+
+/// A benchmark program that can be expressed in IR and independently checked.
+pub trait Workload: Send + Sync {
+    /// Program name as used in the paper's tables (e.g. `basicmath`).
+    fn name(&self) -> &'static str;
+
+    /// Package within its suite (e.g. `automotive`, `telecomm`, `base`, `cpu`).
+    fn package(&self) -> &'static str;
+
+    /// Which suite the workload is modelled after.
+    fn suite(&self) -> Suite;
+
+    /// One-line description of what the program computes.
+    fn description(&self) -> &'static str;
+
+    /// Build the workload as an IR module for the given input size.
+    fn build_module(&self, size: InputSize) -> Module;
+
+    /// Compute the byte-exact expected output with a pure-Rust oracle.
+    fn reference_output(&self, size: InputSize) -> Vec<u8>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Suite::MiBench.to_string(), "MiBench");
+        assert_eq!(Suite::Parboil.to_string(), "Parboil");
+        assert_eq!(InputSize::Tiny.to_string(), "tiny");
+        assert_eq!(InputSize::Small.to_string(), "small");
+        assert_eq!(InputSize::default(), InputSize::Small);
+        assert_eq!(InputSize::ALL.len(), 2);
+    }
+}

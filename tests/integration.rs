@@ -1,0 +1,149 @@
+//! End-to-end integration tests spanning `mbfi-ir`, `mbfi-vm`,
+//! `mbfi-workloads` and `mbfi-core`: golden runs, single- and multi-bit
+//! campaigns on real workloads, and consistency of the derived statistics.
+
+use mbfi_core::{
+    Campaign, CampaignSpec, FaultModel, GoldenRun, Outcome, ParameterGrid, Technique, WinSize,
+};
+use mbfi_workloads::{all_workloads, workload_by_name, InputSize};
+
+/// Experiments per campaign in these tests (kept small for CI speed).
+const N: usize = 60;
+
+#[test]
+fn golden_runs_exist_for_every_workload() {
+    for w in all_workloads() {
+        let module = w.build_module(InputSize::Tiny);
+        let golden = GoldenRun::capture(&module)
+            .unwrap_or_else(|e| panic!("golden run of {} failed: {e}", w.name()));
+        assert!(!golden.output.is_empty());
+        assert!(golden.dynamic_instrs > 100, "{} is too trivial", w.name());
+        assert!(
+            golden.candidates(Technique::InjectOnRead) >= golden.candidates(Technique::InjectOnWrite),
+            "{}: table II shape requires read candidates >= write candidates",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn single_bit_campaign_on_a_real_workload_produces_mixed_outcomes() {
+    let w = workload_by_name("qsort").unwrap();
+    let module = w.build_module(InputSize::Tiny);
+    let golden = GoldenRun::capture(&module).unwrap();
+    let spec = CampaignSpec {
+        technique: Technique::InjectOnRead,
+        model: FaultModel::single_bit(),
+        experiments: 150,
+        seed: 11,
+        hang_factor: 20,
+        threads: 0,
+    };
+    let result = Campaign::run(&module, &golden, &spec);
+    assert_eq!(result.total(), 150);
+    // A register-level fault-injection campaign on a pointer-heavy workload
+    // must produce benign outcomes, detections and at least a handful of SDCs.
+    assert!(result.counts.benign > 0, "no benign outcomes: {:?}", result.counts);
+    assert!(result.counts.detection() > 0, "no detections: {:?}", result.counts);
+    assert!(result.counts.sdc + result.counts.benign > 10);
+}
+
+#[test]
+fn multi_bit_campaigns_activate_more_errors_than_single_bit() {
+    let w = workload_by_name("histo").unwrap();
+    let module = w.build_module(InputSize::Tiny);
+    let golden = GoldenRun::capture(&module).unwrap();
+
+    let single = Campaign::run(
+        &module,
+        &golden,
+        &CampaignSpec {
+            technique: Technique::InjectOnWrite,
+            model: FaultModel::single_bit(),
+            experiments: N,
+            seed: 3,
+            hang_factor: 20,
+            threads: 0,
+        },
+    );
+    let multi = Campaign::run(
+        &module,
+        &golden,
+        &CampaignSpec {
+            technique: Technique::InjectOnWrite,
+            model: FaultModel::multi_bit(5, WinSize::Fixed(1)),
+            experiments: N,
+            seed: 3,
+            hang_factor: 20,
+            threads: 0,
+        },
+    );
+    assert!(single.mean_activated() <= 1.0);
+    assert!(
+        multi.mean_activated() > single.mean_activated(),
+        "multi-bit campaigns should activate more errors ({} vs {})",
+        multi.mean_activated(),
+        single.mean_activated()
+    );
+}
+
+#[test]
+fn outcome_fractions_sum_to_one_for_every_technique() {
+    let w = workload_by_name("stringsearch").unwrap();
+    let module = w.build_module(InputSize::Tiny);
+    let golden = GoldenRun::capture(&module).unwrap();
+    for technique in Technique::ALL {
+        let result = Campaign::run(
+            &module,
+            &golden,
+            &CampaignSpec {
+                technique,
+                model: FaultModel::single_bit(),
+                experiments: N,
+                seed: 5,
+                hang_factor: 20,
+                threads: 0,
+            },
+        );
+        let sum: f64 = Outcome::ALL
+            .iter()
+            .map(|o| result.counts.fraction(*o))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-9, "{technique}: fractions sum to {sum}");
+        let ci = result.sdc_proportion();
+        assert!(ci.lower <= ci.estimate && ci.estimate <= ci.upper);
+    }
+}
+
+#[test]
+fn the_campaign_grid_matches_the_paper_dimensions() {
+    let all = ParameterGrid::all_campaigns();
+    assert_eq!(all.len(), 182, "the paper runs 182 campaigns per workload");
+    // 15 workloads x 182 campaigns = 2730 campaigns overall.
+    assert_eq!(all.len() * all_workloads().len(), 2730);
+}
+
+#[test]
+fn same_register_sweep_runs_end_to_end_on_a_workload() {
+    let w = workload_by_name("CRC32").unwrap();
+    let module = w.build_module(InputSize::Tiny);
+    let golden = GoldenRun::capture(&module).unwrap();
+    let sweep = ParameterGrid::same_register_sweep(Technique::InjectOnWrite);
+    let results = Campaign::run_points(&module, &golden, &sweep[..3], 40, 17);
+    assert_eq!(results.len(), 3);
+    for r in &results {
+        assert_eq!(r.total(), 40);
+        assert!(r.sdc_pct() <= 100.0);
+    }
+}
+
+#[test]
+fn error_space_sizes_reflect_candidate_counts() {
+    let w = workload_by_name("sha").unwrap();
+    let module = w.build_module(InputSize::Tiny);
+    let golden = GoldenRun::capture(&module).unwrap();
+    let space = mbfi_core::space::ErrorSpace::new(golden.candidates(Technique::InjectOnRead), 64);
+    assert!(space.single_bit_size() > 0);
+    assert!(space.multi_bit_log10(10) > space.single_bit_log10());
+    assert!(space.sampling_fraction(10_000) < 1.0);
+}
