@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus lint, in one command, fully offline.
+#
+#   ./ci.sh          # build + test + clippy
+#   ./ci.sh bench    # additionally run the three bench harnesses (fast knobs)
+#
+# The workspace has zero external dependencies by design (see README.md), so
+# everything runs with --offline; if any step needs the network, that is a
+# regression.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> cargo clippy --all-targets --offline -- -D warnings"
+cargo clippy --all-targets --offline -- -D warnings
+
+if [[ "${1:-}" == "bench" ]]; then
+    # Smoke-run the plain-Rust bench harnesses; each writes BENCH_<suite>.json.
+    export MBFI_BENCH_SAMPLES="${MBFI_BENCH_SAMPLES:-3}"
+    export MBFI_BENCH_ITERS="${MBFI_BENCH_ITERS:-1}"
+    export MBFI_BENCH_OUT="${MBFI_BENCH_OUT:-.}"
+    for suite in campaigns injector workloads; do
+        echo "==> cargo bench -p mbfi-bench --bench $suite"
+        cargo bench --offline -p mbfi-bench --bench "$suite"
+    done
+fi
+
+echo "==> OK"

@@ -1,56 +1,53 @@
 //! Benchmarks of whole campaigns — the unit of work behind every figure —
 //! including the scaling across thread counts.
+//!
+//! Plain-`std` harness (`harness = false`): median-of-N wall-clock timing,
+//! machine-readable output in `BENCH_campaigns.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbfi_bench::BenchSuite;
 use mbfi_core::{Campaign, CampaignSpec, FaultModel, GoldenRun, Technique, WinSize};
 use mbfi_workloads::{workload_by_name, InputSize};
 
-fn bench_campaigns(c: &mut Criterion) {
+fn main() {
     let workload = workload_by_name("stringsearch").expect("stringsearch exists");
     let module = workload.build_module(InputSize::Tiny);
     let golden = GoldenRun::capture(&module).expect("golden run");
 
-    let mut group = c.benchmark_group("campaign_25_experiments");
-    group.sample_size(10);
+    let mut suite = BenchSuite::new("campaigns");
+
     for (label, model) in [
-        ("single_bit", FaultModel::single_bit()),
-        ("multi_3_w1", FaultModel::multi_bit(3, WinSize::Fixed(1))),
+        ("campaign_25_experiments/single_bit", FaultModel::single_bit()),
+        (
+            "campaign_25_experiments/multi_3_w1",
+            FaultModel::multi_bit(3, WinSize::Fixed(1)),
+        ),
     ] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                let spec = CampaignSpec {
-                    technique: Technique::InjectOnWrite,
-                    model,
-                    experiments: 25,
-                    seed: 7,
-                    hang_factor: 20,
-                    threads: 1,
-                };
-                std::hint::black_box(Campaign::run(&module, &golden, &spec))
-            });
+        suite.bench(label, || {
+            let spec = CampaignSpec {
+                technique: Technique::InjectOnWrite,
+                model,
+                experiments: 25,
+                seed: 7,
+                hang_factor: 20,
+                threads: 1,
+            };
+            Campaign::run(&module, &golden, &spec)
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("campaign_thread_scaling");
-    group.sample_size(10);
     for threads in [1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            b.iter(|| {
-                let spec = CampaignSpec {
-                    technique: Technique::InjectOnRead,
-                    model: FaultModel::single_bit(),
-                    experiments: 40,
-                    seed: 7,
-                    hang_factor: 20,
-                    threads: t,
-                };
-                std::hint::black_box(Campaign::run(&module, &golden, &spec))
-            });
+        suite.bench(format!("campaign_thread_scaling/{threads}"), || {
+            let spec = CampaignSpec {
+                technique: Technique::InjectOnRead,
+                model: FaultModel::single_bit(),
+                experiments: 40,
+                seed: 7,
+                hang_factor: 20,
+                threads,
+            };
+            Campaign::run(&module, &golden, &spec)
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_campaigns);
-criterion_main!(benches);
+    suite.finish();
+}

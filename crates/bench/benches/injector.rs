@@ -1,59 +1,52 @@
-//! Micro-benchmarks of the fault-injection machinery itself: golden runs,
-//! single experiments with each technique, and bit-flip value operations.
+//! Micro-benchmarks of the fault-injection machinery itself: single
+//! experiments with each technique and fault model, and bit-flip value
+//! operations.
+//!
+//! Plain-`std` harness (`harness = false`): median-of-N wall-clock timing,
+//! machine-readable output in `BENCH_injector.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbfi_bench::BenchSuite;
 use mbfi_core::{Experiment, ExperimentSpec, FaultModel, GoldenRun, Technique, WinSize};
 use mbfi_vm::Value;
 use mbfi_workloads::{workload_by_name, InputSize};
 
-fn bench_experiments(c: &mut Criterion) {
+fn main() {
     let workload = workload_by_name("qsort").expect("qsort exists");
     let module = workload.build_module(InputSize::Tiny);
     let golden = GoldenRun::capture(&module).expect("golden run");
 
-    let mut group = c.benchmark_group("experiment");
-    group.sample_size(20);
+    let mut suite = BenchSuite::new("injector");
+
     for technique in [Technique::InjectOnRead, Technique::InjectOnWrite] {
         for (label, model) in [
             ("single", FaultModel::single_bit()),
             ("m3w1", FaultModel::multi_bit(3, WinSize::Fixed(1))),
             ("m30w100", FaultModel::multi_bit(30, WinSize::Fixed(100))),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{}", technique), label),
-                &model,
-                |b, model| {
-                    let mut i = 0u64;
-                    b.iter(|| {
-                        i += 1;
-                        let spec =
-                            ExperimentSpec::sample(technique, *model, &golden, 42, i, 20);
-                        std::hint::black_box(Experiment::run(&module, &golden, &spec))
-                    });
-                },
-            );
+            let mut i = 0u64;
+            suite.bench(format!("experiment/{technique}/{label}"), || {
+                i += 1;
+                let spec = ExperimentSpec::sample(technique, model, &golden, 42, i, 20);
+                Experiment::run(&module, &golden, &spec)
+            });
         }
     }
-    group.finish();
-}
 
-fn bench_bit_flips(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bit_flip");
-    group.bench_function("flip_single_bit", |b| {
+    {
         let v = Value::i64(0x0123_4567_89ab_cdef);
         let mut bit = 0u32;
-        b.iter(|| {
+        suite.bench("bit_flip/flip_single_bit", || {
             bit = (bit + 1) % 64;
-            std::hint::black_box(v.flip_bit(bit))
+            v.flip_bit(std::hint::black_box(bit))
         });
-    });
-    group.bench_function("flip_30_bits", |b| {
+    }
+    {
         let v = Value::i64(0x0123_4567_89ab_cdef);
         let bits: Vec<u32> = (0..30).collect();
-        b.iter(|| std::hint::black_box(v.flip_bits(&bits)));
-    });
-    group.finish();
-}
+        suite.bench("bit_flip/flip_30_bits", || {
+            v.flip_bits(std::hint::black_box(&bits))
+        });
+    }
 
-criterion_group!(benches, bench_experiments, bench_bit_flips);
-criterion_main!(benches);
+    suite.finish();
+}

@@ -1,44 +1,38 @@
 //! Benchmarks of the execution substrate: golden-run interpretation speed of
 //! every workload (this bounds how fast campaigns — and hence every
-//! table/figure — can be regenerated).
+//! table/figure — can be regenerated), plus module construction.
+//!
+//! Plain-`std` harness (`harness = false`): median-of-N wall-clock timing,
+//! machine-readable output in `BENCH_workloads.json`; golden-run entries
+//! carry a dynamic-instruction throughput denominator.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mbfi_bench::BenchSuite;
 use mbfi_core::GoldenRun;
 use mbfi_vm::{Limits, NoopHook, Vm};
 use mbfi_workloads::{all_workloads, InputSize};
 
-fn bench_golden_runs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("golden_run");
-    group.sample_size(10);
+fn main() {
+    let mut suite = BenchSuite::new("workloads");
+
     for workload in all_workloads() {
         let module = workload.build_module(InputSize::Tiny);
         let golden = GoldenRun::capture(&module).expect("golden run");
-        group.throughput(Throughput::Elements(golden.dynamic_instrs));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(workload.name()),
-            &module,
-            |b, module| {
-                b.iter(|| {
-                    let mut hook = NoopHook;
-                    std::hint::black_box(Vm::new(module, Limits::default()).run(&mut hook))
-                });
+        suite.bench_with_throughput(
+            format!("golden_run/{}", workload.name()),
+            Some(golden.dynamic_instrs),
+            || {
+                let mut hook = NoopHook;
+                Vm::new(&module, Limits::default()).run(&mut hook)
             },
         );
     }
-    group.finish();
-}
 
-fn bench_module_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("build_module");
-    group.sample_size(20);
     for name in ["sha", "FFT", "dijkstra"] {
         let workload = mbfi_workloads::workload_by_name(name).expect("workload exists");
-        group.bench_function(name, |b| {
-            b.iter(|| std::hint::black_box(workload.build_module(InputSize::Tiny)));
+        suite.bench(format!("build_module/{name}"), || {
+            workload.build_module(InputSize::Tiny)
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_golden_runs, bench_module_construction);
-criterion_main!(benches);
+    suite.finish();
+}

@@ -526,7 +526,7 @@ pub fn table4(
             Technique::InjectOnRead,
             worst_read,
             cfg.experiments,
-            cfg.seed ^ 0xF16_6,
+            cfg.seed ^ 0xF166,
             cfg.hang_factor,
         );
         let write_loc = LocationAnalysis::run(
@@ -535,7 +535,7 @@ pub fn table4(
             Technique::InjectOnWrite,
             worst_write,
             cfg.experiments,
-            cfg.seed ^ 0xF16_7,
+            cfg.seed ^ 0xF167,
             cfg.hang_factor,
         );
         table.add_row(vec![

@@ -21,5 +21,7 @@
 //! not a code change.
 
 pub mod harness;
+pub mod timing;
 
 pub use harness::{HarnessConfig, SweepResults, WorkloadData};
+pub use timing::{BenchSuite, Measurement};

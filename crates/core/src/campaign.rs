@@ -9,10 +9,9 @@ use crate::outcome::{Outcome, OutcomeCounts};
 use crate::stats::{wald_interval, Proportion};
 use crate::technique::Technique;
 use mbfi_ir::Module;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of one campaign.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CampaignSpec {
     /// Injection technique.
     pub technique: Technique,
@@ -56,7 +55,7 @@ impl CampaignSpec {
 }
 
 /// Aggregated results of one campaign.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignResult {
     /// The campaign's configuration.
     pub spec: CampaignSpec,
@@ -125,7 +124,7 @@ impl Campaign {
 
         let max_hist = spec.model.max_mbf as usize + 1;
         let chunk = spec.experiments.div_ceil(threads);
-        let partials: Vec<Partial> = crossbeam::thread::scope(|scope| {
+        let partials: Vec<Partial> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..threads {
                 let start = t * chunk;
@@ -133,7 +132,7 @@ impl Campaign {
                 if start >= end {
                     break;
                 }
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut partial = Partial::new(max_hist);
                     for index in start..end {
                         let exp_spec = ExperimentSpec::sample(
@@ -151,8 +150,7 @@ impl Campaign {
                 }));
             }
             handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        })
-        .expect("campaign thread scope failed");
+        });
 
         let mut counts = OutcomeCounts::default();
         let mut activation_histogram = vec![0u64; max_hist];

@@ -8,7 +8,6 @@
 
 use crate::fault_model::{FaultModel, WinSize};
 use crate::technique::Technique;
-use serde::{Deserialize, Serialize};
 
 /// The `max-MBF` values of Table I (m1..m10).
 pub const MAX_MBF_VALUES: [u32; 10] = [2, 3, 4, 5, 6, 7, 8, 9, 10, 30];
@@ -27,7 +26,7 @@ pub const WIN_SIZE_VALUES: [WinSize; 9] = [
 ];
 
 /// One point of the campaign grid: a technique plus a fault model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CampaignPoint {
     /// Injection technique.
     pub technique: Technique,

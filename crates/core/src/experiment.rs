@@ -7,12 +7,10 @@ use crate::outcome::{classify, Outcome};
 use crate::technique::Technique;
 use mbfi_ir::Module;
 use mbfi_vm::Vm;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use crate::rng::{Rng, SmallRng};
 
 /// Everything needed to run (and reproduce) one experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExperimentSpec {
     /// Injection technique.
     pub technique: Technique,
@@ -53,14 +51,14 @@ impl ExperimentSpec {
             model,
             first_target: rng.gen_range(0..candidates),
             win_size_value: model.win_size.sample(&mut rng),
-            seed: rng.gen(),
+            seed: rng.next_u64(),
             hang_factor,
         }
     }
 }
 
 /// Result of one experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentResult {
     /// The specification that produced this result.
     pub spec: ExperimentSpec,

@@ -1,8 +1,7 @@
 //! Fault models: single bit-flips and multiple bit-flips parameterised by
 //! `max-MBF` and `win-size` (§III-C of the paper).
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use crate::rng::Rng;
 use std::fmt;
 
 /// The dynamic window size between consecutive injections.
@@ -11,7 +10,7 @@ use std::fmt;
 /// (i.e. the same register); larger windows spread the flips across the
 /// instruction stream.  The paper uses six fixed values and three values
 /// drawn uniformly from a range (Table I).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WinSize {
     /// A constant number of dynamic instructions between injections.
     Fixed(u64),
@@ -26,7 +25,7 @@ pub enum WinSize {
 
 impl WinSize {
     /// Sample a concrete window size for one experiment.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
         match self {
             WinSize::Fixed(v) => *v,
             WinSize::Random { lo, hi } => rng.gen_range(*lo..=*hi),
@@ -62,7 +61,7 @@ impl fmt::Display for WinSize {
 }
 
 /// A fault model: how many bit-flips to inject and how far apart.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FaultModel {
     /// Maximum number of bit-flip errors injected in one run (`max-MBF`).
     ///
@@ -118,8 +117,7 @@ impl fmt::Display for FaultModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use crate::rng::SmallRng;
 
     #[test]
     fn fixed_window_samples_to_itself() {

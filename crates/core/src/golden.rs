@@ -2,7 +2,6 @@
 
 use mbfi_ir::Module;
 use mbfi_vm::{CountingHook, ExecutionProfile, Limits, RunOutcome, Vm};
-use serde::{Deserialize, Serialize};
 
 /// Result of profiling one workload without faults.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// for SDC detection, the dynamic instruction count used to derive the hang
 /// threshold, and the candidate counts from which injection targets are
 /// drawn (Table II of the paper).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GoldenRun {
     /// Output produced by the fault-free run.
     pub output: Vec<u8>,

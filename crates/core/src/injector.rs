@@ -25,12 +25,10 @@
 use crate::technique::Technique;
 use mbfi_ir::Reg;
 use mbfi_vm::{ExecHook, InstrContext, Value};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use crate::rng::{Rng, SmallRng};
 
 /// One applied bit-flip.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InjectionRecord {
     /// 1-based ordinal of this flip within the experiment.
     pub ordinal: u32,

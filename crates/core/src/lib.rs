@@ -69,6 +69,7 @@ pub mod injector;
 pub mod outcome;
 pub mod pruning;
 pub mod report;
+pub mod rng;
 pub mod space;
 pub mod stats;
 pub mod technique;

@@ -1,12 +1,11 @@
 //! Outcome classification of fault-injection experiments (§III-E).
 
 use mbfi_vm::{RunOutcome, RunResult, Trap};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign};
 
 /// The outcome categories of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Outcome {
     /// The program terminated normally and produced the golden output.
     Benign,
@@ -97,7 +96,7 @@ pub fn classify(result: &RunResult, golden_output: &[u8]) -> Outcome {
 }
 
 /// Counts of experiments per outcome category.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct OutcomeCounts {
     /// Number of benign experiments.
     pub benign: u64,

@@ -8,10 +8,9 @@
 //! 92 % of inject-on-write experiments activate fewer than 10 errors.
 
 use crate::campaign::CampaignResult;
-use serde::{Deserialize, Serialize};
 
 /// Distribution of activated errors aggregated over campaigns.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ActivationAnalysis {
     /// `histogram[k]` = number of experiments that activated exactly `k`
     /// errors (the last bucket also holds ≥ its index).

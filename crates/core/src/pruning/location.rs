@@ -20,13 +20,11 @@ use crate::golden::GoldenRun;
 use crate::outcome::Outcome;
 use crate::technique::Technique;
 use mbfi_ir::Module;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use crate::rng::{Rng, SmallRng};
 use std::collections::BTreeMap;
 
 /// Counts of (single-bit outcome → multi-bit outcome) transitions.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TransitionMatrix {
     counts: BTreeMap<(Outcome, Outcome), u64>,
 }
@@ -116,7 +114,7 @@ impl TransitionMatrix {
 }
 
 /// Result of a location-sensitivity analysis for one workload / technique.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LocationAnalysis {
     /// Technique used for both campaigns of every pair.
     pub technique: Technique,
@@ -146,7 +144,7 @@ impl LocationAnalysis {
 
         for i in 0..pairs {
             let first_target = rng.gen_range(0..candidates);
-            let bit_seed = rng.gen::<u64>();
+            let bit_seed = rng.next_u64();
             let win_value = worst_model.win_size.sample(&mut rng);
 
             let single_spec = ExperimentSpec {

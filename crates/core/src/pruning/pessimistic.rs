@@ -13,10 +13,9 @@
 
 use crate::campaign::CampaignResult;
 use crate::fault_model::{FaultModel, WinSize};
-use serde::{Deserialize, Serialize};
 
 /// The multi-bit configuration with the highest SDC percentage.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PessimisticConfig {
     /// The winning fault model.
     pub model: FaultModel,
@@ -26,7 +25,7 @@ pub struct PessimisticConfig {
 
 /// Comparison of the single-bit model against the multi-bit sweep for one
 /// workload / technique.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelComparison {
     /// SDC percentage of the single bit-flip campaign.
     pub single_bit_sdc_pct: f64,

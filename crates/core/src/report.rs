@@ -1,14 +1,189 @@
-//! Plain-text rendering of tables and figure data series.
+//! Plain-text and JSON rendering of tables and figure data series.
 //!
 //! The experiment harness in `mbfi-bench` uses these helpers to print the
 //! rows and series the paper reports, in a form that is easy to diff between
-//! runs and against EXPERIMENTS.md.
+//! runs and against EXPERIMENTS.md.  Machine-readable emission goes through
+//! the dependency-free [`json`] writer (the build must work fully offline,
+//! so there is no serde here).
 
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
+pub mod json {
+    //! A minimal hand-rolled JSON writer.
+    //!
+    //! Values are built as a [`Json`] tree and rendered with [`Json::render`].
+    //! Only what report emission needs is implemented: objects keep their
+    //! insertion order, floats are emitted with enough precision to
+    //! round-trip, and non-finite floats become `null` (JSON has no NaN).
+
+    use std::fmt::Write as _;
+
+    /// A JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Json {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Integer (kept exact; JSON numbers are not limited to f64 here).
+        Int(i64),
+        /// Unsigned integer (kept exact).
+        UInt(u64),
+        /// Floating point; NaN and infinities render as `null`.
+        Num(f64),
+        /// String (escaped on render).
+        Str(String),
+        /// Array.
+        Arr(Vec<Json>),
+        /// Object with insertion-ordered keys.
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        /// An empty object.
+        pub fn object() -> Json {
+            Json::Obj(Vec::new())
+        }
+
+        /// Insert a key into an object (panics on non-objects).
+        pub fn set(&mut self, key: impl Into<String>, value: impl Into<Json>) -> &mut Json {
+            match self {
+                Json::Obj(entries) => entries.push((key.into(), value.into())),
+                other => panic!("Json::set on non-object {other:?}"),
+            }
+            self
+        }
+
+        /// Render to a compact JSON string.
+        pub fn render(&self) -> String {
+            let mut out = String::new();
+            self.write(&mut out);
+            out
+        }
+
+        fn write(&self, out: &mut String) {
+            match self {
+                Json::Null => out.push_str("null"),
+                Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Json::Int(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                Json::UInt(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                Json::Num(v) => {
+                    if v.is_finite() {
+                        // `{:?}` prints round-trippable f64 (always with a
+                        // decimal point or exponent, so it stays a float).
+                        let _ = write!(out, "{v:?}");
+                    } else {
+                        out.push_str("null");
+                    }
+                }
+                Json::Str(s) => write_escaped(out, s),
+                Json::Arr(items) => {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        item.write(out);
+                    }
+                    out.push(']');
+                }
+                Json::Obj(entries) => {
+                    out.push('{');
+                    for (i, (k, v)) in entries.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        write_escaped(out, k);
+                        out.push(':');
+                        v.write(out);
+                    }
+                    out.push('}');
+                }
+            }
+        }
+    }
+
+    fn write_escaped(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    impl From<bool> for Json {
+        fn from(v: bool) -> Json {
+            Json::Bool(v)
+        }
+    }
+
+    impl From<i64> for Json {
+        fn from(v: i64) -> Json {
+            Json::Int(v)
+        }
+    }
+
+    impl From<u32> for Json {
+        fn from(v: u32) -> Json {
+            Json::UInt(v as u64)
+        }
+    }
+
+    impl From<u64> for Json {
+        fn from(v: u64) -> Json {
+            Json::UInt(v)
+        }
+    }
+
+    impl From<usize> for Json {
+        fn from(v: usize) -> Json {
+            Json::UInt(v as u64)
+        }
+    }
+
+    impl From<f64> for Json {
+        fn from(v: f64) -> Json {
+            Json::Num(v)
+        }
+    }
+
+    impl From<&str> for Json {
+        fn from(v: &str) -> Json {
+            Json::Str(v.to_string())
+        }
+    }
+
+    impl From<String> for Json {
+        fn from(v: String) -> Json {
+            Json::Str(v)
+        }
+    }
+
+    impl<T: Into<Json>> From<Vec<T>> for Json {
+        fn from(v: Vec<T>) -> Json {
+            Json::Arr(v.into_iter().map(Into::into).collect())
+        }
+    }
+}
+
+pub use json::Json;
+
 /// A simple aligned text table.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TextTable {
     /// Table title.
     pub title: String,
@@ -78,10 +253,22 @@ impl TextTable {
         }
         out
     }
+
+    /// Render as a JSON object `{title, headers, rows}`.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("title", self.title.clone());
+        obj.set("headers", self.headers.clone());
+        obj.set(
+            "rows",
+            Json::Arr(self.rows.iter().cloned().map(Json::from).collect()),
+        );
+        obj
+    }
 }
 
 /// A named data series (one line / bar group of a figure).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Series {
     /// Series label (e.g. a win-size configuration).
     pub label: String,
@@ -107,10 +294,31 @@ impl Series {
     pub fn max_y(&self) -> f64 {
         self.points.iter().map(|(_, y)| *y).fold(0.0, f64::max)
     }
+
+    /// Render as a JSON object `{label, points: [{x, y}]}`.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("label", self.label.clone());
+        obj.set(
+            "points",
+            Json::Arr(
+                self.points
+                    .iter()
+                    .map(|(x, y)| {
+                        let mut p = Json::object();
+                        p.set("x", x.clone());
+                        p.set("y", *y);
+                        p
+                    })
+                    .collect(),
+            ),
+        );
+        obj
+    }
 }
 
 /// Figure data: a collection of series, renderable as a per-x text block.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FigureData {
     /// Figure title.
     pub title: String,
@@ -154,6 +362,17 @@ impl FigureData {
         }
         table.render()
     }
+
+    /// Render as a JSON object `{title, series}`.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("title", self.title.clone());
+        obj.set(
+            "series",
+            Json::Arr(self.series.iter().map(Series::to_json).collect()),
+        );
+        obj
+    }
 }
 
 /// Format a percentage with its ± error bar.
@@ -177,6 +396,48 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.starts_with("program,sdc%"));
         assert!(csv.contains("qsort,7.00"));
+    }
+
+    #[test]
+    fn json_writer_escapes_and_renders_all_value_kinds() {
+        let mut obj = Json::object();
+        obj.set("name", "qu\"ote\\and\nnewline");
+        obj.set("int", -3i64);
+        obj.set("uint", u64::MAX);
+        obj.set("pi", 3.5f64);
+        obj.set("nan", f64::NAN);
+        obj.set("flag", true);
+        obj.set("list", vec![1u64, 2, 3]);
+        obj.set("nil", Json::Null);
+        assert_eq!(
+            obj.render(),
+            "{\"name\":\"qu\\\"ote\\\\and\\nnewline\",\"int\":-3,\
+             \"uint\":18446744073709551615,\"pi\":3.5,\"nan\":null,\
+             \"flag\":true,\"list\":[1,2,3],\"nil\":null}"
+        );
+        // Control characters use the \u escape.
+        assert_eq!(Json::from("a\u{1}b").render(), "\"a\\u0001b\"");
+    }
+
+    #[test]
+    fn table_and_figure_emit_json() {
+        let mut t = TextTable::new("Demo", &["program", "sdc%"]);
+        t.add_row(vec!["qsort".into(), "7.00".into()]);
+        assert_eq!(
+            t.to_json().render(),
+            "{\"title\":\"Demo\",\"headers\":[\"program\",\"sdc%\"],\
+             \"rows\":[[\"qsort\",\"7.00\"]]}"
+        );
+
+        let mut fig = FigureData::new("Fig");
+        let mut s = Series::new("w=1");
+        s.push("m=2", 10.25);
+        fig.series.push(s);
+        assert_eq!(
+            fig.to_json().render(),
+            "{\"title\":\"Fig\",\"series\":[{\"label\":\"w=1\",\
+             \"points\":[{\"x\":\"m=2\",\"y\":10.25}]}]}"
+        );
     }
 
     #[test]

@@ -1,0 +1,345 @@
+//! Deterministic, dependency-free pseudo-random number generation.
+//!
+//! The paper's methodology rests on *reproducible seeded sampling* of the
+//! error space: a campaign is defined by its seed, and the same seed must
+//! select the same time–location pairs, bit positions and window sizes on
+//! every machine, forever.  This module pins that contract with two small,
+//! well-known generators implemented from their reference descriptions:
+//!
+//! * [`SplitMix64`] — the seeding generator (Steele, Lea & Flood, OOPSLA'14).
+//!   Used to expand a 64-bit seed into the 256-bit xoshiro state; it is also
+//!   a perfectly fine generator for input-data shuffling in tests.
+//! * [`Xoshiro256StarStar`] — Blackman & Vigna's xoshiro256\*\* 1.0, the
+//!   workhorse generator behind every sampling decision in `mbfi-core`
+//!   (aliased as [`SmallRng`] for continuity with the previous `rand`-based
+//!   implementation).
+//!
+//! Both are pinned by known-answer tests against the published reference
+//! vectors, so a behavioural regression in sampling is a test failure, not a
+//! silent change of every downstream figure.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The random-number interface used throughout `mbfi-core`.
+///
+/// Only [`Rng::next_u64`] is required; everything else is derived and kept
+/// intentionally small — uniform integers in a range and raw 64-bit words
+/// are the only randomness the fault-injection engine consumes.
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed integer in `range` (which must be non-empty).
+    ///
+    /// Accepts both half-open (`lo..hi`) and inclusive (`lo..=hi`) ranges
+    /// over `u32`, `u64` and `usize`.  Sampling is unbiased: the classic
+    /// threshold-rejection scheme is used instead of a bare modulo.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        let (lo, hi) = range.inclusive_bounds();
+        R::from_u64(lo.wrapping_add(uniform_span(self, hi - lo)))
+    }
+
+    /// A uniformly distributed `bool` with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        // 53 random bits → uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+/// Uniform value in `0..=span` (inclusive), unbiased.
+fn uniform_span<G: Rng + ?Sized>(rng: &mut G, span: u64) -> u64 {
+    if span == u64::MAX {
+        return rng.next_u64();
+    }
+    let bound = span + 1; // number of admissible values, >= 1
+    if bound.is_power_of_two() {
+        return rng.next_u64() & span;
+    }
+    // Reject the low-end excess so that `% bound` is exactly uniform.
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let v = rng.next_u64();
+        if v >= threshold {
+            return v % bound;
+        }
+    }
+}
+
+/// Integer ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The integer type produced.
+    type Output;
+
+    /// The range as inclusive `(lo, hi)` bounds in the `u64` domain.
+    ///
+    /// Panics if the range is empty.
+    fn inclusive_bounds(&self) -> (u64, u64);
+
+    /// Narrow a sampled `u64` back to the output type.
+    fn from_u64(v: u64) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+
+            fn inclusive_bounds(&self) -> (u64, u64) {
+                assert!(self.start < self.end, "gen_range called with an empty range");
+                (self.start as u64, self.end as u64 - 1)
+            }
+
+            fn from_u64(v: u64) -> $t {
+                v as $t
+            }
+        }
+
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+
+            fn inclusive_bounds(&self) -> (u64, u64) {
+                assert!(
+                    self.start() <= self.end(),
+                    "gen_range called with an empty range"
+                );
+                (*self.start() as u64, *self.end() as u64)
+            }
+
+            fn from_u64(v: u64) -> $t {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u32, u64, usize);
+
+/// SplitMix64: the seeding generator.
+///
+/// One multiply-free state increment (the golden-gamma Weyl sequence) plus a
+/// 3-stage finaliser; passes BigCrush and is the standard way to derive
+/// larger generator states from a 64-bit seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Golden-ratio increment of the Weyl sequence.
+    pub const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+    /// Create a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(Self::GOLDEN_GAMMA);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256\*\* 1.0 (Blackman & Vigna, 2018): the default generator.
+///
+/// 256 bits of state, period 2²⁵⁶ − 1, excellent statistical quality and a
+/// handful of shifts/rotates per output — a drop-in replacement for the
+/// `rand::rngs::SmallRng` the seed code used (which, on 64-bit platforms,
+/// was itself xoshiro256++-family).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Seed via SplitMix64 as recommended by the xoshiro authors; the state
+    /// cannot become all-zero this way.
+    pub fn seed_from_u64(seed: u64) -> Xoshiro256StarStar {
+        let mut sm = SplitMix64::seed_from_u64(seed);
+        Xoshiro256StarStar {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Construct directly from a 256-bit state (must not be all zero).
+    pub fn from_state(s: [u64; 4]) -> Xoshiro256StarStar {
+        assert!(s.iter().any(|&w| w != 0), "xoshiro state must be non-zero");
+        Xoshiro256StarStar { s }
+    }
+}
+
+impl Rng for Xoshiro256StarStar {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The generator used by the injection engine (replaces `rand::SmallRng`).
+pub type SmallRng = Xoshiro256StarStar;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Published SplitMix64 reference vector for seed 0 (Vigna's
+    /// `splitmix64.c` driven with an all-zero initial state; the same values
+    /// appear in the test suites of several independent implementations).
+    #[test]
+    fn splitmix64_known_answer_seed_zero() {
+        let mut rng = SplitMix64::seed_from_u64(0);
+        let expected = [
+            0xE220_A839_7B1D_CDAF_u64,
+            0x6E78_9E6A_A1B9_65F4,
+            0x06C4_5D18_8009_454F,
+            0xF88B_B8A8_724C_81EC,
+            0x1B39_896A_51A8_749B,
+        ];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(rng.next_u64(), e, "splitmix64 output {i}");
+        }
+    }
+
+    /// Published SplitMix64 reference vector for seed 1234567.
+    #[test]
+    fn splitmix64_known_answer_seed_1234567() {
+        let mut rng = SplitMix64::seed_from_u64(1234567);
+        let expected = [
+            6_457_827_717_110_365_317_u64,
+            3_203_168_211_198_807_973,
+            9_817_491_932_198_370_423,
+        ];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(rng.next_u64(), e, "splitmix64 output {i}");
+        }
+    }
+
+    /// xoshiro256** reference vector for the state [1, 2, 3, 4], computed
+    /// from an independent transliteration of Vigna's reference C code (the
+    /// first three outputs also verified by hand: 11520, 0, 1509978240).
+    #[test]
+    fn xoshiro256starstar_known_answer_state_1234() {
+        let mut rng = Xoshiro256StarStar::from_state([1, 2, 3, 4]);
+        let expected = [
+            11520_u64,
+            0,
+            1_509_978_240,
+            1_215_971_899_390_074_240,
+            1_216_172_134_540_287_360,
+            607_988_272_756_665_600,
+            16_172_922_978_634_559_625,
+            8_476_171_486_693_032_832,
+            10_595_114_339_597_558_777,
+            2_904_607_092_377_533_576,
+        ];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(rng.next_u64(), e, "xoshiro256** output {i}");
+        }
+    }
+
+    /// seed_from_u64 must route through SplitMix64: the state after seeding
+    /// with 0 is exactly the first four SplitMix64(0) outputs.
+    #[test]
+    fn seeding_uses_splitmix64_expansion() {
+        let rng = Xoshiro256StarStar::seed_from_u64(0);
+        let reference = Xoshiro256StarStar::from_state([
+            0xE220_A839_7B1D_CDAF,
+            0x6E78_9E6A_A1B9_65F4,
+            0x06C4_5D18_8009_454F,
+            0xF88B_B8A8_724C_81EC,
+        ]);
+        assert_eq!(rng, reference);
+    }
+
+    #[test]
+    fn same_seed_same_stream_different_seed_different_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let mut c = SmallRng::seed_from_u64(43);
+        let sa: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let sc: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds_for_all_supported_types() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let a: u32 = rng.gen_range(0..64u32);
+            assert!(a < 64);
+            let b: u64 = rng.gen_range(5..=10u64);
+            assert!((5..=10).contains(&b));
+            let c: usize = rng.gen_range(0..3usize);
+            assert!(c < 3);
+            let d: u64 = rng.gen_range(17..18u64);
+            assert_eq!(d, 17, "single-value range is deterministic");
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_full_range() {
+        // A 64-bit full-width inclusive range must not panic or truncate.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let _: u64 = rng.gen_range(0..=u64::MAX);
+
+        // Every value of a small range appears (uniformity smoke test).
+        let mut seen = [0u32; 6];
+        for _ in 0..6000 {
+            let v: usize = rng.gen_range(0..6usize);
+            seen[v] += 1;
+        }
+        for (v, &n) in seen.iter().enumerate() {
+            // Expected 1000 each; allow generous slack for a smoke test.
+            assert!(
+                (700..=1300).contains(&n),
+                "value {v} drawn {n} times out of 6000"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _: u32 = rng.gen_range(5..5u32);
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "p=0.25 hit {hits}/10000");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn all_zero_xoshiro_state_is_rejected() {
+        let r = std::panic::catch_unwind(|| Xoshiro256StarStar::from_state([0; 4]));
+        assert!(r.is_err());
+    }
+}

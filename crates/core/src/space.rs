@@ -7,10 +7,9 @@
 //! Because these numbers overflow `u64` for realistic workloads, they are
 //! reported in log10 form as well.
 
-use serde::{Deserialize, Serialize};
 
 /// Error-space sizes for one workload / technique.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ErrorSpace {
     /// Number of candidate dynamic instructions (`d`).
     pub candidates: u64,

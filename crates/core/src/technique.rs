@@ -1,10 +1,9 @@
 //! The two fault-injection techniques of the paper (§III-A).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Where in the dataflow a bit-flip is applied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Technique {
     /// Corrupt a source register just before an instruction reads it.
     ///

@@ -2,11 +2,10 @@
 
 use crate::instr::Instr;
 use crate::types::Type;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a basic block inside a function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BlockId(pub u32);
 
 impl BlockId {
@@ -23,7 +22,7 @@ impl fmt::Display for BlockId {
 }
 
 /// Identifies a function inside a module (index into the function table).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FuncId(pub u32);
 
 impl FuncId {
@@ -34,7 +33,7 @@ impl FuncId {
 }
 
 /// Metadata for one virtual register.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegInfo {
     /// The register's scalar type.
     pub ty: Type,
@@ -44,7 +43,7 @@ pub struct RegInfo {
 
 /// A basic block: a straight-line sequence of instructions ending in a
 /// terminator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Block {
     /// Optional label used by the printer / parser.
     pub label: Option<String>,
@@ -68,7 +67,7 @@ impl Block {
 }
 
 /// A function: parameters, a register table, and basic blocks.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Function {
     /// Function name (unique within a module).
     pub name: String,

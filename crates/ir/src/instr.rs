@@ -14,11 +14,10 @@
 use crate::function::BlockId;
 use crate::types::Type;
 use crate::value::{Operand, Reg};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Integer and floating-point binary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// Integer addition (wrapping).
     Add,
@@ -145,7 +144,7 @@ impl BinOp {
 }
 
 /// Integer comparison predicates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IcmpPred {
     /// Equal.
     Eq,
@@ -220,7 +219,7 @@ impl IcmpPred {
 
 /// Floating-point comparison predicates (ordered comparisons plus
 /// ordered/unordered tests).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FcmpPred {
     /// Ordered and equal.
     Oeq,
@@ -280,7 +279,7 @@ impl FcmpPred {
 }
 
 /// Conversion operators between scalar types.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CastOp {
     /// Truncate an integer to a narrower integer type.
     Trunc,
@@ -352,7 +351,7 @@ impl CastOp {
 /// These model the libc / libm calls the original C benchmarks make.  Output
 /// intrinsics append to the program's output buffer, which is what the
 /// outcome classifier compares against the golden run to detect SDCs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Intrinsic {
     /// Print a signed 64-bit integer followed by a newline.
     PrintI64,
@@ -467,7 +466,7 @@ impl Intrinsic {
 }
 
 /// Coarse instruction kind used when reporting injection targets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Opcode {
     /// Binary arithmetic / logic.
     Binary,
@@ -511,7 +510,7 @@ pub enum Opcode {
 /// defining instruction, but the verifier only enforces that every register
 /// is defined before use on every path, not strict single-assignment (loops
 /// built by the workloads reuse phi-free mutable slots through memory).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Instr {
     /// `dest = op ty lhs, rhs`
     Binary {

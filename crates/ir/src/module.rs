@@ -1,10 +1,9 @@
 //! Modules and global data.
 
 use crate::function::{FuncId, Function};
-use serde::{Deserialize, Serialize};
 
 /// A global data object (read/write byte array placed in the globals segment).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Global {
     /// Name of the global (unique within a module).
     pub name: String,
@@ -39,7 +38,7 @@ impl Global {
 }
 
 /// A whole program: functions plus global data.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Module {
     /// Module name (typically the workload name).
     pub name: String,

@@ -6,7 +6,6 @@
 //! exactly one scalar value; aggregates live in memory and are accessed via
 //! loads, stores and `gep`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A scalar IR type.
@@ -15,7 +14,7 @@ use std::fmt;
 /// number of bits reported by [`Type::bit_width`] is the number of bit
 /// positions the fault injector may flip in a value of that type, mirroring
 /// how LLFI derives the flip range from the LLVM value width.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Type {
     /// A 1-bit boolean (`i1`), produced by comparisons.
     I1,

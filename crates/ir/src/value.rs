@@ -6,11 +6,10 @@
 //! immediates are not injection candidates.
 
 use crate::types::Type;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A virtual register identifier, local to a [`crate::Function`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Reg(pub u32);
 
 impl Reg {
@@ -31,7 +30,7 @@ impl fmt::Display for Reg {
 /// The payload is always carried as a raw 64-bit pattern; floats store their
 /// IEEE-754 encoding.  This is the same representation the VM uses for
 /// runtime values, which keeps bit-flips uniform across types.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Constant {
     /// An integer constant of the given integer type.
     Int { ty: Type, bits: u64 },
@@ -154,7 +153,7 @@ impl fmt::Display for Constant {
 }
 
 /// An instruction operand: a register or a constant.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Operand {
     /// A virtual register read.
     Reg(Reg),

@@ -261,11 +261,10 @@ fn verify_function(module: &Module, func: &Function, errors: &mut Vec<VerifyErro
                         _ => {}
                     };
                 }
-                Instr::Phi { incoming, .. } => {
-                    if incoming.is_empty() {
+                Instr::Phi { incoming, .. }
+                    if incoming.is_empty() => {
                         errors.push(err(Some(fname), Some(b), Some(i), "phi with no incoming arms"));
                     }
-                }
                 _ => {}
             }
         }

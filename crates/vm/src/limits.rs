@@ -1,9 +1,8 @@
 //! Execution limits for hang detection and resource bounding.
 
-use serde::{Deserialize, Serialize};
 
 /// Resource limits applied to one program run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Limits {
     /// Maximum number of dynamic instructions before the run is classified
     /// as a hang.  LLFI sets this to one or two orders of magnitude above

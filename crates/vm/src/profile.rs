@@ -15,11 +15,10 @@
 
 use crate::hooks::{ExecHook, InstrContext};
 use mbfi_ir::Opcode;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Summary of a fault-free run.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ExecutionProfile {
     /// Total dynamic instructions executed.
     pub dynamic_instrs: u64,

@@ -4,11 +4,10 @@
 //! *Detected by Hardware Exceptions*: segmentation faults, misaligned
 //! accesses, arithmetic errors and aborts (§III-E).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A hardware exception terminating execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Trap {
     /// Access to an address outside every mapped segment (or to the null
     /// page), i.e. a segmentation fault.

@@ -8,11 +8,10 @@
 
 use mbfi_ir::value::sign_extend;
 use mbfi_ir::{Constant, Type};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A runtime scalar value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Value {
     /// The scalar type of the value.
     pub ty: Type,
@@ -149,7 +148,21 @@ impl fmt::Display for Value {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+
+    /// Deterministic SplitMix64 stream for randomised cases (this crate must
+    /// stay below `mbfi-core`, so it cannot use `mbfi_core::rng`).
+    fn test_bits(seed: u64, n: usize) -> Vec<u64> {
+        let mut state = seed;
+        let mut out = vec![0, 1, u64::MAX, 1 << 63, 0x5555_5555_5555_5555];
+        out.extend((0..n).map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }));
+        out
+    }
 
     #[test]
     fn construction_masks_to_width() {
@@ -203,7 +216,7 @@ mod tests {
         assert_eq!(Value::from_constant(&Constant::i32(-3)).as_i64(), -3);
         assert_eq!(Value::from_constant(&Constant::f64(1.5)).as_f64(), 1.5);
         assert_eq!(Value::from_constant(&Constant::Null).as_u64(), 0);
-        assert_eq!(Value::from_constant(&Constant::bool(true)).as_bool(), true);
+        assert!(Value::from_constant(&Constant::bool(true)).as_bool());
     }
 
     #[test]
@@ -212,53 +225,84 @@ mod tests {
         let _ = Value::from_constant(&Constant::global(0));
     }
 
-    proptest! {
-        /// Flipping the same bit twice restores the original value.
-        #[test]
-        fn prop_flip_is_involutive(bits in any::<u64>(), bit in 0u32..64) {
-            for ty in Type::ALL {
-                let v = Value::new(ty, bits);
-                prop_assert_eq!(v.flip_bit(bit).flip_bit(bit), v);
-            }
-        }
-
-        /// A flip inside the width changes the value; outside it never does.
-        #[test]
-        fn prop_flip_changes_iff_in_width(bits in any::<u64>(), bit in 0u32..64) {
-            for ty in Type::ALL {
-                let v = Value::new(ty, bits);
-                let flipped = v.flip_bit(bit);
-                if bit < ty.bit_width() {
-                    prop_assert_ne!(flipped, v);
-                } else {
-                    prop_assert_eq!(flipped, v);
+    /// Flipping the same bit twice restores the original value — exhaustive
+    /// over every bit position for a deterministic set of bit patterns.
+    #[test]
+    fn flip_is_involutive() {
+        for bits in test_bits(0xF11B, 32) {
+            for bit in 0u32..64 {
+                for ty in Type::ALL {
+                    let v = Value::new(ty, bits);
+                    assert_eq!(v.flip_bit(bit).flip_bit(bit), v, "{ty} bit {bit}");
                 }
             }
         }
+    }
 
-        /// Values never carry bits outside their type's mask.
-        #[test]
-        fn prop_values_respect_mask(bits in any::<u64>(), bit in 0u32..64) {
-            for ty in Type::ALL {
-                let v = Value::new(ty, bits).flip_bit(bit);
-                prop_assert_eq!(v.bits & !ty.bit_mask(), 0);
+    /// A flip inside the width changes the value; outside it never does.
+    #[test]
+    fn flip_changes_iff_in_width() {
+        for bits in test_bits(0xC4A6, 32) {
+            for bit in 0u32..64 {
+                for ty in Type::ALL {
+                    let v = Value::new(ty, bits);
+                    let flipped = v.flip_bit(bit);
+                    if bit < ty.bit_width() {
+                        assert_ne!(flipped, v, "{ty} bit {bit}");
+                    } else {
+                        assert_eq!(flipped, v, "{ty} bit {bit}");
+                    }
+                }
             }
         }
+    }
 
-        /// Signed interpretation round-trips through i64 for i64 values.
-        #[test]
-        fn prop_i64_round_trip(v in any::<i64>()) {
-            prop_assert_eq!(Value::i64(v).as_i64(), v);
+    /// Values never carry bits outside their type's mask.
+    #[test]
+    fn values_respect_mask() {
+        for bits in test_bits(0x3A5C, 32) {
+            for bit in 0u32..64 {
+                for ty in Type::ALL {
+                    let v = Value::new(ty, bits).flip_bit(bit);
+                    assert_eq!(v.bits & !ty.bit_mask(), 0, "{ty} bit {bit}");
+                }
+            }
         }
+    }
 
-        /// f64 values round-trip bit-exactly.
-        #[test]
-        fn prop_f64_round_trip(v in any::<f64>()) {
+    /// Signed interpretation round-trips through i64 for i64 values.
+    #[test]
+    fn i64_round_trip() {
+        for bits in test_bits(0x164, 64) {
+            let v = bits as i64;
+            assert_eq!(Value::i64(v).as_i64(), v);
+        }
+        for v in [i64::MIN, i64::MIN + 1, -1, 0, 1, i64::MAX] {
+            assert_eq!(Value::i64(v).as_i64(), v);
+        }
+    }
+
+    /// f64 values round-trip bit-exactly (including NaN payloads).
+    #[test]
+    fn f64_round_trip() {
+        let mut cases: Vec<f64> = vec![
+            0.0,
+            -0.0,
+            1.5,
+            -2.75,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+        ];
+        cases.extend(test_bits(0xF64, 64).into_iter().map(f64::from_bits));
+        for v in cases {
             let round = Value::f64(v).as_f64();
             if v.is_nan() {
-                prop_assert!(round.is_nan());
+                assert!(round.is_nan());
             } else {
-                prop_assert_eq!(round, v);
+                assert_eq!(round, v);
             }
         }
     }

@@ -1,11 +1,53 @@
-//! Property-based semantics tests: small programs built on the fly must
-//! compute the same results as native Rust arithmetic, and structural
-//! invariants of execution (instruction counting, output determinism,
-//! memory isolation between runs) must hold for arbitrary inputs.
+//! Randomised semantics tests (formerly proptest, now a seeded in-file
+//! generator so the build has zero external dependencies): small programs
+//! built on the fly must compute the same results as native Rust arithmetic,
+//! and structural invariants of execution (instruction counting, output
+//! determinism, memory isolation between runs) must hold for arbitrary
+//! inputs.
+//!
+//! Each property is exercised on a fixed set of adversarial edge cases plus
+//! 64 pseudo-random cases from a deterministic SplitMix64 stream — same
+//! inputs on every run, on every machine, so a failure is always
+//! reproducible from the test name alone.
 
 use mbfi_ir::{BinOp, IcmpPred, Module, ModuleBuilder, Operand, Type};
 use mbfi_vm::{Limits, NoopHook, RunOutcome, Trap, Vm};
-use proptest::prelude::*;
+
+/// Deterministic input generator (SplitMix64; the engine's own PRNG lives in
+/// `mbfi-core`, which this crate must not depend on).
+struct Gen(u64);
+
+impl Gen {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_i64(&mut self) -> i64 {
+        self.next_u64() as i64
+    }
+}
+
+/// Adversarial operand values every pairwise property sees first.
+const EDGE_CASES: [i64; 8] = [0, 1, -1, 2, -2, i64::MIN, i64::MAX, i64::MIN + 1];
+
+/// Edge-case pairs followed by 64 seeded random pairs.
+fn i64_pairs(seed: u64) -> Vec<(i64, i64)> {
+    let mut pairs = Vec::new();
+    for &a in &EDGE_CASES {
+        for &b in &EDGE_CASES {
+            pairs.push((a, b));
+        }
+    }
+    let mut g = Gen(seed);
+    for _ in 0..64 {
+        pairs.push((g.next_i64(), g.next_i64()));
+    }
+    pairs
+}
 
 /// Build a program that loads two i64 values from stack slots, applies `op`,
 /// and prints the result.
@@ -34,12 +76,10 @@ fn run(module: &Module) -> (RunOutcome, String) {
     (result.outcome, text)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Wrapping integer arithmetic matches Rust's wrapping semantics.
-    #[test]
-    fn prop_wrapping_arithmetic_matches_rust(a in any::<i64>(), b in any::<i64>()) {
+/// Wrapping integer arithmetic matches Rust's wrapping semantics.
+#[test]
+fn wrapping_arithmetic_matches_rust() {
+    for (a, b) in i64_pairs(0xA217) {
         for (op, expected) in [
             (BinOp::Add, a.wrapping_add(b)),
             (BinOp::Sub, a.wrapping_sub(b)),
@@ -49,26 +89,39 @@ proptest! {
             (BinOp::Xor, a ^ b),
         ] {
             let (outcome, text) = run(&binary_program(op, a, b));
-            prop_assert!(outcome.is_completed());
-            prop_assert_eq!(text.parse::<i64>().unwrap(), expected, "op {:?}", op);
+            assert!(outcome.is_completed(), "op {op:?} on ({a}, {b}): {outcome:?}");
+            assert_eq!(
+                text.parse::<i64>().unwrap(),
+                expected,
+                "op {op:?} on ({a}, {b})"
+            );
         }
     }
+}
 
-    /// Signed division matches Rust, and division by zero traps.
-    #[test]
-    fn prop_division_semantics(a in any::<i64>(), b in any::<i64>()) {
+/// Signed division matches Rust, and division by zero (or MIN / -1
+/// overflow) traps.
+#[test]
+fn division_semantics() {
+    for (a, b) in i64_pairs(0xD117) {
         let (outcome, text) = run(&binary_program(BinOp::SDiv, a, b));
         if b == 0 || (a == i64::MIN && b == -1) {
-            prop_assert_eq!(outcome, RunOutcome::Trapped(Trap::DivideByZero));
+            assert_eq!(
+                outcome,
+                RunOutcome::Trapped(Trap::DivideByZero),
+                "({a}, {b}) must trap"
+            );
         } else {
-            prop_assert!(outcome.is_completed());
-            prop_assert_eq!(text.parse::<i64>().unwrap(), a / b);
+            assert!(outcome.is_completed(), "({a}, {b}): {outcome:?}");
+            assert_eq!(text.parse::<i64>().unwrap(), a / b, "({a}, {b})");
         }
     }
+}
 
-    /// Comparison results match Rust's signed/unsigned comparisons.
-    #[test]
-    fn prop_comparisons_match_rust(a in any::<i64>(), b in any::<i64>()) {
+/// Comparison results match Rust's signed/unsigned comparisons.
+#[test]
+fn comparisons_match_rust() {
+    for (a, b) in i64_pairs(0xC317) {
         let cases: Vec<(IcmpPred, bool)> = vec![
             (IcmpPred::Eq, a == b),
             (IcmpPred::Ne, a != b),
@@ -92,14 +145,19 @@ proptest! {
             }
             mb.set_entry(main);
             let (outcome, text) = run(&mb.finish());
-            prop_assert!(outcome.is_completed());
-            prop_assert_eq!(text == "1", expected, "pred {:?}", pred);
+            assert!(outcome.is_completed());
+            assert_eq!(text == "1", expected, "pred {pred:?} on ({a}, {b})");
         }
     }
+}
 
-    /// Stored values round-trip through memory unchanged for every type width.
-    #[test]
-    fn prop_memory_round_trip(value in any::<i64>()) {
+/// Stored values round-trip through memory unchanged for every type width.
+#[test]
+fn memory_round_trip() {
+    let mut values: Vec<i64> = EDGE_CASES.to_vec();
+    let mut g = Gen(0x3E3);
+    values.extend((0..64).map(|_| g.next_i64()));
+    for value in values {
         for ty in [Type::I8, Type::I16, Type::I32, Type::I64] {
             let mut mb = ModuleBuilder::new("prop-mem");
             let main = mb.declare("main", &[], None);
@@ -108,29 +166,32 @@ proptest! {
                 let slot = f.slot(ty);
                 f.store(ty, Operand::Const(mbfi_ir::Constant::int(ty, value)), slot);
                 let v = f.load(ty, slot);
-                let wide = if ty == Type::I64 {
-                    v
-                } else {
-                    f.sext_to_i64(ty, v)
-                };
+                let wide = if ty == Type::I64 { v } else { f.sext_to_i64(ty, v) };
                 f.print_i64(wide);
                 f.ret_void();
             }
             mb.set_entry(main);
             let (outcome, text) = run(&mb.finish());
-            prop_assert!(outcome.is_completed());
-            let expected = mbfi_ir::value::sign_extend(
-                (value as u64) & ty.bit_mask(),
-                ty.bit_width(),
+            assert!(outcome.is_completed());
+            let expected =
+                mbfi_ir::value::sign_extend((value as u64) & ty.bit_mask(), ty.bit_width());
+            assert_eq!(
+                text.parse::<i64>().unwrap(),
+                expected,
+                "type {ty} value {value}"
             );
-            prop_assert_eq!(text.parse::<i64>().unwrap(), expected, "type {}", ty);
         }
     }
+}
 
-    /// Golden runs are deterministic: same module, same dynamic instruction
-    /// count and output, run after run.
-    #[test]
-    fn prop_runs_are_deterministic(a in any::<i64>(), b in 1i64..1000) {
+/// Golden runs are deterministic: same module, same dynamic instruction
+/// count and output, run after run.
+#[test]
+fn runs_are_deterministic() {
+    let mut g = Gen(0xDE7);
+    for _ in 0..64 {
+        let a = g.next_i64();
+        let b = 1 + (g.next_u64() % 999) as i64;
         let mut mb = ModuleBuilder::new("prop-det");
         let main = mb.declare("main", &[], None);
         {
@@ -150,20 +211,25 @@ proptest! {
         let module = mb.finish();
         let r1 = Vm::run_golden(&module, Limits::default());
         let r2 = Vm::run_golden(&module, Limits::default());
-        prop_assert_eq!(r1.output, r2.output);
-        prop_assert_eq!(r1.dynamic_instrs, r2.dynamic_instrs);
+        assert_eq!(r1.output, r2.output);
+        assert_eq!(r1.dynamic_instrs, r2.dynamic_instrs);
     }
+}
 
-    /// The dynamic instruction count reported by the VM equals the number of
-    /// times the hook's on_instr fires.
-    #[test]
-    fn prop_instruction_accounting(n in 1i64..200) {
-        struct Counter(u64);
-        impl mbfi_vm::ExecHook for Counter {
-            fn on_instr(&mut self, _ctx: &mbfi_vm::InstrContext) {
-                self.0 += 1;
-            }
+/// The dynamic instruction count reported by the VM equals the number of
+/// times the hook's on_instr fires.
+#[test]
+fn instruction_accounting() {
+    struct Counter(u64);
+    impl mbfi_vm::ExecHook for Counter {
+        fn on_instr(&mut self, _ctx: &mbfi_vm::InstrContext) {
+            self.0 += 1;
         }
+    }
+    let mut g = Gen(0xACC);
+    let mut loop_counts: Vec<i64> = vec![1, 2, 199];
+    loop_counts.extend((0..32).map(|_| 1 + (g.next_u64() % 199) as i64));
+    for n in loop_counts {
         let mut mb = ModuleBuilder::new("prop-count");
         let main = mb.declare("main", &[], None);
         {
@@ -183,10 +249,10 @@ proptest! {
         let module = mb.finish();
         let mut counter = Counter(0);
         let result = Vm::new(&module, Limits::default()).run(&mut counter);
-        prop_assert!(result.outcome.is_completed());
-        prop_assert_eq!(counter.0, result.dynamic_instrs);
+        assert!(result.outcome.is_completed());
+        assert_eq!(counter.0, result.dynamic_instrs);
         // The loop body executes n times; the instruction count grows linearly.
-        prop_assert!(result.dynamic_instrs as i64 > 5 * n);
+        assert!(result.dynamic_instrs as i64 > 5 * n, "n = {n}");
     }
 }
 

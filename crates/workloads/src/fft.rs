@@ -242,8 +242,8 @@ fn reference_fft(inverse: bool, size: InputSize) -> Vec<u8> {
     }
     let mut total = 0.0f64;
     for i in 0..n {
-        total = total + re[i].abs();
-        total = total + im[i].abs();
+        total += re[i].abs();
+        total += im[i].abs();
     }
     print_f64(&mut out, total);
     out

@@ -205,7 +205,7 @@ mod tests {
     fn skewed_input_saturates_at_least_one_bin_on_small() {
         let bins = Histo::histogram(&Histo::input(InputSize::Small));
         assert!(
-            bins.iter().any(|&b| b == SATURATION),
+            bins.contains(&SATURATION),
             "the skewed input should saturate a bin, max was {}",
             bins.iter().max().unwrap()
         );

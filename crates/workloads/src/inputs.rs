@@ -255,7 +255,7 @@ mod tests {
             assert!(rows
                 .iter()
                 .zip(&cols)
-                .any(|(&r, &c)| r == i as i32 && c == i as i32));
+                .any(|(&r, &c)| r == i && c == i));
         }
     }
 }

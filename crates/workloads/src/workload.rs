@@ -1,11 +1,10 @@
 //! The [`Workload`] trait and its supporting types.
 
 use mbfi_ir::Module;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which benchmark suite a workload is modelled after.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
     /// MiBench: commercially representative embedded programs.
     MiBench,
@@ -23,7 +22,7 @@ impl fmt::Display for Suite {
 }
 
 /// Input scale for a workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum InputSize {
     /// A minimal input used by unit tests and doc examples.
     Tiny,

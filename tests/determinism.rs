@@ -27,6 +27,29 @@ fn experiments_with_the_same_spec_are_identical() {
     }
 }
 
+/// The core determinism contract: the same `seed` in a `CampaignSpec` gives
+/// a byte-identical `CampaignResult` across two independent runs (all fields,
+/// via `PartialEq`), under the in-repo SplitMix64/xoshiro256** PRNG.
+#[test]
+fn same_campaign_seed_gives_identical_results() {
+    let w = workload_by_name("qsort").unwrap();
+    let module = w.build_module(InputSize::Tiny);
+    let golden = GoldenRun::capture(&module).unwrap();
+    for technique in Technique::ALL {
+        let spec = CampaignSpec {
+            technique,
+            model: FaultModel::multi_bit(3, WinSize::Random { lo: 2, hi: 50 }),
+            experiments: 60,
+            seed: 0xDE7E_3713,
+            hang_factor: 20,
+            threads: 0,
+        };
+        let a = Campaign::run(&module, &golden, &spec);
+        let b = Campaign::run(&module, &golden, &spec);
+        assert_eq!(a, b, "{technique}: same seed must give identical campaigns");
+    }
+}
+
 #[test]
 fn campaigns_are_thread_count_invariant() {
     let w = workload_by_name("bfs").unwrap();
