@@ -28,6 +28,16 @@ if [[ "${1:-}" == "bench" ]]; then
         echo "==> cargo bench -p mbfi-bench --bench $suite"
         cargo bench --offline -p mbfi-bench --bench "$suite"
     done
+
+    # Snapshot & replay engine: first the self-verifying mode (exits non-zero
+    # if any replayed experiment differs from full re-execution), then a tiny
+    # timing run that writes BENCH_replay.json.
+    echo "==> cargo run --release -p mbfi-bench --bin replay_bench -- --check"
+    MBFI_EXPERIMENTS=8 cargo run --release --offline -q -p mbfi-bench \
+        --bin replay_bench -- --check --out-dir "$MBFI_BENCH_OUT"
+    echo "==> cargo run --release -p mbfi-bench --bin replay_bench"
+    MBFI_EXPERIMENTS=16 MBFI_BENCH_SAMPLES=3 cargo run --release --offline -q \
+        -p mbfi-bench --bin replay_bench -- --out-dir "$MBFI_BENCH_OUT"
 fi
 
 echo "==> OK"

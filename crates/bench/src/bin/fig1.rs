@@ -1,7 +1,7 @@
 //! Regenerates Fig. 1: outcome classification of single bit-flip campaigns
 //! per workload, for both injection techniques.
 
-use mbfi_bench::harness;
+use mbfi_bench::{harness, Artefact};
 
 fn main() {
     let cfg = harness::HarnessConfig::from_env();
@@ -11,9 +11,11 @@ fn main() {
         cfg.experiments,
         cfg.size
     );
+    let mut artefact = Artefact::from_args("fig1");
     let data = harness::prepare(&cfg);
     let results = harness::single_bit_results(&cfg, &data);
     for (_, table) in harness::fig1(&results) {
-        println!("{}", table.render());
+        artefact.emit(table.render());
     }
+    artefact.finish();
 }

@@ -1,7 +1,7 @@
 //! Regenerates Fig. 2: SDC percentage when flipping 1..30 bits of the same
 //! register (win-size = 0), per workload and technique.
 
-use mbfi_bench::harness;
+use mbfi_bench::{harness, Artefact};
 use mbfi_core::Technique;
 
 fn main() {
@@ -11,9 +11,11 @@ fn main() {
         cfg.workloads().len(),
         cfg.experiments
     );
+    let mut artefact = Artefact::from_args("fig2");
     let data = harness::prepare(&cfg);
     for technique in Technique::ALL {
         let results = harness::same_register_results(&cfg, &data, technique);
-        println!("{}", harness::fig2(technique, &results).render());
+        artefact.emit(harness::fig2(technique, &results).render());
     }
+    artefact.finish();
 }

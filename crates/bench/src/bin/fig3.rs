@@ -1,7 +1,7 @@
 //! Regenerates Fig. 3: distribution of the number of activated errors before
 //! a crash when max-MBF = 30.
 
-use mbfi_bench::harness;
+use mbfi_bench::{harness, Artefact};
 use mbfi_core::Technique;
 
 fn main() {
@@ -11,14 +11,16 @@ fn main() {
         cfg.workloads().len(),
         cfg.experiments
     );
+    let mut artefact = Artefact::from_args("fig3");
     let data = harness::prepare(&cfg);
     for technique in Technique::ALL {
         let campaigns = harness::activation_results(&cfg, &data, technique);
         let (table, analysis) = harness::fig3(technique, &campaigns);
-        println!("{}", table.render());
-        println!(
+        artefact.emit(table.render());
+        artefact.emit(format!(
             "suggested max-MBF bound for 95% coverage ({technique}): {}\n",
             analysis.suggested_bound(0.95)
-        );
+        ));
     }
+    artefact.finish();
 }

@@ -1,7 +1,7 @@
 //! Regenerates Fig. 4: SDC percentages for multi-register injections
 //! (win-size > 0) with the inject-on-read technique.
 
-use mbfi_bench::harness;
+use mbfi_bench::{harness, Artefact};
 use mbfi_core::Technique;
 
 fn main() {
@@ -12,9 +12,11 @@ fn main() {
         cfg.experiments,
         if cfg.full_grid { "full" } else { "coarse" }
     );
+    let mut artefact = Artefact::from_args("fig4");
     let data = harness::prepare(&cfg);
     let sweeps = harness::multi_register_results(&cfg, &data, Technique::InjectOnRead);
     for fig in harness::fig45(Technique::InjectOnRead, &sweeps) {
-        println!("{}", fig.render());
+        artefact.emit(fig.render());
     }
+    artefact.finish();
 }

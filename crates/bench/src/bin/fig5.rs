@@ -1,7 +1,7 @@
 //! Regenerates Fig. 5: SDC percentages for multi-register injections
 //! (win-size > 0) with the inject-on-write technique.
 
-use mbfi_bench::harness;
+use mbfi_bench::{harness, Artefact};
 use mbfi_core::Technique;
 
 fn main() {
@@ -12,9 +12,11 @@ fn main() {
         cfg.experiments,
         if cfg.full_grid { "full" } else { "coarse" }
     );
+    let mut artefact = Artefact::from_args("fig5");
     let data = harness::prepare(&cfg);
     let sweeps = harness::multi_register_results(&cfg, &data, Technique::InjectOnWrite);
     for fig in harness::fig45(Technique::InjectOnWrite, &sweeps) {
-        println!("{}", fig.render());
+        artefact.emit(fig.render());
     }
+    artefact.finish();
 }

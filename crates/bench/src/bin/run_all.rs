@@ -3,7 +3,7 @@
 //!
 //! Pass `--show-grid` to print Table I (the parameter grid) and exit.
 
-use mbfi_bench::harness;
+use mbfi_bench::{harness, Artefact};
 use mbfi_core::{ParameterGrid, Technique};
 
 fn main() {
@@ -15,56 +15,62 @@ fn main() {
 
     let cfg = harness::HarnessConfig::from_env();
     eprintln!(
-        "run_all: {} workloads, {} experiments/campaign, {} input, grid = {}",
+        "run_all: {} workloads, {} experiments/campaign, {} input, grid = {}, replay = {}",
         cfg.workloads().len(),
         cfg.experiments,
         cfg.size,
-        if cfg.full_grid { "full" } else { "coarse" }
+        if cfg.full_grid { "full" } else { "coarse" },
+        if cfg.replay { "on" } else { "off" }
     );
+    let mut artefact = Artefact::from_args("run_all");
     let data = harness::prepare(&cfg);
 
     // Table II.
-    println!("{}", harness::table2(&cfg, &data).render());
+    artefact.emit(harness::table2(&cfg, &data).render());
 
     // Fig. 1.
     let singles = harness::single_bit_results(&cfg, &data);
     for (_, table) in harness::fig1(&singles) {
-        println!("{}", table.render());
+        artefact.emit(table.render());
     }
 
     // Fig. 2.
     for technique in Technique::ALL {
         let results = harness::same_register_results(&cfg, &data, technique);
-        println!("{}", harness::fig2(technique, &results).render());
+        artefact.emit(harness::fig2(technique, &results).render());
     }
 
     // Fig. 3.
     let read_activation_campaigns =
         harness::activation_results(&cfg, &data, Technique::InjectOnRead);
     let (t, read_activation) = harness::fig3(Technique::InjectOnRead, &read_activation_campaigns);
-    println!("{}", t.render());
+    artefact.emit(t.render());
     let write_activation_campaigns =
         harness::activation_results(&cfg, &data, Technique::InjectOnWrite);
     let (t, write_activation) =
         harness::fig3(Technique::InjectOnWrite, &write_activation_campaigns);
-    println!("{}", t.render());
+    artefact.emit(t.render());
 
     // Fig. 4 / Fig. 5 and the tables derived from them.
     let read = harness::multi_register_results(&cfg, &data, Technique::InjectOnRead);
     let write = harness::multi_register_results(&cfg, &data, Technique::InjectOnWrite);
     for fig in harness::fig45(Technique::InjectOnRead, &read) {
-        println!("{}", fig.render());
+        artefact.emit(fig.render());
     }
     for fig in harness::fig45(Technique::InjectOnWrite, &write) {
-        println!("{}", fig.render());
+        artefact.emit(fig.render());
     }
-    println!("{}", harness::table3(&read, &write).render());
+    artefact.emit(harness::table3(&read, &write).render());
     let (t4, locations) = harness::table4(&cfg, &data, &read, &write);
-    println!("{}", t4.render());
+    artefact.emit(t4.render());
 
     // RQ summary.
-    println!(
-        "{}",
-        harness::summary(&read_activation, &write_activation, &read, &write, &locations)
-    );
+    artefact.emit(harness::summary(
+        &read_activation,
+        &write_activation,
+        &read,
+        &write,
+        &locations,
+    ));
+    artefact.finish();
 }

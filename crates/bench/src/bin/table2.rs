@@ -1,14 +1,16 @@
 //! Regenerates Table II: candidate fault-injection instruction counts per
 //! workload for the inject-on-read and inject-on-write techniques.
 
-use mbfi_bench::harness;
+use mbfi_bench::{harness, Artefact};
 
 fn main() {
     let cfg = harness::HarnessConfig::from_env();
+    let mut artefact = Artefact::from_args("table2");
     let data = harness::prepare(&cfg);
     let table = harness::table2(&cfg, &data);
-    println!("{}", table.render());
-    println!(
-        "(experiments/campaign knob does not apply here; counts come from one golden run per workload)"
+    artefact.emit(table.render());
+    artefact.emit(
+        "(experiments/campaign knob does not apply here; counts come from one golden run per workload)",
     );
+    artefact.finish();
 }

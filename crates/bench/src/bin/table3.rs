@@ -1,7 +1,7 @@
 //! Regenerates Table III: the (max-MBF, win-size) configuration causing the
 //! highest SDC percentage per workload and technique.
 
-use mbfi_bench::harness;
+use mbfi_bench::{harness, Artefact};
 use mbfi_core::Technique;
 
 fn main() {
@@ -12,8 +12,10 @@ fn main() {
         cfg.experiments,
         if cfg.full_grid { "full" } else { "coarse" }
     );
+    let mut artefact = Artefact::from_args("table3");
     let data = harness::prepare(&cfg);
     let read = harness::multi_register_results(&cfg, &data, Technique::InjectOnRead);
     let write = harness::multi_register_results(&cfg, &data, Technique::InjectOnWrite);
-    println!("{}", harness::table3(&read, &write).render());
+    artefact.emit(harness::table3(&read, &write).render());
+    artefact.finish();
 }

@@ -2,7 +2,7 @@
 //! Transition I (Detection → SDC) and Transition II (Benign → SDC) when the
 //! first flip of a multi-bit experiment reuses a single-bit location.
 
-use mbfi_bench::harness;
+use mbfi_bench::{harness, Artefact};
 use mbfi_core::Technique;
 
 fn main() {
@@ -12,9 +12,11 @@ fn main() {
         cfg.workloads().len(),
         cfg.experiments
     );
+    let mut artefact = Artefact::from_args("table4");
     let data = harness::prepare(&cfg);
     let read = harness::multi_register_results(&cfg, &data, Technique::InjectOnRead);
     let write = harness::multi_register_results(&cfg, &data, Technique::InjectOnWrite);
     let (table, _) = harness::table4(&cfg, &data, &read, &write);
-    println!("{}", table.render());
+    artefact.emit(table.render());
+    artefact.finish();
 }

@@ -2,6 +2,7 @@
 
 use mbfi_core::cluster::{MAX_MBF_VALUES, WIN_SIZE_VALUES};
 use mbfi_core::pruning::{ActivationAnalysis, LocationAnalysis, PessimisticAnalysis};
+use mbfi_core::replay::{CheckpointConfig, CheckpointStore};
 use mbfi_core::report::{FigureData, Series, TextTable};
 use mbfi_core::space::ErrorSpace;
 use mbfi_core::{
@@ -29,6 +30,13 @@ pub struct HarnessConfig {
     pub threads: usize,
     /// Use the full 10 × 9 parameter grid instead of the coarse sub-grid.
     pub full_grid: bool,
+    /// Run campaigns through the checkpointed golden-run replay engine.
+    pub replay: bool,
+    /// Checkpoint interval in dynamic instructions; `None` picks a
+    /// per-workload interval (1/128th of the golden run length).
+    pub replay_interval: Option<u64>,
+    /// Memory budget for each workload's checkpoint store, in bytes.
+    pub replay_budget_bytes: usize,
 }
 
 impl Default for HarnessConfig {
@@ -41,6 +49,9 @@ impl Default for HarnessConfig {
             hang_factor: 20,
             threads: 0,
             full_grid: false,
+            replay: false,
+            replay_interval: None,
+            replay_budget_bytes: CheckpointConfig::default().max_bytes,
         }
     }
 }
@@ -56,6 +67,11 @@ impl HarnessConfig {
     /// * `MBFI_THREADS` — worker threads per campaign (default: all cores)
     /// * `MBFI_GRID` — `full` for the 10 × 9 grid, anything else for the
     ///   coarse sub-grid used by default
+    /// * `MBFI_REPLAY` — `on` to run campaigns via the checkpointed replay
+    ///   engine with an auto-picked interval, a number for an explicit
+    ///   checkpoint interval, `off`/unset to re-execute from instruction 0
+    /// * `MBFI_REPLAY_BUDGET_MB` — checkpoint-store memory budget per
+    ///   workload in MiB (default 64)
     pub fn from_env() -> HarnessConfig {
         let mut cfg = HarnessConfig::default();
         if let Ok(v) = std::env::var("MBFI_EXPERIMENTS") {
@@ -96,6 +112,21 @@ impl HarnessConfig {
         }
         if let Ok(v) = std::env::var("MBFI_GRID") {
             cfg.full_grid = v.eq_ignore_ascii_case("full");
+        }
+        if let Ok(v) = std::env::var("MBFI_REPLAY") {
+            if v.eq_ignore_ascii_case("on") {
+                cfg.replay = true;
+            } else if let Ok(n) = v.parse::<u64>() {
+                if n > 0 {
+                    cfg.replay = true;
+                    cfg.replay_interval = Some(n);
+                }
+            }
+        }
+        if let Ok(v) = std::env::var("MBFI_REPLAY_BUDGET_MB") {
+            if let Ok(n) = v.parse::<usize>() {
+                cfg.replay_budget_bytes = n << 20;
+            }
         }
         cfg
     }
@@ -151,7 +182,8 @@ impl HarnessConfig {
     }
 }
 
-/// A workload prepared for campaigns: its module plus its golden run.
+/// A workload prepared for campaigns: its module, its golden run, and (when
+/// replay is enabled) its golden-run checkpoint store.
 pub struct WorkloadData {
     /// Workload name.
     pub name: String,
@@ -163,9 +195,21 @@ pub struct WorkloadData {
     pub module: Module,
     /// The fault-free profiling run.
     pub golden: GoldenRun,
+    /// Golden-run checkpoints shared by every campaign on this workload.
+    pub store: Option<CheckpointStore>,
 }
 
-/// Build modules and capture golden runs for the configured workloads.
+impl WorkloadData {
+    /// Run one campaign on this workload, through the checkpoint store when
+    /// one was captured.  Replay-on and replay-off results are byte-identical
+    /// by contract, so figures and tables do not depend on the knob.
+    pub fn campaign(&self, spec: &CampaignSpec) -> CampaignResult {
+        Campaign::run_with_store(&self.module, &self.golden, spec, self.store.as_ref())
+    }
+}
+
+/// Build modules, capture golden runs (and checkpoint stores, when replay is
+/// enabled) for the configured workloads.
 pub fn prepare(cfg: &HarnessConfig) -> Vec<WorkloadData> {
     cfg.workloads()
         .iter()
@@ -173,12 +217,24 @@ pub fn prepare(cfg: &HarnessConfig) -> Vec<WorkloadData> {
             let module = w.build_module(cfg.size);
             let golden = GoldenRun::capture(&module)
                 .unwrap_or_else(|e| panic!("golden run of {} failed: {e}", w.name()));
+            let store = cfg.replay.then(|| {
+                let interval = cfg
+                    .replay_interval
+                    .unwrap_or_else(|| (golden.dynamic_instrs / 128).max(1));
+                let config = CheckpointConfig {
+                    interval,
+                    max_bytes: cfg.replay_budget_bytes,
+                };
+                CheckpointStore::capture(&module, &golden, config)
+                    .unwrap_or_else(|e| panic!("checkpoint capture of {} failed: {e}", w.name()))
+            });
             WorkloadData {
                 name: w.name().to_string(),
                 package: w.package().to_string(),
                 description: w.description().to_string(),
                 module,
                 golden,
+                store,
             }
         })
         .collect()
@@ -228,16 +284,10 @@ pub fn single_bit_results(
 ) -> Vec<(String, CampaignResult, CampaignResult)> {
     data.iter()
         .map(|w| {
-            let read = Campaign::run(
-                &w.module,
-                &w.golden,
-                &cfg.campaign_spec(Technique::InjectOnRead, FaultModel::single_bit()),
-            );
-            let write = Campaign::run(
-                &w.module,
-                &w.golden,
-                &cfg.campaign_spec(Technique::InjectOnWrite, FaultModel::single_bit()),
-            );
+            let read =
+                w.campaign(&cfg.campaign_spec(Technique::InjectOnRead, FaultModel::single_bit()));
+            let write =
+                w.campaign(&cfg.campaign_spec(Technique::InjectOnWrite, FaultModel::single_bit()));
             (w.name.clone(), read, write)
         })
         .collect()
@@ -281,17 +331,12 @@ pub fn same_register_results(
 ) -> Vec<(String, Vec<CampaignResult>)> {
     data.iter()
         .map(|w| {
-            let mut results = vec![Campaign::run(
-                &w.module,
-                &w.golden,
-                &cfg.campaign_spec(technique, FaultModel::single_bit()),
-            )];
+            let mut results =
+                vec![w.campaign(&cfg.campaign_spec(technique, FaultModel::single_bit()))];
             for &m in &cfg.max_mbf_values() {
-                results.push(Campaign::run(
-                    &w.module,
-                    &w.golden,
-                    &cfg.campaign_spec(technique, FaultModel::multi_bit(m, WinSize::Fixed(0))),
-                ));
+                results.push(
+                    w.campaign(&cfg.campaign_spec(technique, FaultModel::multi_bit(m, WinSize::Fixed(0)))),
+                );
             }
             (w.name.clone(), results)
         })
@@ -336,11 +381,7 @@ pub fn activation_results(
     let mut out = Vec::new();
     for w in data {
         for &win in &cfg.win_size_values() {
-            out.push(Campaign::run(
-                &w.module,
-                &w.golden,
-                &cfg.campaign_spec(technique, FaultModel::multi_bit(30, win)),
-            ));
+            out.push(w.campaign(&cfg.campaign_spec(technique, FaultModel::multi_bit(30, win))));
         }
     }
     out
@@ -389,19 +430,13 @@ pub fn multi_register_results(
 ) -> Vec<MultiRegisterSweep> {
     data.iter()
         .map(|w| {
-            let single = Campaign::run(
-                &w.module,
-                &w.golden,
-                &cfg.campaign_spec(technique, FaultModel::single_bit()),
-            );
+            let single = w.campaign(&cfg.campaign_spec(technique, FaultModel::single_bit()));
             let mut grid = Vec::new();
             for &m in &cfg.max_mbf_values() {
                 for &win in &cfg.win_size_values() {
-                    grid.push(Campaign::run(
-                        &w.module,
-                        &w.golden,
-                        &cfg.campaign_spec(technique, FaultModel::multi_bit(m, win)),
-                    ));
+                    grid.push(
+                        w.campaign(&cfg.campaign_spec(technique, FaultModel::multi_bit(m, win))),
+                    );
                 }
             }
             MultiRegisterSweep {
@@ -715,6 +750,26 @@ mod tests {
         let (t4, raw) = table4(&cfg, &data, &read, &write);
         assert_eq!(t4.rows.len(), 1);
         assert_eq!(raw.len(), 1);
+    }
+
+    #[test]
+    fn replay_enabled_harness_produces_identical_campaigns() {
+        let cfg_off = HarnessConfig {
+            experiments: 12,
+            workload_filter: Some(vec!["crc32".into()]),
+            ..HarnessConfig::default()
+        };
+        let cfg_on = HarnessConfig {
+            replay: true,
+            ..cfg_off.clone()
+        };
+        let data_off = prepare(&cfg_off);
+        let data_on = prepare(&cfg_on);
+        assert!(data_off[0].store.is_none());
+        assert!(data_on[0].store.is_some());
+        let off = single_bit_results(&cfg_off, &data_off);
+        let on = single_bit_results(&cfg_on, &data_on);
+        assert_eq!(off, on, "replay must not change any campaign result");
     }
 
     #[test]

@@ -15,13 +15,19 @@
 //! | `table3` | Table III — configuration with the highest SDC% per program |
 //! | `table4` | Table IV — Transition I / II likelihoods (Fig. 6 state machine) |
 //! | `run_all`| Everything above plus the RQ1–RQ5 summary |
+//! | `replay_bench` | Full re-execution vs checkpointed golden-run replay (`BENCH_replay.json`; `--check` verifies byte-equivalence) |
+//!
+//! Every binary also accepts `--out-dir <path>` for its artefact files
+//! (default: the current working directory).
 //!
 //! Every binary honours the environment variables described in
 //! [`HarnessConfig::from_env`] so the fidelity/runtime trade-off is a knob,
 //! not a code change.
 
+pub mod artifacts;
 pub mod harness;
 pub mod timing;
 
+pub use artifacts::{Artefact, OutDir};
 pub use harness::{HarnessConfig, SweepResults, WorkloadData};
-pub use timing::{BenchSuite, Measurement};
+pub use timing::{median_wall_ns, BenchSuite, Measurement};

@@ -186,7 +186,26 @@ impl BenchSuite {
     }
 }
 
-fn env_usize(key: &str, default: usize) -> usize {
+/// Median wall-clock nanoseconds over `samples` runs of `f`, with one
+/// untimed warm-up run — the same methodology [`BenchSuite`] uses, exposed
+/// for ad-hoc comparisons (e.g. the `replay_bench` binary) so the timing
+/// method lives in one place.
+pub fn median_wall_ns<T>(samples: usize, mut f: impl FnMut() -> T) -> u64 {
+    std::hint::black_box(f());
+    let mut times: Vec<u64> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Parse a `usize` knob from the environment, falling back to `default` on
+/// absence or garbage (shared by [`BenchSuite`] and the bench binaries).
+pub fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key)
         .ok()
         .and_then(|v| v.parse().ok())

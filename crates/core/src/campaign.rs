@@ -6,6 +6,7 @@ use crate::experiment::{Experiment, ExperimentSpec};
 use crate::fault_model::FaultModel;
 use crate::golden::GoldenRun;
 use crate::outcome::{Outcome, OutcomeCounts};
+use crate::replay::CheckpointStore;
 use crate::stats::{wald_interval, Proportion};
 use crate::technique::Technique;
 use mbfi_ir::Module;
@@ -41,6 +42,33 @@ impl Default for CampaignSpec {
     }
 }
 
+/// A problem found while validating a [`CampaignSpec`], fixed up with a
+/// defensible default instead of failing the campaign.  Surfaced once at
+/// campaign start (and printed to stderr) rather than silently patched per
+/// experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignWarning {
+    /// `hang_factor` was below the minimum of 2× the golden run length — a
+    /// faulty run that merely slows down would be misclassified as a hang.
+    HangFactorRaised {
+        /// The value the spec asked for.
+        requested: u64,
+        /// The value the campaign runs with.
+        used: u64,
+    },
+}
+
+impl std::fmt::Display for CampaignWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignWarning::HangFactorRaised { requested, used } => write!(
+                f,
+                "hang_factor {requested} is below the minimum; campaign runs with {used}"
+            ),
+        }
+    }
+}
+
 impl CampaignSpec {
     /// Build a spec from a grid point, keeping the other defaults.
     pub fn from_point(point: CampaignPoint, experiments: usize, seed: u64) -> CampaignSpec {
@@ -51,6 +79,24 @@ impl CampaignSpec {
             seed,
             ..CampaignSpec::default()
         }
+    }
+
+    /// Validate the spec once, returning the (possibly fixed-up) spec the
+    /// campaign will actually run plus any warnings.  [`Campaign::run`] calls
+    /// this at campaign start and logs the warnings, replacing the old
+    /// behaviour of silently clamping `hang_factor` inside every single
+    /// `Experiment::run`.
+    pub fn validate(&self) -> (CampaignSpec, Vec<CampaignWarning>) {
+        let mut spec = *self;
+        let mut warnings = Vec::new();
+        if spec.hang_factor < 2 {
+            warnings.push(CampaignWarning::HangFactorRaised {
+                requested: spec.hang_factor,
+                used: 2,
+            });
+            spec.hang_factor = 2;
+        }
+        (spec, warnings)
     }
 }
 
@@ -113,6 +159,26 @@ pub struct Campaign;
 impl Campaign {
     /// Run `spec.experiments` experiments, spreading them over worker threads.
     pub fn run(module: &Module, golden: &GoldenRun, spec: &CampaignSpec) -> CampaignResult {
+        Self::run_with_store(module, golden, spec, None)
+    }
+
+    /// Like [`Campaign::run`], with an optional golden-run [`CheckpointStore`]
+    /// shared read-only across all worker threads.  With a store, experiments
+    /// are sorted by their first injection ordinal and striped across the
+    /// workers, so each thread walks a monotone sequence of injection depths
+    /// *and* carries the same mix of cheap (deep) and expensive (shallow)
+    /// replays; the aggregated result is byte-identical either way (outcome
+    /// counts and histograms commute).
+    pub fn run_with_store(
+        module: &Module,
+        golden: &GoldenRun,
+        spec: &CampaignSpec,
+        store: Option<&CheckpointStore>,
+    ) -> CampaignResult {
+        let (spec, warnings) = spec.validate();
+        for w in &warnings {
+            eprintln!("campaign warning: {w} ({w:?})");
+        }
         let threads = if spec.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -122,6 +188,27 @@ impl Campaign {
         };
         let threads = threads.clamp(1, spec.experiments.max(1));
 
+        // Pre-sample every experiment spec (cheap: a few RNG draws each).
+        // With a checkpoint store, batch them by injection depth so
+        // neighbouring experiments restore nearby checkpoints.
+        let mut exp_specs: Vec<ExperimentSpec> = (0..spec.experiments)
+            .map(|index| {
+                ExperimentSpec::sample(
+                    spec.technique,
+                    spec.model,
+                    golden,
+                    spec.seed,
+                    index as u64,
+                    spec.hang_factor,
+                )
+            })
+            .collect();
+        let strided = store.is_some();
+        if strided {
+            exp_specs.sort_by_key(|s| s.first_target);
+        }
+        let exp_specs = &exp_specs;
+
         let max_hist = spec.model.max_mbf as usize + 1;
         let chunk = spec.experiments.div_ceil(threads);
         let partials: Vec<Partial> = std::thread::scope(|scope| {
@@ -129,21 +216,22 @@ impl Campaign {
             for t in 0..threads {
                 let start = t * chunk;
                 let end = ((t + 1) * chunk).min(spec.experiments);
-                if start >= end {
+                if !strided && start >= end {
                     break;
                 }
                 handles.push(scope.spawn(move || {
                     let mut partial = Partial::new(max_hist);
-                    for index in start..end {
-                        let exp_spec = ExperimentSpec::sample(
-                            spec.technique,
-                            spec.model,
-                            golden,
-                            spec.seed,
-                            index as u64,
-                            spec.hang_factor,
-                        );
-                        let result = Experiment::run(module, golden, &exp_spec);
+                    // Replay cost falls with injection depth, so a contiguous
+                    // band of the depth-sorted specs would leave one worker
+                    // with almost all the work; a stride gives every worker
+                    // the same depth profile.
+                    let specs: Box<dyn Iterator<Item = &ExperimentSpec>> = if strided {
+                        Box::new(exp_specs.iter().skip(t).step_by(threads))
+                    } else {
+                        Box::new(exp_specs[start..end].iter())
+                    };
+                    for exp_spec in specs {
+                        let result = Experiment::run_with_store(module, golden, exp_spec, store);
                         partial.record(result.outcome, result.activated as usize);
                     }
                     partial
@@ -166,7 +254,7 @@ impl Campaign {
         }
 
         CampaignResult {
-            spec: *spec,
+            spec,
             counts,
             activation_histogram,
             crash_activation_histogram,
@@ -325,6 +413,70 @@ mod tests {
         let r = Campaign::run(&m, &golden, &spec);
         let crash_total: u64 = r.crash_activation_histogram.iter().sum();
         assert_eq!(crash_total, r.counts.hw_exception);
+    }
+
+    #[test]
+    fn hang_factor_is_validated_once_at_campaign_start() {
+        let (spec, warnings) = CampaignSpec {
+            hang_factor: 0,
+            ..CampaignSpec::default()
+        }
+        .validate();
+        assert_eq!(spec.hang_factor, 2);
+        assert_eq!(
+            warnings,
+            vec![CampaignWarning::HangFactorRaised {
+                requested: 0,
+                used: 2
+            }]
+        );
+        assert!(warnings[0].to_string().contains("below the minimum"));
+
+        let (spec, warnings) = CampaignSpec::default().validate();
+        assert_eq!(spec.hang_factor, CampaignSpec::default().hang_factor);
+        assert!(warnings.is_empty());
+
+        // A campaign with a too-low hang factor runs with the fixed-up value
+        // and records it in the result's spec.
+        let m = workload();
+        let golden = GoldenRun::capture(&m).unwrap();
+        let r = Campaign::run(
+            &m,
+            &golden,
+            &CampaignSpec {
+                experiments: 10,
+                hang_factor: 1,
+                threads: 1,
+                ..CampaignSpec::default()
+            },
+        );
+        assert_eq!(r.spec.hang_factor, 2);
+        assert_eq!(r.total(), 10);
+    }
+
+    #[test]
+    fn replayed_campaign_is_byte_identical_to_full_execution() {
+        let m = workload();
+        let golden = GoldenRun::capture(&m).unwrap();
+        let store = crate::replay::CheckpointStore::capture(
+            &m,
+            &golden,
+            crate::replay::CheckpointConfig::with_interval(25),
+        )
+        .unwrap();
+        for technique in Technique::ALL {
+            let spec = CampaignSpec {
+                technique,
+                model: FaultModel::multi_bit(3, WinSize::Random { lo: 1, hi: 16 }),
+                experiments: 120,
+                seed: 0xBEE5,
+                hang_factor: 10,
+                threads: 3,
+            };
+            let full = Campaign::run(&m, &golden, &spec);
+            let replayed = Campaign::run_with_store(&m, &golden, &spec, Some(&store));
+            assert_eq!(full, replayed, "{technique}: replay changed the campaign result");
+        }
     }
 
     #[test]

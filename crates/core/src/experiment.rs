@@ -4,6 +4,7 @@ use crate::fault_model::FaultModel;
 use crate::golden::GoldenRun;
 use crate::injector::{InjectionRecord, InjectorHook};
 use crate::outcome::{classify, Outcome};
+use crate::replay::CheckpointStore;
 use crate::technique::Technique;
 use mbfi_ir::Module;
 use mbfi_vm::Vm;
@@ -80,7 +81,23 @@ pub struct Experiment;
 impl Experiment {
     /// Execute one experiment: run the workload with an [`InjectorHook`]
     /// configured from `spec` and classify the outcome against the golden run.
+    ///
+    /// `hang_factor` is taken from the spec verbatim; campaigns validate it
+    /// once up front (see [`crate::CampaignSpec::validate`]).
     pub fn run(module: &Module, golden: &GoldenRun, spec: &ExperimentSpec) -> ExperimentResult {
+        Self::run_with_store(module, golden, spec, None)
+    }
+
+    /// Like [`Experiment::run`], but when a [`CheckpointStore`] is supplied,
+    /// restore the deepest checkpoint at or before the first injection point
+    /// and execute only the tail.  The result is byte-identical to the full
+    /// re-execution path for any spec (see the `replay` module docs for why).
+    pub fn run_with_store(
+        module: &Module,
+        golden: &GoldenRun,
+        spec: &ExperimentSpec,
+        store: Option<&CheckpointStore>,
+    ) -> ExperimentResult {
         let mut hook = InjectorHook::new(
             spec.technique,
             spec.model.max_mbf,
@@ -88,8 +105,13 @@ impl Experiment {
             spec.first_target,
             spec.seed,
         );
-        let limits = golden.faulty_run_limits(spec.hang_factor.max(2));
-        let result = Vm::new(module, limits).run(&mut hook);
+        let limits = golden.faulty_run_limits(spec.hang_factor);
+        let mut vm = Vm::new(module, limits);
+        if let Some(cp) = store.and_then(|s| s.nearest_for(spec.technique, spec.first_target)) {
+            hook.resume_candidates(cp.candidates_for(spec.technique));
+            vm.resume_from(cp.snapshot());
+        }
+        let result = vm.run(&mut hook);
         let outcome = classify(&result, &golden.output);
         ExperimentResult {
             spec: *spec,

@@ -104,6 +104,29 @@ impl InjectorHook {
         }
     }
 
+    /// Fast-forward the candidate counter to resume from a golden-run
+    /// checkpoint: `candidates_already_seen` candidates of this injector's
+    /// technique executed before the checkpoint, so the next candidate
+    /// observed gets that ordinal.  Valid only before any flip is armed or
+    /// applied — the checkpointed prefix must be fault-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the injector has already armed or applied a flip, or if the
+    /// offset overshoots the first injection target (the target candidate
+    /// would never be observed).
+    pub fn resume_candidates(&mut self, candidates_already_seen: u64) {
+        assert!(
+            self.injections.is_empty() && self.pending.is_none() && self.candidate_seen == 0,
+            "resume_candidates called on an injector that already made progress"
+        );
+        assert!(
+            candidates_already_seen <= self.first_target,
+            "checkpoint is past the first injection target"
+        );
+        self.candidate_seen = candidates_already_seen;
+    }
+
     /// Number of bit-flips applied so far ("activated errors" in the paper).
     pub fn activated(&self) -> u32 {
         self.injections.len() as u32

@@ -18,6 +18,9 @@
 //!   single experiments and whole campaigns with outcome statistics.
 //! * [`Outcome`] — Benign, Detected-by-hardware-exception, Hang, NoOutput,
 //!   SDC (§III-E).
+//! * [`replay`] — checkpointed golden-run snapshot & replay: campaigns skip
+//!   each experiment's fault-free prefix by restoring a
+//!   [`mbfi_vm::VmSnapshot`] checkpoint (see [`CheckpointStore`]).
 //! * [`pruning`] — the three pruning layers answering RQ1–RQ5 (§IV).
 //! * [`space`] — error-space size computations (§II-D).
 //! * [`stats`] — binomial proportions with 95 % confidence intervals.
@@ -68,17 +71,19 @@ pub mod golden;
 pub mod injector;
 pub mod outcome;
 pub mod pruning;
+pub mod replay;
 pub mod report;
 pub mod rng;
 pub mod space;
 pub mod stats;
 pub mod technique;
 
-pub use campaign::{Campaign, CampaignResult, CampaignSpec};
+pub use campaign::{Campaign, CampaignResult, CampaignSpec, CampaignWarning};
 pub use cluster::{CampaignPoint, ParameterGrid};
 pub use experiment::{Experiment, ExperimentResult, ExperimentSpec};
 pub use fault_model::{FaultModel, WinSize};
 pub use golden::GoldenRun;
 pub use injector::{InjectionRecord, InjectorHook};
 pub use outcome::{classify, Outcome, OutcomeCounts};
+pub use replay::{Checkpoint, CheckpointConfig, CheckpointStore, ReplayCaptureError};
 pub use technique::Technique;

@@ -138,6 +138,9 @@ impl LocationAnalysis {
         seed: u64,
         hang_factor: u64,
     ) -> LocationAnalysis {
+        // Same floor CampaignSpec::validate enforces for campaigns: below 2x
+        // the golden length, slowed-down-but-correct runs read as hangs.
+        let hang_factor = hang_factor.max(2);
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x10CA_7104);
         let candidates = golden.candidates(technique).max(1);
         let mut matrix = TransitionMatrix::default();

@@ -1,0 +1,438 @@
+//! Checkpointed golden-run replay.
+//!
+//! Every experiment of a campaign re-executes the workload with a fault
+//! injected at a known first location — which means the prefix of the run up
+//! to that location is *identical* to the golden run and is pure wasted work.
+//! A [`CheckpointStore`] captures [`VmSnapshot`]s every `interval` dynamic
+//! instructions during one extra fault-free run; an experiment then restores
+//! the nearest checkpoint at or before its first injection point and executes
+//! only the tail.
+//!
+//! ## The candidate-ordinal bookkeeping
+//!
+//! Injection targets are *candidate ordinals*, not dynamic-instruction
+//! indices: the `first_target`-th instruction that reads (inject-on-read) or
+//! writes (inject-on-write) a register.  Each checkpoint therefore also
+//! records how many candidates of either kind executed before it, so a
+//! resumed [`crate::InjectorHook`] can be fast-forwarded with
+//! [`crate::InjectorHook::resume_candidates`] and still fire at exactly the
+//! same instruction as a full run.
+//!
+//! ## Determinism contract
+//!
+//! Replay is byte-transparent: for any experiment spec, the
+//! [`crate::ExperimentResult`] of the replay path equals the full-execution
+//! result field-for-field (outcome, activation count, dynamic-instruction
+//! count, injection records).  This holds because (a) the restored prefix is
+//! fault-free, so the injector's RNG has consumed nothing before the first
+//! flip, (b) dynamic-instruction indices continue from the checkpoint's
+//! counter, and (c) the snapshot carries the output prefix, so SDC
+//! classification compares the same bytes.  The contract is enforced by the
+//! `replay_equivalence` integration suite and by `replay_bench --check`.
+//!
+//! ## Memory budget
+//!
+//! Snapshots are whole memory images; a store refuses to grow beyond
+//! [`CheckpointConfig::max_bytes`] and simply stops adding checkpoints once
+//! the budget is reached ([`CheckpointStore::truncated`] reports this).
+//! Experiments whose first injection lies beyond the last stored checkpoint
+//! fall back to the deepest one available — correctness never depends on the
+//! budget.
+
+use crate::golden::GoldenRun;
+use crate::technique::Technique;
+use mbfi_ir::Module;
+use mbfi_vm::{CountingHook, Limits, RunOutcome, Vm, VmSnapshot};
+
+/// Remap a uniformly drawn candidate ordinal into the **last quartile** of a
+/// candidate space — the late-injection shape where replay saves the most
+/// (used by `replay_bench` and the equivalence suite; kept here so the two
+/// cannot drift).  The result is always a valid ordinal below `candidates`.
+pub fn last_quartile_target(candidates: u64, drawn: u64) -> u64 {
+    let candidates = candidates.max(1);
+    let quartile = (candidates / 4).max(1);
+    (candidates - quartile) + drawn % quartile
+}
+
+/// Knobs of a checkpoint capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Checkpoint every `interval` dynamic instructions (K).  Smaller values
+    /// shrink the replayed tail but cost more capture time and memory.
+    pub interval: u64,
+    /// Upper bound on the summed [`VmSnapshot::approx_bytes`] of stored
+    /// checkpoints.  Capture keeps the earliest checkpoints and stops adding
+    /// once the budget is exhausted.
+    pub max_bytes: usize,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig {
+            interval: 1024,
+            max_bytes: 64 << 20,
+        }
+    }
+}
+
+impl CheckpointConfig {
+    /// A config with the given interval and the default memory budget.
+    pub fn with_interval(interval: u64) -> CheckpointConfig {
+        CheckpointConfig {
+            interval,
+            ..CheckpointConfig::default()
+        }
+    }
+}
+
+/// One stored checkpoint: a VM snapshot plus the profile counters needed to
+/// fast-forward an injector to this point.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    snapshot: VmSnapshot,
+    /// Dynamic-instruction boundary of the snapshot.
+    pub dyn_index: u64,
+    /// Inject-on-read candidates executed before this point.
+    pub read_candidates: u64,
+    /// Inject-on-write candidates executed before this point.
+    pub write_candidates: u64,
+}
+
+impl Checkpoint {
+    /// The frozen VM state.
+    pub fn snapshot(&self) -> &VmSnapshot {
+        &self.snapshot
+    }
+
+    /// Candidates of the given technique executed before this checkpoint.
+    pub fn candidates_for(&self, technique: Technique) -> u64 {
+        if technique.is_write() {
+            self.write_candidates
+        } else {
+            self.read_candidates
+        }
+    }
+}
+
+/// Capture failed: the fault-free capture run did not reproduce the golden
+/// run it was supposed to checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayCaptureError {
+    /// Dynamic instructions of the golden run.
+    pub expected_instrs: u64,
+    /// Dynamic instructions of the capture run.
+    pub actual_instrs: u64,
+    /// Whether the capture run's output matched the golden output.
+    pub output_matches: bool,
+    /// How the capture run ended.
+    pub outcome: String,
+}
+
+impl std::fmt::Display for ReplayCaptureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "checkpoint capture diverged from the golden run: \
+             {} dynamic instructions (expected {}), output {}, outcome {}",
+            self.actual_instrs,
+            self.expected_instrs,
+            if self.output_matches { "matches" } else { "differs" },
+            self.outcome
+        )
+    }
+}
+
+impl std::error::Error for ReplayCaptureError {}
+
+/// An immutable set of golden-run checkpoints for one workload module.
+///
+/// Capture once per `(module, golden)` pair, then share by reference across
+/// worker threads (`CheckpointStore` is `Sync`): replay only reads snapshots.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    interval: u64,
+    checkpoints: Vec<Checkpoint>,
+    stored_bytes: usize,
+    truncated: bool,
+}
+
+impl CheckpointStore {
+    /// Re-run the workload fault-free, pausing every
+    /// [`CheckpointConfig::interval`] dynamic instructions to snapshot, and
+    /// verify the run reproduces `golden` (same instruction count and
+    /// output).  A divergence means the module and the golden run do not
+    /// belong together and replaying would corrupt every experiment.
+    pub fn capture(
+        module: &Module,
+        golden: &GoldenRun,
+        config: CheckpointConfig,
+    ) -> Result<CheckpointStore, ReplayCaptureError> {
+        Self::capture_with_limits(module, golden, config, Limits::default())
+    }
+
+    /// Like [`CheckpointStore::capture`] with explicit execution limits — use
+    /// the same limits the golden run was captured with (see
+    /// [`GoldenRun::capture_with_limits`]), otherwise a golden run longer
+    /// than the default instruction limit reads as a spurious divergence.
+    pub fn capture_with_limits(
+        module: &Module,
+        golden: &GoldenRun,
+        config: CheckpointConfig,
+        limits: Limits,
+    ) -> Result<CheckpointStore, ReplayCaptureError> {
+        assert!(config.interval >= 1, "checkpoint interval must be >= 1");
+        let mut vm = Vm::new(module, limits);
+        let mut hook = CountingHook::new();
+        let mut store = CheckpointStore {
+            interval: config.interval,
+            checkpoints: Vec::new(),
+            stored_bytes: 0,
+            truncated: false,
+        };
+        let mut next_stop = config.interval;
+        let result = loop {
+            match vm.run_until(&mut hook, next_stop) {
+                None => {
+                    if !store.truncated {
+                        let snapshot = vm.snapshot();
+                        let bytes = snapshot.approx_bytes();
+                        if store.stored_bytes + bytes <= config.max_bytes {
+                            let profile = hook.profile();
+                            store.stored_bytes += bytes;
+                            store.checkpoints.push(Checkpoint {
+                                dyn_index: snapshot.dyn_count(),
+                                read_candidates: profile.read_candidates,
+                                write_candidates: profile.write_candidates,
+                                snapshot,
+                            });
+                        } else {
+                            // Budget exhausted: keep the prefix already
+                            // stored, never thin it out (prefix density is
+                            // what bounds the replayed tail for early
+                            // injections; late injections fall back to the
+                            // deepest stored checkpoint).
+                            store.truncated = true;
+                        }
+                    }
+                    next_stop = if store.truncated {
+                        // Nothing more to store — run the verification tail
+                        // in one go instead of pausing every interval.
+                        u64::MAX
+                    } else {
+                        next_stop + config.interval
+                    };
+                }
+                Some(result) => break result,
+            }
+        };
+        let completed = matches!(result.outcome, RunOutcome::Completed { .. });
+        if !completed
+            || result.dynamic_instrs != golden.dynamic_instrs
+            || result.output != golden.output
+        {
+            return Err(ReplayCaptureError {
+                expected_instrs: golden.dynamic_instrs,
+                actual_instrs: result.dynamic_instrs,
+                output_matches: result.output == golden.output,
+                outcome: format!("{:?}", result.outcome),
+            });
+        }
+        Ok(store)
+    }
+
+    /// The deepest checkpoint usable for an experiment whose first injection
+    /// is the `first_target`-th candidate of `technique` — i.e. the last
+    /// checkpoint that executed at most `first_target` such candidates, so
+    /// the target candidate still lies in the replayed tail.
+    pub fn nearest_for(&self, technique: Technique, first_target: u64) -> Option<&Checkpoint> {
+        // Candidate counts grow monotonically with dyn_index, so binary
+        // search for the partition point.
+        let idx = self
+            .checkpoints
+            .partition_point(|c| c.candidates_for(technique) <= first_target);
+        idx.checked_sub(1).map(|i| &self.checkpoints[i])
+    }
+
+    /// Checkpoint interval this store was captured with.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Number of stored checkpoints.
+    pub fn len(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Whether the store holds no checkpoints at all (e.g. the workload is
+    /// shorter than one interval, or the budget fit nothing).
+    pub fn is_empty(&self) -> bool {
+        self.checkpoints.is_empty()
+    }
+
+    /// Approximate bytes held by the stored snapshots.
+    pub fn stored_bytes(&self) -> usize {
+        self.stored_bytes
+    }
+
+    /// Whether the memory budget cut capture short of the full run.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// All stored checkpoints, shallowest first.
+    pub fn checkpoints(&self) -> &[Checkpoint] {
+        &self.checkpoints
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{Experiment, ExperimentSpec};
+    use crate::fault_model::{FaultModel, WinSize};
+    use mbfi_ir::{ModuleBuilder, Type};
+
+    fn workload(n: i64) -> Module {
+        let mut mb = ModuleBuilder::new("w");
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(main);
+            let data = f.alloca(Type::I64, 16i64);
+            f.counted_loop(Type::I64, 0i64, n, |f, i| {
+                let slot = f.urem(Type::I64, i, 16i64);
+                let sq = f.mul(Type::I64, i, i);
+                f.store_elem(Type::I64, data, slot, sq);
+            });
+            let acc = f.slot(Type::I64);
+            f.store(Type::I64, 0i64, acc);
+            f.counted_loop(Type::I64, 0i64, 16i64, |f, i| {
+                let v = f.load_elem(Type::I64, data, i);
+                let cur = f.load(Type::I64, acc);
+                let next = f.add(Type::I64, cur, v);
+                f.store(Type::I64, next, acc);
+            });
+            let total = f.load(Type::I64, acc);
+            f.print_i64(total);
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        mb.finish()
+    }
+
+    #[test]
+    fn capture_covers_the_run_and_counts_candidates_monotonically() {
+        let m = workload(64);
+        let golden = GoldenRun::capture(&m).unwrap();
+        let store =
+            CheckpointStore::capture(&m, &golden, CheckpointConfig::with_interval(50)).unwrap();
+        assert!(!store.is_empty());
+        assert!(!store.truncated());
+        assert_eq!(store.len() as u64, (golden.dynamic_instrs - 1) / 50);
+        let mut prev = None;
+        for (i, cp) in store.checkpoints().iter().enumerate() {
+            assert_eq!(cp.dyn_index, 50 * (i as u64 + 1));
+            assert!(cp.read_candidates <= golden.candidates(Technique::InjectOnRead));
+            assert!(cp.write_candidates <= golden.candidates(Technique::InjectOnWrite));
+            if let Some((r, w)) = prev {
+                assert!(cp.read_candidates >= r && cp.write_candidates >= w);
+            }
+            prev = Some((cp.read_candidates, cp.write_candidates));
+        }
+    }
+
+    #[test]
+    fn nearest_for_picks_the_deepest_usable_checkpoint() {
+        let m = workload(64);
+        let golden = GoldenRun::capture(&m).unwrap();
+        let store =
+            CheckpointStore::capture(&m, &golden, CheckpointConfig::with_interval(30)).unwrap();
+        for technique in Technique::ALL {
+            // Targets below the first checkpoint's candidate count have no
+            // usable checkpoint... unless the first checkpoint saw 0.
+            let first = store.checkpoints().first().unwrap();
+            if first.candidates_for(technique) > 0 {
+                assert!(store
+                    .nearest_for(technique, first.candidates_for(technique) - 1)
+                    .map(|c| c.dyn_index < first.dyn_index)
+                    .unwrap_or(true));
+            }
+            // Any reachable target returns the deepest checkpoint whose count
+            // does not exceed it.
+            let candidates = golden.candidates(technique);
+            for target in [0, candidates / 2, candidates.saturating_sub(1)] {
+                if let Some(cp) = store.nearest_for(technique, target) {
+                    assert!(cp.candidates_for(technique) <= target);
+                    for other in store.checkpoints() {
+                        if other.candidates_for(technique) <= target {
+                            assert!(other.dyn_index <= cp.dyn_index);
+                        }
+                    }
+                }
+            }
+            // A target past the end returns the deepest checkpoint.
+            let deepest = store.nearest_for(technique, u64::MAX).unwrap();
+            assert_eq!(deepest.dyn_index, store.checkpoints().last().unwrap().dyn_index);
+        }
+    }
+
+    #[test]
+    fn budget_truncates_capture_but_keeps_the_prefix() {
+        let m = workload(256);
+        let golden = GoldenRun::capture(&m).unwrap();
+        let full =
+            CheckpointStore::capture(&m, &golden, CheckpointConfig::with_interval(10)).unwrap();
+        let one = full.checkpoints().first().unwrap().snapshot().approx_bytes();
+        let tight = CheckpointStore::capture(
+            &m,
+            &golden,
+            CheckpointConfig {
+                interval: 10,
+                max_bytes: one * 3,
+            },
+        )
+        .unwrap();
+        assert!(tight.truncated());
+        assert!(tight.len() < full.len());
+        assert!(!tight.is_empty());
+        assert!(tight.stored_bytes() <= one * 3);
+        // The stored prefix is identical to the full capture's prefix.
+        for (a, b) in tight.checkpoints().iter().zip(full.checkpoints()) {
+            assert_eq!(a.dyn_index, b.dyn_index);
+        }
+    }
+
+    #[test]
+    fn capture_detects_module_golden_mismatch() {
+        let m = workload(64);
+        let other = workload(65);
+        let golden_other = GoldenRun::capture(&other).unwrap();
+        let err =
+            CheckpointStore::capture(&m, &golden_other, CheckpointConfig::default()).unwrap_err();
+        assert_eq!(err.expected_instrs, golden_other.dynamic_instrs);
+        assert_ne!(err.actual_instrs, err.expected_instrs);
+        assert!(err.to_string().contains("diverged"));
+    }
+
+    #[test]
+    fn replayed_experiments_equal_full_experiments() {
+        let m = workload(128);
+        let golden = GoldenRun::capture(&m).unwrap();
+        let store =
+            CheckpointStore::capture(&m, &golden, CheckpointConfig::with_interval(64)).unwrap();
+        for technique in Technique::ALL {
+            for i in 0..40 {
+                let spec = ExperimentSpec::sample(
+                    technique,
+                    FaultModel::multi_bit(3, WinSize::Random { lo: 1, hi: 20 }),
+                    &golden,
+                    0xC0FFEE,
+                    i,
+                    10,
+                );
+                let full = Experiment::run(&m, &golden, &spec);
+                let replayed = Experiment::run_with_store(&m, &golden, &spec, Some(&store));
+                assert_eq!(full, replayed, "{technique} experiment {i} diverged under replay");
+            }
+        }
+    }
+}

@@ -3,10 +3,15 @@
 //! [`Vm::run`] executes a module's entry function to completion, to a trap,
 //! or until the dynamic-instruction limit is exceeded, routing every register
 //! read and write through the supplied [`ExecHook`].
+//!
+//! [`Vm::run_until`] pauses execution at an exact dynamic-instruction
+//! boundary instead, which combined with [`Vm::snapshot`] /
+//! [`Vm::resume_from`] is the substrate for checkpointed golden-run replay.
 
 use crate::hooks::{ExecHook, InstrContext};
 use crate::limits::Limits;
 use crate::memory::{Memory, MemoryLayout};
+use crate::snapshot::VmSnapshot;
 use crate::trap::Trap;
 use crate::value::Value;
 use mbfi_ir::{
@@ -46,12 +51,13 @@ pub struct RunResult {
 }
 
 /// One activation record.
-struct Frame {
+#[derive(Debug, Clone)]
+pub(crate) struct Frame {
     func: usize,
     block: usize,
     instr: usize,
     prev_block: usize,
-    regs: Vec<Value>,
+    pub(crate) regs: Vec<Value>,
     stack_mark: u64,
     /// Where the caller wants this frame's return value.
     ret_dest: Option<Reg>,
@@ -67,6 +73,12 @@ pub struct Vm<'m> {
     limits: Limits,
     output: Vec<u8>,
     dyn_count: u64,
+    /// The call stack, innermost frame last.  Empty only when the module has
+    /// no entry function or the run has finished.
+    stack: Vec<Frame>,
+    /// Set once the run has produced its [`RunResult`]; further stepping is a
+    /// programming error.
+    done: bool,
 }
 
 enum Step {
@@ -84,13 +96,20 @@ impl<'m> Vm<'m> {
 
     /// Create a VM with an explicit memory layout.
     pub fn with_layout(module: &'m Module, limits: Limits, layout: MemoryLayout) -> Vm<'m> {
-        Vm {
+        let mut vm = Vm {
             module,
             mem: Memory::for_module(module, layout),
             limits,
             output: Vec::new(),
             dyn_count: 0,
+            stack: Vec::new(),
+            done: false,
+        };
+        if let Some(entry) = module.entry {
+            let frame = vm.make_frame(entry.index(), &[]);
+            vm.stack.push(frame);
         }
+        vm
     }
 
     /// Convenience: run the module's entry function with a no-op hook.
@@ -166,21 +185,53 @@ impl<'m> Vm<'m> {
     /// Execute the module's entry function, routing register traffic through
     /// `hook`.
     pub fn run(mut self, hook: &mut dyn ExecHook) -> RunResult {
-        let entry = match self.module.entry {
-            Some(id) => id.index(),
-            None => {
-                return RunResult {
-                    outcome: RunOutcome::Trapped(Trap::InvalidCall { callee: u64::MAX }),
-                    dynamic_instrs: 0,
-                    output: Vec::new(),
-                }
-            }
-        };
-        let mut stack: Vec<Frame> = vec![self.make_frame(entry, &[])];
+        self.run_until(hook, u64::MAX)
+            .expect("a run can never pause at the u64::MAX boundary")
+    }
 
+    /// Execute until the run ends or the dynamic-instruction counter reaches
+    /// `stop_at`, whichever comes first.
+    ///
+    /// Returns `Some(result)` when the run ended (completed, trapped, or hit
+    /// the instruction limit) and `None` when execution paused at the exact
+    /// boundary: `stop_at` instructions have executed and the instruction
+    /// with `dyn_index == stop_at` has not.  A paused VM can be resumed by
+    /// calling `run_until` (or [`Vm::run`]) again, and its state can be
+    /// captured with [`Vm::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called again after the run has ended.
+    pub fn run_until(&mut self, hook: &mut dyn ExecHook, stop_at: u64) -> Option<RunResult> {
+        assert!(!self.done, "Vm::run_until called after the run ended");
+        // Take the stack into a local for the duration of the loop so the
+        // active frame can be borrowed mutably alongside `self` without
+        // popping/pushing it on every instruction (this is the hottest loop
+        // in the codebase).
+        let mut stack = std::mem::take(&mut self.stack);
+        let outcome = self.step_loop(hook, stop_at, &mut stack);
+        self.stack = stack;
+        outcome.map(|o| self.finish(o))
+    }
+
+    /// The interpreter loop proper: `Some(outcome)` when the run ended,
+    /// `None` when paused at the `stop_at` boundary.
+    fn step_loop(
+        &mut self,
+        hook: &mut dyn ExecHook,
+        stop_at: u64,
+        stack: &mut Vec<Frame>,
+    ) -> Option<RunOutcome> {
         loop {
+            if stack.is_empty() {
+                // No entry function (a verified module always has one).
+                return Some(RunOutcome::Trapped(Trap::InvalidCall { callee: u64::MAX }));
+            }
             if self.dyn_count >= self.limits.max_dynamic_instrs {
-                return self.finish(RunOutcome::InstrLimitExceeded);
+                return Some(RunOutcome::InstrLimitExceeded);
+            }
+            if self.dyn_count >= stop_at {
+                return None;
             }
 
             let step = {
@@ -190,7 +241,7 @@ impl<'m> Vm<'m> {
                 let block = &func.blocks[frame.block];
                 if frame.instr >= block.instrs.len() {
                     // A verified module never falls off the end of a block.
-                    return self.finish(RunOutcome::Trapped(Trap::Abort));
+                    return Some(RunOutcome::Trapped(Trap::Abort));
                 }
                 let instr = &block.instrs[frame.instr];
                 let ctx = InstrContext {
@@ -207,7 +258,7 @@ impl<'m> Vm<'m> {
 
                 match self.exec_instr(frame, instr, &ctx, hook, depth) {
                     Ok(step) => step,
-                    Err(trap) => return self.finish(RunOutcome::Trapped(trap)),
+                    Err(trap) => return Some(RunOutcome::Trapped(trap)),
                 }
             };
 
@@ -228,7 +279,7 @@ impl<'m> Vm<'m> {
                     let finished = stack.pop().unwrap();
                     self.mem.stack_pop_to(finished.stack_mark);
                     match stack.last_mut() {
-                        None => return self.finish(RunOutcome::Completed { ret: value }),
+                        None => return Some(RunOutcome::Completed { ret: value }),
                         Some(caller) => {
                             if let (Some(dest), Some(v)) = (finished.ret_dest, value) {
                                 let ctx = finished.call_ctx.expect("call frame has call context");
@@ -243,11 +294,43 @@ impl<'m> Vm<'m> {
         }
     }
 
-    fn finish(self, outcome: RunOutcome) -> RunResult {
+    /// Capture the complete interpreter state at the current
+    /// dynamic-instruction boundary (typically right after [`Vm::run_until`]
+    /// paused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run has already ended — there is no state left to
+    /// capture once the [`RunResult`] has been produced.
+    pub fn snapshot(&self) -> VmSnapshot {
+        assert!(!self.done, "Vm::snapshot called after the run ended");
+        VmSnapshot {
+            frames: self.stack.clone(),
+            mem: self.mem.clone(),
+            output: self.output.clone(),
+            dyn_count: self.dyn_count,
+        }
+    }
+
+    /// Restore interpreter state from a snapshot taken on a VM running the
+    /// **same module**, replacing this VM's frames, memory, output and
+    /// dynamic-instruction counter.  The VM's own [`Limits`] are kept, so a
+    /// replay can run under different (e.g. hang-detection) limits than the
+    /// capture run.
+    pub fn resume_from(&mut self, snapshot: &VmSnapshot) {
+        self.stack = snapshot.frames.clone();
+        self.mem = snapshot.mem.clone();
+        self.output = snapshot.output.clone();
+        self.dyn_count = snapshot.dyn_count;
+        self.done = false;
+    }
+
+    fn finish(&mut self, outcome: RunOutcome) -> RunResult {
+        self.done = true;
         RunResult {
             outcome,
             dynamic_instrs: self.dyn_count,
-            output: self.output,
+            output: std::mem::take(&mut self.output),
         }
     }
 

@@ -22,6 +22,7 @@ pub mod interp;
 pub mod limits;
 pub mod memory;
 pub mod profile;
+pub mod snapshot;
 pub mod trap;
 pub mod value;
 
@@ -30,5 +31,6 @@ pub use interp::{RunOutcome, RunResult, Vm};
 pub use limits::Limits;
 pub use memory::{Memory, MemoryLayout};
 pub use profile::{CountingHook, ExecutionProfile, TraceHook};
+pub use snapshot::VmSnapshot;
 pub use trap::Trap;
 pub use value::Value;

@@ -118,6 +118,12 @@ impl Memory {
         self.layout
     }
 
+    /// Total bytes currently backed by the three segments (globals + heap +
+    /// stack).  This is the dominant term of a snapshot's footprint.
+    pub fn data_bytes(&self) -> usize {
+        self.globals.data.len() + self.heap.data.len() + self.stack.data.len()
+    }
+
     /// Resolved address of global `index`.
     pub fn global_addr(&self, index: usize) -> Option<u64> {
         self.global_addrs.get(index).copied()

@@ -1,0 +1,135 @@
+//! The determinism contract of the snapshot & replay engine, as a test
+//! suite: for **every** registry workload, campaigns executed through a
+//! checkpoint store — at several checkpoint intervals K — are byte-identical
+//! to full re-execution (same outcome counts, same histograms, and the same
+//! per-experiment results field for field).
+
+use mbfi_core::replay::{last_quartile_target, CheckpointConfig, CheckpointStore};
+use mbfi_core::{
+    Campaign, CampaignSpec, Experiment, ExperimentSpec, FaultModel, GoldenRun, Technique, WinSize,
+};
+use mbfi_workloads::{all_workloads, InputSize};
+
+/// The checkpoint intervals the suite sweeps.  K = 1 snapshots at every
+/// instruction boundary, so it also exercises the memory-budget truncation on
+/// longer workloads; K = 64 leaves long tails to replay.
+const INTERVALS: [u64; 3] = [1, 7, 64];
+
+/// Per-store memory budget, deliberately small enough that K = 1 captures of
+/// the longer workloads truncate.
+const BUDGET_BYTES: usize = 8 << 20;
+
+#[test]
+fn replay_campaigns_are_byte_identical_for_every_workload() {
+    for w in all_workloads() {
+        let module = w.build_module(InputSize::Tiny);
+        let golden = GoldenRun::capture(&module)
+            .unwrap_or_else(|e| panic!("golden run of {} failed: {e}", w.name()));
+        let spec = CampaignSpec {
+            technique: Technique::InjectOnRead,
+            model: FaultModel::multi_bit(2, WinSize::Fixed(8)),
+            experiments: 6,
+            seed: 0xE90 ^ golden.dynamic_instrs,
+            hang_factor: 8,
+            threads: 2,
+        };
+        let full = Campaign::run(&module, &golden, &spec);
+        for k in INTERVALS {
+            let store = CheckpointStore::capture(
+                &module,
+                &golden,
+                CheckpointConfig {
+                    interval: k,
+                    max_bytes: BUDGET_BYTES,
+                },
+            )
+            .unwrap_or_else(|e| panic!("capture of {} (K={k}) failed: {e}", w.name()));
+            let replayed = Campaign::run_with_store(&module, &golden, &spec, Some(&store));
+            assert_eq!(
+                full,
+                replayed,
+                "{} K={k}: replayed campaign differs from full execution",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn replay_experiments_are_byte_identical_for_every_workload() {
+    for w in all_workloads() {
+        let module = w.build_module(InputSize::Tiny);
+        let golden = GoldenRun::capture(&module)
+            .unwrap_or_else(|e| panic!("golden run of {} failed: {e}", w.name()));
+        for k in INTERVALS {
+            let store = CheckpointStore::capture(
+                &module,
+                &golden,
+                CheckpointConfig {
+                    interval: k,
+                    max_bytes: BUDGET_BYTES,
+                },
+            )
+            .unwrap_or_else(|e| panic!("capture of {} (K={k}) failed: {e}", w.name()));
+            for (i, technique) in [Technique::InjectOnRead, Technique::InjectOnWrite]
+                .into_iter()
+                .enumerate()
+            {
+                let spec = ExperimentSpec::sample(
+                    technique,
+                    FaultModel::multi_bit(3, WinSize::Random { lo: 1, hi: 32 }),
+                    &golden,
+                    0x1DE7 + k,
+                    i as u64,
+                    8,
+                );
+                let full = Experiment::run(&module, &golden, &spec);
+                let replayed = Experiment::run_with_store(&module, &golden, &spec, Some(&store));
+                assert_eq!(
+                    full,
+                    replayed,
+                    "{} K={k} {technique}: per-experiment result differs under replay \
+                     (spec: {spec:?})",
+                    w.name()
+                );
+            }
+        }
+    }
+}
+
+/// Injections forced deep into the run — the case the replay engine exists
+/// for — restore the deepest checkpoints and must still match exactly.
+#[test]
+fn late_injections_replay_identically() {
+    for name in ["qsort", "CRC32", "histo"] {
+        let w = mbfi_workloads::workload_by_name(name).unwrap();
+        let module = w.build_module(InputSize::Tiny);
+        let golden = GoldenRun::capture(&module).unwrap();
+        let store = CheckpointStore::capture(
+            &module,
+            &golden,
+            CheckpointConfig {
+                interval: (golden.dynamic_instrs / 64).max(1),
+                max_bytes: BUDGET_BYTES,
+            },
+        )
+        .unwrap();
+        for technique in Technique::ALL {
+            let candidates = golden.candidates(technique);
+            for i in 0..8u64 {
+                let mut spec = ExperimentSpec::sample(
+                    technique,
+                    FaultModel::multi_bit(4, WinSize::Fixed(0)),
+                    &golden,
+                    0x1A7E,
+                    i,
+                    8,
+                );
+                spec.first_target = last_quartile_target(candidates, spec.first_target);
+                let full = Experiment::run(&module, &golden, &spec);
+                let replayed = Experiment::run_with_store(&module, &golden, &spec, Some(&store));
+                assert_eq!(full, replayed, "{name} {technique} late injection {i}");
+            }
+        }
+    }
+}
