@@ -10,6 +10,9 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "==> cargo fmt --check"
+cargo fmt --check
+
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
@@ -38,6 +41,13 @@ if [[ "${1:-}" == "bench" ]]; then
     echo "==> cargo run --release -p mbfi-bench --bin replay_bench"
     MBFI_EXPERIMENTS=16 MBFI_BENCH_SAMPLES=3 cargo run --release --offline -q \
         -p mbfi-bench --bin replay_bench -- --out-dir "$MBFI_BENCH_OUT"
+
+    # Compiled pipeline vs legacy walker: golden-run MIPS and campaign
+    # experiments/sec on both paths, written to BENCH_exec.json (the run also
+    # cross-checks that both paths produce identical results).
+    echo "==> cargo run --release -p mbfi-bench --bin exec_bench"
+    MBFI_EXPERIMENTS=16 MBFI_BENCH_SAMPLES=3 cargo run --release --offline -q \
+        -p mbfi-bench --bin exec_bench -- --out-dir "$MBFI_BENCH_OUT"
 fi
 
 echo "==> OK"

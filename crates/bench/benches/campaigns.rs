@@ -6,17 +6,22 @@
 
 use mbfi_bench::BenchSuite;
 use mbfi_core::{Campaign, CampaignSpec, FaultModel, GoldenRun, Technique, WinSize};
+use mbfi_ir::CompiledModule;
 use mbfi_workloads::{workload_by_name, InputSize};
 
 fn main() {
     let workload = workload_by_name("stringsearch").expect("stringsearch exists");
     let module = workload.build_module(InputSize::Tiny);
-    let golden = GoldenRun::capture(&module).expect("golden run");
+    let code = CompiledModule::lower(&module);
+    let golden = GoldenRun::capture_compiled(&code).expect("golden run");
 
     let mut suite = BenchSuite::new("campaigns");
 
     for (label, model) in [
-        ("campaign_25_experiments/single_bit", FaultModel::single_bit()),
+        (
+            "campaign_25_experiments/single_bit",
+            FaultModel::single_bit(),
+        ),
         (
             "campaign_25_experiments/multi_3_w1",
             FaultModel::multi_bit(3, WinSize::Fixed(1)),
@@ -31,7 +36,7 @@ fn main() {
                 hang_factor: 20,
                 threads: 1,
             };
-            Campaign::run(&module, &golden, &spec)
+            Campaign::run_compiled(&code, &golden, &spec)
         });
     }
 
@@ -45,7 +50,7 @@ fn main() {
                 hang_factor: 20,
                 threads,
             };
-            Campaign::run(&module, &golden, &spec)
+            Campaign::run_compiled(&code, &golden, &spec)
         });
     }
 

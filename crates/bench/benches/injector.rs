@@ -7,13 +7,17 @@
 
 use mbfi_bench::BenchSuite;
 use mbfi_core::{Experiment, ExperimentSpec, FaultModel, GoldenRun, Technique, WinSize};
+use mbfi_ir::CompiledModule;
 use mbfi_vm::Value;
 use mbfi_workloads::{workload_by_name, InputSize};
 
 fn main() {
     let workload = workload_by_name("qsort").expect("qsort exists");
     let module = workload.build_module(InputSize::Tiny);
-    let golden = GoldenRun::capture(&module).expect("golden run");
+    // Lower once outside the timed closures so the measurement stays pure
+    // injection overhead, not per-iteration lowering.
+    let code = CompiledModule::lower(&module);
+    let golden = GoldenRun::capture_compiled(&code).expect("golden run");
 
     let mut suite = BenchSuite::new("injector");
 
@@ -27,7 +31,7 @@ fn main() {
             suite.bench(format!("experiment/{technique}/{label}"), || {
                 i += 1;
                 let spec = ExperimentSpec::sample(technique, model, &golden, 42, i, 20);
-                Experiment::run(&module, &golden, &spec)
+                Experiment::run_compiled(&code, &golden, &spec, None)
             });
         }
     }

@@ -8,6 +8,7 @@
 
 use mbfi_bench::BenchSuite;
 use mbfi_core::GoldenRun;
+use mbfi_ir::CompiledModule;
 use mbfi_vm::{Limits, NoopHook, Vm};
 use mbfi_workloads::{all_workloads, InputSize};
 
@@ -16,13 +17,14 @@ fn main() {
 
     for workload in all_workloads() {
         let module = workload.build_module(InputSize::Tiny);
-        let golden = GoldenRun::capture(&module).expect("golden run");
+        let code = CompiledModule::lower(&module);
+        let golden = GoldenRun::capture_compiled(&code).expect("golden run");
         suite.bench_with_throughput(
             format!("golden_run/{}", workload.name()),
             Some(golden.dynamic_instrs),
             || {
                 let mut hook = NoopHook;
-                Vm::new(&module, Limits::default()).run(&mut hook)
+                Vm::new(&code, Limits::default()).run(&mut hook)
             },
         );
     }

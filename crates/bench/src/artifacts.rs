@@ -15,7 +15,9 @@ pub struct OutDir {
 
 impl Default for OutDir {
     fn default() -> Self {
-        OutDir { dir: PathBuf::from(".") }
+        OutDir {
+            dir: PathBuf::from("."),
+        }
     }
 }
 
@@ -52,8 +54,8 @@ impl OutDir {
     /// than aborting a run whose results are already on stdout.
     pub fn write(&self, file_name: &str, contents: &str) {
         let path = self.dir.join(file_name);
-        let result = std::fs::create_dir_all(&self.dir)
-            .and_then(|()| std::fs::write(&path, contents));
+        let result =
+            std::fs::create_dir_all(&self.dir).and_then(|()| std::fs::write(&path, contents));
         match result {
             Ok(()) => eprintln!("wrote {}", path.display()),
             Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),

@@ -1,0 +1,182 @@
+//! Measures the compiled execution pipeline against the legacy tree walker
+//! and writes `BENCH_exec.json`.
+//!
+//! Two measurements per workload:
+//!
+//! * **golden-run throughput** — a fault-free run with a no-op hook, in
+//!   MIPS (million dynamic instructions per second): the compiled path's
+//!   monomorphized hooks and single PC-indexed fetch versus the walker's
+//!   nested-`Vec` fetch and `dyn` dispatch.  This bounds how fast any
+//!   campaign can go, and the acceptance bar for the refactor is a >= 2x
+//!   speedup here.
+//! * **campaign throughput** — a serial batch of seeded single bit-flip
+//!   experiments (injector hook armed, outcome classification included), in
+//!   experiments per second.
+//!
+//! Both paths also have their results cross-checked while the timing runs
+//! (same golden output and instruction count, identical experiment
+//! outcomes), so a pipeline divergence fails the bench rather than skewing
+//! it.
+//!
+//! Flags and knobs:
+//!
+//! * `--out-dir <path>` — where `BENCH_exec.json` goes (default: CWD).
+//! * `MBFI_EXPERIMENTS` — experiments per campaign batch (default 32).
+//! * `MBFI_BENCH_SAMPLES` — timing samples per measurement (default 5).
+//! * `MBFI_WORKLOADS` — comma-separated workload filter (default
+//!   `qsort,sha,dijkstra`).
+
+use mbfi_bench::artifacts::OutDir;
+use mbfi_bench::timing::{env_usize, median_wall_ns};
+use mbfi_core::report::Json;
+use mbfi_core::{Experiment, ExperimentSpec, FaultModel, GoldenRun, Technique};
+use mbfi_ir::CompiledModule;
+use mbfi_vm::{Limits, NoopHook, Vm, WalkerVm};
+use mbfi_workloads::{workload_by_name, InputSize};
+
+fn env_names(key: &str, default: &[&str]) -> Vec<String> {
+    match std::env::var(key) {
+        Ok(v) if !v.trim().is_empty() => v
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect(),
+        _ => default.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+fn mips(instrs: u64, ns: u64) -> f64 {
+    instrs as f64 * 1e3 / ns.max(1) as f64
+}
+
+fn main() {
+    let out = OutDir::from_args();
+    let experiments = env_usize("MBFI_EXPERIMENTS", 32);
+    let samples = env_usize("MBFI_BENCH_SAMPLES", 5);
+    let names = env_names("MBFI_WORKLOADS", &["qsort", "sha", "dijkstra"]);
+    eprintln!(
+        "exec_bench: {} workloads, {experiments} experiments/batch, {samples} samples",
+        names.len()
+    );
+
+    let mut workload_json = Vec::new();
+    let mut golden_speedups = Vec::new();
+    let mut campaign_speedups = Vec::new();
+
+    for name in &names {
+        let w = workload_by_name(name)
+            .unwrap_or_else(|| panic!("unknown workload '{name}' (see MBFI_WORKLOADS)"));
+        let module = w.build_module(InputSize::Tiny);
+        let code = CompiledModule::lower(&module);
+        let golden = GoldenRun::capture_compiled(&code)
+            .unwrap_or_else(|e| panic!("golden run of {name} failed: {e}"));
+
+        // Cross-check once before timing: the two paths must agree exactly.
+        let walked = WalkerVm::run_golden(&module, Limits::default());
+        let compiled = Vm::run_golden_compiled(&code, Limits::default());
+        assert_eq!(
+            walked, compiled,
+            "{name}: legacy walker and compiled pipeline disagree on the golden run"
+        );
+
+        let golden_legacy_ns = median_wall_ns(samples, || {
+            let mut hook = NoopHook;
+            WalkerVm::new(&module, Limits::default()).run(&mut hook)
+        });
+        let golden_compiled_ns = median_wall_ns(samples, || {
+            let mut hook = NoopHook;
+            Vm::new(&code, Limits::default()).run(&mut hook)
+        });
+        let golden_speedup = golden_legacy_ns as f64 / golden_compiled_ns.max(1) as f64;
+        golden_speedups.push(golden_speedup);
+
+        // A seeded single bit-flip batch, run serially on both paths.
+        let specs: Vec<ExperimentSpec> = (0..experiments as u64)
+            .map(|i| {
+                ExperimentSpec::sample(
+                    Technique::InjectOnRead,
+                    FaultModel::single_bit(),
+                    &golden,
+                    0xE8EC ^ golden.dynamic_instrs,
+                    i,
+                    4,
+                )
+            })
+            .collect();
+        for s in &specs {
+            assert_eq!(
+                Experiment::run_legacy(&module, &golden, s),
+                Experiment::run_compiled(&code, &golden, s, None),
+                "{name}: experiment diverged between walker and compiled paths"
+            );
+        }
+        let campaign_legacy_ns = median_wall_ns(samples, || {
+            specs
+                .iter()
+                .map(|s| Experiment::run_legacy(&module, &golden, s).dynamic_instrs)
+                .sum::<u64>()
+        });
+        let campaign_compiled_ns = median_wall_ns(samples, || {
+            specs
+                .iter()
+                .map(|s| Experiment::run_compiled(&code, &golden, s, None).dynamic_instrs)
+                .sum::<u64>()
+        });
+        let campaign_speedup = campaign_legacy_ns as f64 / campaign_compiled_ns.max(1) as f64;
+        campaign_speedups.push(campaign_speedup);
+
+        let legacy_mips = mips(golden.dynamic_instrs, golden_legacy_ns);
+        let compiled_mips = mips(golden.dynamic_instrs, golden_compiled_ns);
+        let exp_per_sec_legacy = experiments as f64 * 1e9 / campaign_legacy_ns.max(1) as f64;
+        let exp_per_sec_compiled = experiments as f64 * 1e9 / campaign_compiled_ns.max(1) as f64;
+        println!(
+            "{name:<14} golden {legacy_mips:>7.1} -> {compiled_mips:>7.1} MIPS ({golden_speedup:.2}x)  \
+             campaign {exp_per_sec_legacy:>8.1} -> {exp_per_sec_compiled:>8.1} exp/s ({campaign_speedup:.2}x)"
+        );
+
+        let mut obj = Json::object();
+        obj.set("name", name.clone());
+        obj.set("golden_dynamic_instrs", golden.dynamic_instrs);
+        obj.set("golden_legacy_ns", golden_legacy_ns);
+        obj.set("golden_compiled_ns", golden_compiled_ns);
+        obj.set("golden_legacy_mips", legacy_mips);
+        obj.set("golden_compiled_mips", compiled_mips);
+        obj.set("golden_speedup", golden_speedup);
+        obj.set("campaign_experiments", experiments);
+        obj.set("campaign_legacy_ns", campaign_legacy_ns);
+        obj.set("campaign_compiled_ns", campaign_compiled_ns);
+        obj.set("campaign_legacy_exp_per_sec", exp_per_sec_legacy);
+        obj.set("campaign_compiled_exp_per_sec", exp_per_sec_compiled);
+        obj.set("campaign_speedup", campaign_speedup);
+        workload_json.push(obj);
+    }
+
+    let geomean = |xs: &[f64]| -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+    };
+    let golden_geomean = geomean(&golden_speedups);
+    let campaign_geomean = geomean(&campaign_speedups);
+    println!(
+        "geomean: golden {golden_geomean:.2}x, campaign {campaign_geomean:.2}x \
+         (compiled pipeline over legacy walker)"
+    );
+
+    let mut root = Json::object();
+    root.set("suite", "exec");
+    root.set("experiments", experiments);
+    root.set("samples", samples);
+    root.set("workloads", Json::Arr(workload_json));
+    root.set("golden_speedup_geomean", golden_geomean);
+    root.set(
+        "golden_speedup_min",
+        golden_speedups
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min),
+    );
+    root.set("campaign_speedup_geomean", campaign_geomean);
+    out.write("BENCH_exec.json", &root.render());
+}

@@ -29,6 +29,7 @@ use mbfi_core::report::Json;
 use mbfi_core::{
     Campaign, CampaignSpec, Experiment, ExperimentSpec, FaultModel, GoldenRun, Technique, WinSize,
 };
+use mbfi_ir::CompiledModule;
 use mbfi_workloads::{workload_by_name, InputSize};
 use std::time::Instant;
 
@@ -45,11 +46,7 @@ fn env_names(key: &str, default: &[&str]) -> Vec<String> {
 
 /// The experiment specs of a campaign, pre-sampled, optionally with the first
 /// injection remapped into the last quartile of the candidate space.
-fn sample_specs(
-    spec: &CampaignSpec,
-    golden: &GoldenRun,
-    late: bool,
-) -> Vec<ExperimentSpec> {
+fn sample_specs(spec: &CampaignSpec, golden: &GoldenRun, late: bool) -> Vec<ExperimentSpec> {
     (0..spec.experiments as u64)
         .map(|i| {
             let mut s = ExperimentSpec::sample(
@@ -70,14 +67,14 @@ fn sample_specs(
 }
 
 fn run_serial(
-    module: &mbfi_ir::Module,
+    code: &CompiledModule,
     golden: &GoldenRun,
     specs: &[ExperimentSpec],
     store: Option<&CheckpointStore>,
 ) -> u64 {
     let mut outcomes = 0u64;
     for s in specs {
-        let r = Experiment::run_with_store(module, golden, s, store);
+        let r = Experiment::run_compiled(code, golden, s, store);
         outcomes = outcomes.wrapping_add(r.dynamic_instrs);
     }
     outcomes
@@ -85,15 +82,15 @@ fn run_serial(
 
 /// Compare full vs replayed results for every spec; returns the mismatches.
 fn check_specs(
-    module: &mbfi_ir::Module,
+    code: &CompiledModule,
     golden: &GoldenRun,
     specs: &[ExperimentSpec],
     store: &CheckpointStore,
 ) -> usize {
     let mut mismatches = 0;
     for s in specs {
-        let full = Experiment::run(module, golden, s);
-        let replayed = Experiment::run_with_store(module, golden, s, Some(store));
+        let full = Experiment::run_compiled(code, golden, s, None);
+        let replayed = Experiment::run_compiled(code, golden, s, Some(store));
         if full != replayed {
             mismatches += 1;
             eprintln!(
@@ -133,7 +130,8 @@ fn main() {
         let w = workload_by_name(name)
             .unwrap_or_else(|| panic!("unknown workload '{name}' (see MBFI_WORKLOADS)"));
         let module = w.build_module(InputSize::Tiny);
-        let golden = GoldenRun::capture(&module)
+        let code = CompiledModule::lower(&module);
+        let golden = GoldenRun::capture_compiled(&code)
             .unwrap_or_else(|e| panic!("golden run of {name} failed: {e}"));
         let auto_interval = (golden.dynamic_instrs / 128).max(1);
 
@@ -157,19 +155,23 @@ fn main() {
         if check {
             let uniform_specs = sample_specs(&uniform_spec, &golden, false);
             for k in [1, 7, 64, auto_interval] {
-                let store = CheckpointStore::capture(
-                    &module,
+                let store = CheckpointStore::capture_compiled(
+                    &code,
                     &golden,
                     CheckpointConfig::with_interval(k),
                 )
                 .unwrap_or_else(|e| panic!("checkpoint capture of {name} (K={k}) failed: {e}"));
-                let m = check_specs(&module, &golden, &uniform_specs, &store)
-                    + check_specs(&module, &golden, &late_specs, &store);
+                let m = check_specs(&code, &golden, &uniform_specs, &store)
+                    + check_specs(&code, &golden, &late_specs, &store);
                 println!(
                     "{name:<14} K={k:<8} {} checkpoints, {} bytes: {}",
                     store.len(),
                     store.stored_bytes(),
-                    if m == 0 { "OK".to_string() } else { format!("{m} MISMATCHES") }
+                    if m == 0 {
+                        "OK".to_string()
+                    } else {
+                        format!("{m} MISMATCHES")
+                    }
                 );
                 total_mismatches += m;
             }
@@ -177,8 +179,8 @@ fn main() {
         }
 
         let capture_start = Instant::now();
-        let store = CheckpointStore::capture(
-            &module,
+        let store = CheckpointStore::capture_compiled(
+            &code,
             &golden,
             CheckpointConfig::with_interval(auto_interval),
         )
@@ -186,16 +188,18 @@ fn main() {
         let capture_ns = capture_start.elapsed().as_nanos() as u64;
 
         // Uniform campaign, through the threaded Campaign runner.
-        let full_uniform =
-            median_wall_ns(samples, || Campaign::run(&module, &golden, &uniform_spec));
+        let full_uniform = median_wall_ns(samples, || {
+            Campaign::run_compiled(&code, &golden, &uniform_spec)
+        });
         let replay_uniform = median_wall_ns(samples, || {
-            Campaign::run_with_store(&module, &golden, &uniform_spec, Some(&store))
+            Campaign::run_compiled_with_store(&code, &golden, &uniform_spec, Some(&store))
         });
 
         // Late-injection campaign, serial for stable per-experiment timing.
-        let full_late = median_wall_ns(samples, || run_serial(&module, &golden, &late_specs, None));
-        let replay_late =
-            median_wall_ns(samples, || run_serial(&module, &golden, &late_specs, Some(&store)));
+        let full_late = median_wall_ns(samples, || run_serial(&code, &golden, &late_specs, None));
+        let replay_late = median_wall_ns(samples, || {
+            run_serial(&code, &golden, &late_specs, Some(&store))
+        });
 
         let uniform_speedup = full_uniform as f64 / replay_uniform.max(1) as f64;
         let late_speedup = full_late as f64 / replay_late.max(1) as f64;

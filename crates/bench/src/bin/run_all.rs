@@ -9,7 +9,10 @@ use mbfi_core::{ParameterGrid, Technique};
 fn main() {
     if std::env::args().any(|a| a == "--show-grid") {
         println!("{}", ParameterGrid::table1());
-        println!("campaigns per workload: {}", ParameterGrid::all_campaigns().len());
+        println!(
+            "campaigns per workload: {}",
+            ParameterGrid::all_campaigns().len()
+        );
         return;
     }
 

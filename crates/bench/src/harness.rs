@@ -8,7 +8,7 @@ use mbfi_core::space::ErrorSpace;
 use mbfi_core::{
     Campaign, CampaignResult, CampaignSpec, FaultModel, GoldenRun, Outcome, Technique, WinSize,
 };
-use mbfi_ir::Module;
+use mbfi_ir::{CompiledModule, Module};
 use mbfi_workloads::{all_workloads, InputSize, Workload};
 
 /// Runtime configuration of the harness, read from environment variables so
@@ -182,8 +182,9 @@ impl HarnessConfig {
     }
 }
 
-/// A workload prepared for campaigns: its module, its golden run, and (when
-/// replay is enabled) its golden-run checkpoint store.
+/// A workload prepared for campaigns: its module (tree and compiled forms),
+/// its golden run, and (when replay is enabled) its golden-run checkpoint
+/// store.
 pub struct WorkloadData {
     /// Workload name.
     pub name: String,
@@ -191,8 +192,11 @@ pub struct WorkloadData {
     pub package: String,
     /// One-line description.
     pub description: String,
-    /// The built IR module.
+    /// The built IR module (kept for analyses that need the tree form).
     pub module: Module,
+    /// The flat bytecode every campaign executes — lowered once per workload
+    /// and shared by all campaigns and worker threads.
+    pub code: CompiledModule,
     /// The fault-free profiling run.
     pub golden: GoldenRun,
     /// Golden-run checkpoints shared by every campaign on this workload.
@@ -200,22 +204,24 @@ pub struct WorkloadData {
 }
 
 impl WorkloadData {
-    /// Run one campaign on this workload, through the checkpoint store when
-    /// one was captured.  Replay-on and replay-off results are byte-identical
-    /// by contract, so figures and tables do not depend on the knob.
+    /// Run one campaign on this workload through the compiled pipeline, and
+    /// through the checkpoint store when one was captured.  Replay-on and
+    /// replay-off results are byte-identical by contract, so figures and
+    /// tables do not depend on the knob.
     pub fn campaign(&self, spec: &CampaignSpec) -> CampaignResult {
-        Campaign::run_with_store(&self.module, &self.golden, spec, self.store.as_ref())
+        Campaign::run_compiled_with_store(&self.code, &self.golden, spec, self.store.as_ref())
     }
 }
 
-/// Build modules, capture golden runs (and checkpoint stores, when replay is
-/// enabled) for the configured workloads.
+/// Build modules, lower them, capture golden runs (and checkpoint stores,
+/// when replay is enabled) for the configured workloads.
 pub fn prepare(cfg: &HarnessConfig) -> Vec<WorkloadData> {
     cfg.workloads()
         .iter()
         .map(|w| {
             let module = w.build_module(cfg.size);
-            let golden = GoldenRun::capture(&module)
+            let code = CompiledModule::lower(&module);
+            let golden = GoldenRun::capture_compiled(&code)
                 .unwrap_or_else(|e| panic!("golden run of {} failed: {e}", w.name()));
             let store = cfg.replay.then(|| {
                 let interval = cfg
@@ -225,7 +231,7 @@ pub fn prepare(cfg: &HarnessConfig) -> Vec<WorkloadData> {
                     interval,
                     max_bytes: cfg.replay_budget_bytes,
                 };
-                CheckpointStore::capture(&module, &golden, config)
+                CheckpointStore::capture_compiled(&code, &golden, config)
                     .unwrap_or_else(|e| panic!("checkpoint capture of {} failed: {e}", w.name()))
             });
             WorkloadData {
@@ -233,6 +239,7 @@ pub fn prepare(cfg: &HarnessConfig) -> Vec<WorkloadData> {
                 package: w.package().to_string(),
                 description: w.description().to_string(),
                 module,
+                code,
                 golden,
                 store,
             }
@@ -247,7 +254,10 @@ pub fn prepare(cfg: &HarnessConfig) -> Vec<WorkloadData> {
 /// Table II: candidate instruction counts per workload and technique.
 pub fn table2(cfg: &HarnessConfig, data: &[WorkloadData]) -> TextTable {
     let mut table = TextTable::new(
-        format!("Table II — candidate fault-injection instructions ({} input)", cfg.size),
+        format!(
+            "Table II — candidate fault-injection instructions ({} input)",
+            cfg.size
+        ),
         &[
             "program",
             "package",
@@ -334,9 +344,9 @@ pub fn same_register_results(
             let mut results =
                 vec![w.campaign(&cfg.campaign_spec(technique, FaultModel::single_bit()))];
             for &m in &cfg.max_mbf_values() {
-                results.push(
-                    w.campaign(&cfg.campaign_spec(technique, FaultModel::multi_bit(m, WinSize::Fixed(0)))),
-                );
+                results.push(w.campaign(
+                    &cfg.campaign_spec(technique, FaultModel::multi_bit(m, WinSize::Fixed(0))),
+                ));
             }
             (w.name.clone(), results)
         })
@@ -344,10 +354,7 @@ pub fn same_register_results(
 }
 
 /// Fig. 2: SDC% per program for 1..max flips of the same register.
-pub fn fig2(
-    technique: Technique,
-    results: &[(String, Vec<CampaignResult>)],
-) -> TextTable {
+pub fn fig2(technique: Technique, results: &[(String, Vec<CampaignResult>)]) -> TextTable {
     let headers: Vec<String> = std::iter::once("program".to_string())
         .chain(
             results
@@ -469,11 +476,7 @@ pub fn fig45(technique: Technique, sweeps: &[MultiRegisterSweep]) -> Vec<FigureD
             for win in wins {
                 let mut series = Series::new(format!("w={}", win.label()));
                 series.push("1", sweep.single.sdc_pct());
-                for r in sweep
-                    .grid
-                    .iter()
-                    .filter(|r| r.spec.model.win_size == win)
-                {
+                for r in sweep.grid.iter().filter(|r| r.spec.model.win_size == win) {
                     series.push(r.spec.model.max_mbf.to_string(), r.sdc_pct());
                 }
                 fig.series.push(series);
@@ -489,10 +492,7 @@ pub fn fig45(technique: Technique, sweeps: &[MultiRegisterSweep]) -> Vec<FigureD
 
 /// Table III: the `(max-MBF, win-size)` pair with the highest SDC% per program
 /// and technique, alongside the single-bit baseline.
-pub fn table3(
-    read: &[MultiRegisterSweep],
-    write: &[MultiRegisterSweep],
-) -> TextTable {
+pub fn table3(read: &[MultiRegisterSweep], write: &[MultiRegisterSweep]) -> TextTable {
     let analysis = PessimisticAnalysis::default();
     let mut table = TextTable::new(
         "Table III — configuration with the highest SDC% among multi-bit campaigns",
@@ -675,7 +675,11 @@ mod tests {
             workload_filter: Some(vec!["QSORT".into(), "crc32".into()]),
             ..HarnessConfig::default()
         };
-        let names: Vec<_> = cfg.workloads().iter().map(|w| w.name().to_string()).collect();
+        let names: Vec<_> = cfg
+            .workloads()
+            .iter()
+            .map(|w| w.name().to_string())
+            .collect();
         assert_eq!(names, vec!["qsort", "CRC32"]);
         assert_eq!(HarnessConfig::default().workloads().len(), 15);
     }
@@ -738,7 +742,10 @@ mod tests {
         let data = prepare(&cfg);
         let read = multi_register_results(&cfg, &data, Technique::InjectOnRead);
         let write = multi_register_results(&cfg, &data, Technique::InjectOnWrite);
-        assert_eq!(read[0].grid.len(), cfg.max_mbf_values().len() * cfg.win_size_values().len());
+        assert_eq!(
+            read[0].grid.len(),
+            cfg.max_mbf_values().len() * cfg.win_size_values().len()
+        );
 
         let figs = fig45(Technique::InjectOnRead, &read);
         assert_eq!(figs.len(), 1);

@@ -67,10 +67,7 @@ impl Measurement {
         if let Some(elements) = self.throughput_elements {
             obj.set("throughput_elements", elements);
             let median = self.median_ns().max(1);
-            obj.set(
-                "elements_per_sec",
-                elements as f64 * 1e9 / median as f64,
-            );
+            obj.set("elements_per_sec", elements as f64 * 1e9 / median as f64);
         }
         obj
     }

@@ -9,7 +9,7 @@ use crate::outcome::{Outcome, OutcomeCounts};
 use crate::replay::CheckpointStore;
 use crate::stats::{wald_interval, Proportion};
 use crate::technique::Technique;
-use mbfi_ir::Module;
+use mbfi_ir::{CompiledModule, Module};
 
 /// Configuration of one campaign.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -158,19 +158,44 @@ pub struct Campaign;
 
 impl Campaign {
     /// Run `spec.experiments` experiments, spreading them over worker threads.
+    ///
+    /// Lowers the module once and executes every experiment through the
+    /// compiled pipeline; callers that run several campaigns on one workload
+    /// should lower once themselves and use [`Campaign::run_compiled`].
     pub fn run(module: &Module, golden: &GoldenRun, spec: &CampaignSpec) -> CampaignResult {
         Self::run_with_store(module, golden, spec, None)
     }
 
     /// Like [`Campaign::run`], with an optional golden-run [`CheckpointStore`]
-    /// shared read-only across all worker threads.  With a store, experiments
-    /// are sorted by their first injection ordinal and striped across the
-    /// workers, so each thread walks a monotone sequence of injection depths
-    /// *and* carries the same mix of cheap (deep) and expensive (shallow)
-    /// replays; the aggregated result is byte-identical either way (outcome
-    /// counts and histograms commute).
+    /// shared read-only across all worker threads.
     pub fn run_with_store(
         module: &Module,
+        golden: &GoldenRun,
+        spec: &CampaignSpec,
+        store: Option<&CheckpointStore>,
+    ) -> CampaignResult {
+        let code = CompiledModule::lower(module);
+        Self::run_compiled_with_store(&code, golden, spec, store)
+    }
+
+    /// Run a campaign on a pre-lowered module.
+    pub fn run_compiled(
+        code: &CompiledModule,
+        golden: &GoldenRun,
+        spec: &CampaignSpec,
+    ) -> CampaignResult {
+        Self::run_compiled_with_store(code, golden, spec, None)
+    }
+
+    /// Run a campaign on a pre-lowered module, optionally through a
+    /// checkpoint store shared read-only across all worker threads.  With a
+    /// store, experiments are sorted by their first injection ordinal and
+    /// striped across the workers, so each thread walks a monotone sequence
+    /// of injection depths *and* carries the same mix of cheap (deep) and
+    /// expensive (shallow) replays; the aggregated result is byte-identical
+    /// either way (outcome counts and histograms commute).
+    pub fn run_compiled_with_store(
+        code: &CompiledModule,
         golden: &GoldenRun,
         spec: &CampaignSpec,
         store: Option<&CheckpointStore>,
@@ -231,13 +256,16 @@ impl Campaign {
                         Box::new(exp_specs[start..end].iter())
                     };
                     for exp_spec in specs {
-                        let result = Experiment::run_with_store(module, golden, exp_spec, store);
+                        let result = Experiment::run_compiled(code, golden, exp_spec, store);
                         partial.record(result.outcome, result.activated as usize);
                     }
                     partial
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
         });
 
         let mut counts = OutcomeCounts::default();
@@ -261,7 +289,8 @@ impl Campaign {
         }
     }
 
-    /// Run one campaign per grid point (convenience for sweeps).
+    /// Run one campaign per grid point (convenience for sweeps).  The module
+    /// is lowered once and shared by every campaign.
     pub fn run_points(
         module: &Module,
         golden: &GoldenRun,
@@ -269,9 +298,16 @@ impl Campaign {
         experiments: usize,
         seed: u64,
     ) -> Vec<CampaignResult> {
+        let code = CompiledModule::lower(module);
         points
             .iter()
-            .map(|p| Campaign::run(module, golden, &CampaignSpec::from_point(*p, experiments, seed)))
+            .map(|p| {
+                Campaign::run_compiled(
+                    &code,
+                    golden,
+                    &CampaignSpec::from_point(*p, experiments, seed),
+                )
+            })
             .collect()
     }
 }
@@ -366,14 +402,7 @@ mod tests {
             threads: 1,
         };
         let r1 = Campaign::run(&m, &golden, &base);
-        let r2 = Campaign::run(
-            &m,
-            &golden,
-            &CampaignSpec {
-                threads: 4,
-                ..base
-            },
-        );
+        let r2 = Campaign::run(&m, &golden, &CampaignSpec { threads: 4, ..base });
         assert_eq!(r1.counts, r2.counts);
         assert_eq!(r1.activation_histogram, r2.activation_histogram);
     }
@@ -475,7 +504,10 @@ mod tests {
             };
             let full = Campaign::run(&m, &golden, &spec);
             let replayed = Campaign::run_with_store(&m, &golden, &spec, Some(&store));
-            assert_eq!(full, replayed, "{technique}: replay changed the campaign result");
+            assert_eq!(
+                full, replayed,
+                "{technique}: replay changed the campaign result"
+            );
         }
     }
 

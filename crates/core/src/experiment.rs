@@ -5,10 +5,10 @@ use crate::golden::GoldenRun;
 use crate::injector::{InjectionRecord, InjectorHook};
 use crate::outcome::{classify, Outcome};
 use crate::replay::CheckpointStore;
-use crate::technique::Technique;
-use mbfi_ir::Module;
-use mbfi_vm::Vm;
 use crate::rng::{Rng, SmallRng};
+use crate::technique::Technique;
+use mbfi_ir::{CompiledModule, Module};
+use mbfi_vm::{Vm, WalkerVm};
 
 /// Everything needed to run (and reproduce) one experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,6 +82,10 @@ impl Experiment {
     /// Execute one experiment: run the workload with an [`InjectorHook`]
     /// configured from `spec` and classify the outcome against the golden run.
     ///
+    /// Lowers the module and executes through the compiled pipeline.  Callers
+    /// that run many experiments on the same workload (campaigns, benches)
+    /// should lower once and use [`Experiment::run_compiled`].
+    ///
     /// `hang_factor` is taken from the spec verbatim; campaigns validate it
     /// once up front (see [`crate::CampaignSpec::validate`]).
     pub fn run(module: &Module, golden: &GoldenRun, spec: &ExperimentSpec) -> ExperimentResult {
@@ -98,6 +102,18 @@ impl Experiment {
         spec: &ExperimentSpec,
         store: Option<&CheckpointStore>,
     ) -> ExperimentResult {
+        let code = CompiledModule::lower(module);
+        Self::run_compiled(&code, golden, spec, store)
+    }
+
+    /// Execute one experiment on a pre-lowered module — the hot path every
+    /// campaign worker runs.
+    pub fn run_compiled(
+        code: &CompiledModule,
+        golden: &GoldenRun,
+        spec: &ExperimentSpec,
+        store: Option<&CheckpointStore>,
+    ) -> ExperimentResult {
         let mut hook = InjectorHook::new(
             spec.technique,
             spec.model.max_mbf,
@@ -106,12 +122,44 @@ impl Experiment {
             spec.seed,
         );
         let limits = golden.faulty_run_limits(spec.hang_factor);
-        let mut vm = Vm::new(module, limits);
+        let mut vm = Vm::new(code, limits);
         if let Some(cp) = store.and_then(|s| s.nearest_for(spec.technique, spec.first_target)) {
             hook.resume_candidates(cp.candidates_for(spec.technique));
             vm.resume_from(cp.snapshot());
         }
         let result = vm.run(&mut hook);
+        Self::finish(golden, spec, result, hook)
+    }
+
+    /// Execute one experiment on the legacy tree walker.
+    ///
+    /// Exists for the pipeline-equivalence suite and the `exec_bench`
+    /// baseline: for any spec the result must equal [`Experiment::run`]
+    /// field for field.  No checkpoint replay — the walker always executes
+    /// from instruction zero.
+    pub fn run_legacy(
+        module: &Module,
+        golden: &GoldenRun,
+        spec: &ExperimentSpec,
+    ) -> ExperimentResult {
+        let mut hook = InjectorHook::new(
+            spec.technique,
+            spec.model.max_mbf,
+            spec.win_size_value,
+            spec.first_target,
+            spec.seed,
+        );
+        let limits = golden.faulty_run_limits(spec.hang_factor);
+        let result = WalkerVm::new(module, limits).run(&mut hook);
+        Self::finish(golden, spec, result, hook)
+    }
+
+    fn finish(
+        golden: &GoldenRun,
+        spec: &ExperimentSpec,
+        result: mbfi_vm::RunResult,
+        hook: InjectorHook,
+    ) -> ExperimentResult {
         let outcome = classify(&result, &golden.output);
         ExperimentResult {
             spec: *spec,
@@ -221,8 +269,7 @@ mod tests {
         let golden = GoldenRun::capture(&m).unwrap();
         let model = FaultModel::multi_bit(5, WinSize::Fixed(4));
         for i in 0..100 {
-            let spec =
-                ExperimentSpec::sample(Technique::InjectOnWrite, model, &golden, 99, i, 10);
+            let spec = ExperimentSpec::sample(Technique::InjectOnWrite, model, &golden, 99, i, 10);
             let r = Experiment::run(&m, &golden, &spec);
             assert!(r.activated <= 5);
         }

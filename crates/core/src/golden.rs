@@ -1,6 +1,12 @@
 //! The golden (fault-free) run of a workload.
+//!
+//! Golden runs execute through the compiled pipeline: the module is lowered
+//! once with [`CompiledModule::lower`] and profiled on the flat bytecode, so
+//! candidate counting consumes the lowering-time static metadata instead of
+//! re-deriving per-instruction facts.  [`GoldenRun::capture_compiled`] takes
+//! a pre-lowered module for callers (campaigns, benches) that reuse one.
 
-use mbfi_ir::Module;
+use mbfi_ir::{CompiledModule, Module};
 use mbfi_vm::{CountingHook, ExecutionProfile, Limits, RunOutcome, Vm};
 
 /// Result of profiling one workload without faults.
@@ -49,13 +55,26 @@ impl GoldenRun {
 
     /// Capture with explicit execution limits (useful in tests).
     pub fn capture_with_limits(module: &Module, limits: Limits) -> Result<GoldenRun, GoldenError> {
+        let code = CompiledModule::lower(module);
+        Self::capture_compiled_with_limits(&code, limits)
+    }
+
+    /// Capture from a pre-lowered module (the path campaigns and benches use
+    /// so lowering happens once per workload).
+    pub fn capture_compiled(code: &CompiledModule) -> Result<GoldenRun, GoldenError> {
+        Self::capture_compiled_with_limits(code, Limits::default())
+    }
+
+    /// Capture from a pre-lowered module with explicit execution limits.
+    pub fn capture_compiled_with_limits(
+        code: &CompiledModule,
+        limits: Limits,
+    ) -> Result<GoldenRun, GoldenError> {
         let mut hook = CountingHook::new();
-        let result = Vm::new(module, limits).run(&mut hook);
+        let result = Vm::new(code, limits).run(&mut hook);
         match &result.outcome {
             RunOutcome::Completed { .. } => {}
-            RunOutcome::Trapped(trap) => {
-                return Err(GoldenError::DidNotComplete(trap.to_string()))
-            }
+            RunOutcome::Trapped(trap) => return Err(GoldenError::DidNotComplete(trap.to_string())),
             RunOutcome::InstrLimitExceeded => {
                 return Err(GoldenError::DidNotComplete(
                     "dynamic instruction limit exceeded".to_string(),

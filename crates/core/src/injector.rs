@@ -22,10 +22,10 @@
 //!   first, the remaining flips are simply not activated — which is exactly
 //!   the effect the activation analysis of RQ1 measures.
 
+use crate::rng::{Rng, SmallRng};
 use crate::technique::Technique;
 use mbfi_ir::Reg;
 use mbfi_vm::{ExecHook, InstrContext, Value};
-use crate::rng::{Rng, SmallRng};
 
 /// One applied bit-flip.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,7 +149,13 @@ impl InjectorHook {
         }
     }
 
-    fn apply_flips(&mut self, ctx: &InstrContext, reg: Reg, value: Value, pending: Pending) -> Value {
+    fn apply_flips(
+        &mut self,
+        ctx: &InstrContext,
+        reg: Reg,
+        value: Value,
+        pending: Pending,
+    ) -> Value {
         let width = value.ty.bit_width();
         let flips = pending.flips.min(width);
         let mut chosen: Vec<u32> = Vec::with_capacity(flips as usize);
@@ -227,7 +233,13 @@ impl ExecHook for InjectorHook {
         });
     }
 
-    fn on_read(&mut self, ctx: &InstrContext, operand_index: usize, reg: Reg, value: Value) -> Value {
+    fn on_read(
+        &mut self,
+        ctx: &InstrContext,
+        operand_index: usize,
+        reg: Reg,
+        value: Value,
+    ) -> Value {
         if self.technique.is_write() {
             return value;
         }
@@ -277,11 +289,9 @@ mod tests {
         mb.finish()
     }
 
-    fn run_with(
-        module: &mbfi_ir::Module,
-        hook: &mut InjectorHook,
-    ) -> mbfi_vm::RunResult {
-        Vm::new(module, Limits::default()).run(hook)
+    fn run_with(module: &mbfi_ir::Module, hook: &mut InjectorHook) -> mbfi_vm::RunResult {
+        let code = mbfi_ir::CompiledModule::lower(module);
+        Vm::new(&code, Limits::default()).run(hook)
     }
 
     #[test]
@@ -349,7 +359,11 @@ mod tests {
         // Write candidates: alloca(0), load(1), icmp(2), select(3).
         let mut hook = InjectorHook::new(Technique::InjectOnWrite, 30, 0, 2, 5);
         let _ = run_with(&m, &mut hook);
-        assert_eq!(hook.activated(), 1, "an i1 register can absorb only one flip");
+        assert_eq!(
+            hook.activated(),
+            1,
+            "an i1 register can absorb only one flip"
+        );
     }
 
     #[test]
@@ -474,9 +488,8 @@ mod tests {
 
     #[test]
     fn injector_requires_at_least_one_flip() {
-        let result = std::panic::catch_unwind(|| {
-            InjectorHook::new(Technique::InjectOnRead, 0, 0, 0, 0)
-        });
+        let result =
+            std::panic::catch_unwind(|| InjectorHook::new(Technique::InjectOnRead, 0, 0, 0, 0));
         assert!(result.is_err());
     }
 }

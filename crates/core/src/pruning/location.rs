@@ -18,9 +18,9 @@ use crate::experiment::{Experiment, ExperimentSpec};
 use crate::fault_model::FaultModel;
 use crate::golden::GoldenRun;
 use crate::outcome::Outcome;
-use crate::technique::Technique;
-use mbfi_ir::Module;
 use crate::rng::{Rng, SmallRng};
+use crate::technique::Technique;
+use mbfi_ir::{CompiledModule, Module};
 use std::collections::BTreeMap;
 
 /// Counts of (single-bit outcome → multi-bit outcome) transitions.
@@ -141,6 +141,7 @@ impl LocationAnalysis {
         // Same floor CampaignSpec::validate enforces for campaigns: below 2x
         // the golden length, slowed-down-but-correct runs read as hangs.
         let hang_factor = hang_factor.max(2);
+        let code = CompiledModule::lower(module);
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x10CA_7104);
         let candidates = golden.candidates(technique).max(1);
         let mut matrix = TransitionMatrix::default();
@@ -166,8 +167,8 @@ impl LocationAnalysis {
                 seed: bit_seed.wrapping_add(i as u64),
                 hang_factor,
             };
-            let single = Experiment::run(module, golden, &single_spec);
-            let multi = Experiment::run(module, golden, &multi_spec);
+            let single = Experiment::run_compiled(&code, golden, &single_spec, None);
+            let multi = Experiment::run_compiled(&code, golden, &multi_spec, None);
             matrix.record(single.outcome, multi.outcome);
         }
 

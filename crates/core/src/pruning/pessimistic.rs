@@ -78,7 +78,11 @@ impl PessimisticAnalysis {
         let single_pct = single.sdc_pct();
         let worst = multi
             .iter()
-            .max_by(|a, b| a.sdc_pct().partial_cmp(&b.sdc_pct()).expect("valid SDC pct"))
+            .max_by(|a, b| {
+                a.sdc_pct()
+                    .partial_cmp(&b.sdc_pct())
+                    .expect("valid SDC pct")
+            })
             .expect("non-empty multi set");
         let worst_cfg = PessimisticConfig {
             model: worst.spec.model,
@@ -119,7 +123,11 @@ impl PessimisticAnalysis {
         assert!(!multi.is_empty(), "no multi-bit campaigns supplied");
         let worst = multi
             .iter()
-            .max_by(|a, b| a.sdc_pct().partial_cmp(&b.sdc_pct()).expect("valid SDC pct"))
+            .max_by(|a, b| {
+                a.sdc_pct()
+                    .partial_cmp(&b.sdc_pct())
+                    .expect("valid SDC pct")
+            })
             .expect("non-empty multi set");
         PessimisticConfig {
             model: worst.spec.model,

@@ -41,7 +41,7 @@
 
 use crate::golden::GoldenRun;
 use crate::technique::Technique;
-use mbfi_ir::Module;
+use mbfi_ir::{CompiledModule, Module};
 use mbfi_vm::{CountingHook, Limits, RunOutcome, Vm, VmSnapshot};
 
 /// Remap a uniformly drawn candidate ordinal into the **last quartile** of a
@@ -136,7 +136,11 @@ impl std::fmt::Display for ReplayCaptureError {
              {} dynamic instructions (expected {}), output {}, outcome {}",
             self.actual_instrs,
             self.expected_instrs,
-            if self.output_matches { "matches" } else { "differs" },
+            if self.output_matches {
+                "matches"
+            } else {
+                "differs"
+            },
             self.outcome
         )
     }
@@ -180,8 +184,30 @@ impl CheckpointStore {
         config: CheckpointConfig,
         limits: Limits,
     ) -> Result<CheckpointStore, ReplayCaptureError> {
+        let code = CompiledModule::lower(module);
+        Self::capture_compiled_with_limits(&code, golden, config, limits)
+    }
+
+    /// Capture from a pre-lowered module (the snapshots carry compiled-frame
+    /// state, so replay through [`crate::Experiment::run_compiled`] must use
+    /// the same lowered module).
+    pub fn capture_compiled(
+        code: &CompiledModule,
+        golden: &GoldenRun,
+        config: CheckpointConfig,
+    ) -> Result<CheckpointStore, ReplayCaptureError> {
+        Self::capture_compiled_with_limits(code, golden, config, Limits::default())
+    }
+
+    /// Capture from a pre-lowered module with explicit execution limits.
+    pub fn capture_compiled_with_limits(
+        code: &CompiledModule,
+        golden: &GoldenRun,
+        config: CheckpointConfig,
+        limits: Limits,
+    ) -> Result<CheckpointStore, ReplayCaptureError> {
         assert!(config.interval >= 1, "checkpoint interval must be >= 1");
-        let mut vm = Vm::new(module, limits);
+        let mut vm = Vm::new(code, limits);
         let mut hook = CountingHook::new();
         let mut store = CheckpointStore {
             interval: config.interval,
@@ -371,7 +397,10 @@ mod tests {
             }
             // A target past the end returns the deepest checkpoint.
             let deepest = store.nearest_for(technique, u64::MAX).unwrap();
-            assert_eq!(deepest.dyn_index, store.checkpoints().last().unwrap().dyn_index);
+            assert_eq!(
+                deepest.dyn_index,
+                store.checkpoints().last().unwrap().dyn_index
+            );
         }
     }
 
@@ -381,7 +410,12 @@ mod tests {
         let golden = GoldenRun::capture(&m).unwrap();
         let full =
             CheckpointStore::capture(&m, &golden, CheckpointConfig::with_interval(10)).unwrap();
-        let one = full.checkpoints().first().unwrap().snapshot().approx_bytes();
+        let one = full
+            .checkpoints()
+            .first()
+            .unwrap()
+            .snapshot()
+            .approx_bytes();
         let tight = CheckpointStore::capture(
             &m,
             &golden,
@@ -431,7 +465,10 @@ mod tests {
                 );
                 let full = Experiment::run(&m, &golden, &spec);
                 let replayed = Experiment::run_with_store(&m, &golden, &spec, Some(&store));
-                assert_eq!(full, replayed, "{technique} experiment {i} diverged under replay");
+                assert_eq!(
+                    full, replayed,
+                    "{technique} experiment {i} diverged under replay"
+                );
             }
         }
     }

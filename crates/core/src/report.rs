@@ -419,6 +419,34 @@ mod tests {
         assert_eq!(Json::from("a\u{1}b").render(), "\"a\\u0001b\"");
     }
 
+    /// Every control character below 0x20 must leave the writer as an
+    /// escape sequence — either one of the short forms (`\n`, `\r`, `\t`) or
+    /// a `\u00XX` escape — never as a raw byte, which would be invalid JSON.
+    #[test]
+    fn all_control_characters_are_escaped() {
+        for c in (0u32..0x20).map(|c| char::from_u32(c).unwrap()) {
+            let rendered = Json::from(format!("x{c}y")).render();
+            let expected = match c {
+                '\n' => "\"x\\ny\"".to_string(),
+                '\r' => "\"x\\ry\"".to_string(),
+                '\t' => "\"x\\ty\"".to_string(),
+                c => format!("\"x\\u{:04x}y\"", c as u32),
+            };
+            assert_eq!(rendered, expected, "control char U+{:04X}", c as u32);
+            // The rendered string must contain no raw control bytes at all.
+            assert!(
+                rendered.bytes().all(|b| b >= 0x20),
+                "raw control byte leaked for U+{:04X}: {rendered:?}",
+                c as u32
+            );
+        }
+        // Boundary cases: 0x20 (space) and DEL pass through unescaped,
+        // quotes and backslashes keep their dedicated escapes.
+        assert_eq!(Json::from(" ").render(), "\" \"");
+        assert_eq!(Json::from("\u{7f}").render(), "\"\u{7f}\"");
+        assert_eq!(Json::from("\"\\").render(), "\"\\\"\\\\\"");
+    }
+
     #[test]
     fn table_and_figure_emit_json() {
         let mut t = TextTable::new("Demo", &["program", "sdc%"]);

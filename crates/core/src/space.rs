@@ -7,7 +7,6 @@
 //! Because these numbers overflow `u64` for realistic workloads, they are
 //! reported in log10 form as well.
 
-
 /// Error-space sizes for one workload / technique.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ErrorSpace {

@@ -6,7 +6,6 @@
 //! interval, which behaves better for proportions near 0 or 1 and for the
 //! smaller sample sizes this reproduction uses by default.
 
-
 /// z value for a two-sided 95 % confidence level.
 pub const Z_95: f64 = 1.959_963_984_540_054;
 

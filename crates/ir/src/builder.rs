@@ -572,7 +572,12 @@ impl<'m> FunctionBuilder<'m> {
     }
 
     /// Multi-way branch.
-    pub fn switch(&mut self, value: impl Into<Operand>, default: BlockId, cases: &[(u64, BlockId)]) {
+    pub fn switch(
+        &mut self,
+        value: impl Into<Operand>,
+        default: BlockId,
+        cases: &[(u64, BlockId)],
+    ) {
         self.push(Instr::Switch {
             value: value.into(),
             default,
@@ -732,11 +737,7 @@ mod tests {
         {
             let mut f = mb.define(main);
             let c = f.icmp(IcmpPred::Slt, Type::I32, 1i32, 2i32);
-            f.if_else(
-                c,
-                |f| f.print_i64(1i64),
-                |f| f.print_i64(0i64),
-            );
+            f.if_else(c, |f| f.print_i64(1i64), |f| f.print_i64(0i64));
             f.ret_void();
         }
         mb.set_entry(main);

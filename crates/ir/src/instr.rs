@@ -779,7 +779,9 @@ impl Instr {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Instr::Br { target } => vec![*target],
-            Instr::CondBr { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Instr::CondBr {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
             Instr::Switch { default, cases, .. } => {
                 let mut out = vec![*default];
                 out.extend(cases.iter().map(|(_, b)| *b));

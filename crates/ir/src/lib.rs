@@ -13,6 +13,8 @@
 //!   control flow, calls and intrinsics ([`Instr`]),
 //! * functions made of basic blocks ([`Function`], [`Block`]),
 //! * modules with global data ([`Module`], [`Global`]),
+//! * a flat bytecode lowering ([`CompiledModule`]) — the pre-decoded form
+//!   the interpreter's hot path executes,
 //! * an ergonomic [`builder`] API used by the benchmark workloads,
 //! * a textual [`printer`] for dumping and inspecting programs, and
 //! * a structural [`verify`] pass.
@@ -23,6 +25,7 @@
 //! the injector in `mbfi-core`.
 
 pub mod builder;
+pub mod compiled;
 pub mod function;
 pub mod instr;
 pub mod module;
@@ -32,6 +35,7 @@ pub mod value;
 pub mod verify;
 
 pub use builder::{BlockHandle, FunctionBuilder, ModuleBuilder};
+pub use compiled::{CInstr, CompiledModule, FrameLayout, InstrMeta};
 pub use function::{Block, BlockId, FuncId, Function, RegInfo};
 pub use instr::{BinOp, CastOp, FcmpPred, IcmpPred, Instr, Intrinsic, Opcode};
 pub use module::{Global, Module};

@@ -25,45 +25,85 @@ fn fmt_operands(ops: &[Operand]) -> String {
 /// Render a single instruction on one line (without indentation).
 pub fn print_instr(instr: &Instr) -> String {
     match instr {
-        Instr::Binary { dest, op, ty, lhs, rhs } => format!(
+        Instr::Binary {
+            dest,
+            op,
+            ty,
+            lhs,
+            rhs,
+        } => format!(
             "{dest} = {} {ty} {}, {}",
             op.mnemonic(),
             fmt_operand(lhs),
             fmt_operand(rhs)
         ),
-        Instr::Icmp { dest, pred, ty, lhs, rhs } => format!(
+        Instr::Icmp {
+            dest,
+            pred,
+            ty,
+            lhs,
+            rhs,
+        } => format!(
             "{dest} = icmp {} {ty} {}, {}",
             pred.mnemonic(),
             fmt_operand(lhs),
             fmt_operand(rhs)
         ),
-        Instr::Fcmp { dest, pred, ty, lhs, rhs } => format!(
+        Instr::Fcmp {
+            dest,
+            pred,
+            ty,
+            lhs,
+            rhs,
+        } => format!(
             "{dest} = fcmp {} {ty} {}, {}",
             pred.mnemonic(),
             fmt_operand(lhs),
             fmt_operand(rhs)
         ),
-        Instr::Cast { dest, op, from_ty, to_ty, src } => format!(
+        Instr::Cast {
+            dest,
+            op,
+            from_ty,
+            to_ty,
+            src,
+        } => format!(
             "{dest} = {} {} {} to {}",
             op.mnemonic(),
             from_ty,
             fmt_operand(src),
             to_ty
         ),
-        Instr::Select { dest, ty, cond, then_val, else_val } => format!(
+        Instr::Select {
+            dest,
+            ty,
+            cond,
+            then_val,
+            else_val,
+        } => format!(
             "{dest} = select {ty} {}, {}, {}",
             fmt_operand(cond),
             fmt_operand(then_val),
             fmt_operand(else_val)
         ),
-        Instr::Alloca { dest, elem_ty, count } => {
+        Instr::Alloca {
+            dest,
+            elem_ty,
+            count,
+        } => {
             format!("{dest} = alloca {elem_ty}, {}", fmt_operand(count))
         }
         Instr::Load { dest, ty, addr } => format!("{dest} = load {ty}, {}", fmt_operand(addr)),
         Instr::Store { ty, value, addr } => {
             format!("store {ty} {}, {}", fmt_operand(value), fmt_operand(addr))
         }
-        Instr::Gep { dest, base, index, elem_size, offset } => format!(
+        Instr::Gep {
+            dest,
+            base,
+            index,
+            elem_size,
+            offset,
+        } => format!(
             "{dest} = gep {}, {} x {elem_size} + {offset}",
             fmt_operand(base),
             fmt_operand(index)
@@ -85,10 +125,18 @@ pub fn print_instr(instr: &Instr) -> String {
             format!("{dest} = phi {ty} {arms}")
         }
         Instr::Br { target } => format!("br {target}"),
-        Instr::CondBr { cond, then_bb, else_bb } => {
+        Instr::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
             format!("condbr {}, {then_bb}, {else_bb}", fmt_operand(cond))
         }
-        Instr::Switch { value, default, cases } => {
+        Instr::Switch {
+            value,
+            default,
+            cases,
+        } => {
             let arms = cases
                 .iter()
                 .map(|(v, b)| format!("{v} -> {b}"))

@@ -89,7 +89,10 @@ impl Type {
 
     /// Whether this is one of the integer types (including `i1`).
     pub fn is_int(self) -> bool {
-        matches!(self, Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64)
+        matches!(
+            self,
+            Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64
+        )
     }
 
     /// Whether this is one of the floating-point types.

@@ -122,7 +122,10 @@ impl Constant {
     /// Interpret a float constant as `f64` (widening `f32` as needed).
     pub fn as_f64(&self) -> f64 {
         match self {
-            Constant::Float { ty: Type::F32, bits } => f32::from_bits(*bits as u32) as f64,
+            Constant::Float {
+                ty: Type::F32,
+                bits,
+            } => f32::from_bits(*bits as u32) as f64,
             Constant::Float { bits, .. } => f64::from_bits(*bits),
             other => other.as_i64() as f64,
         }

@@ -77,7 +77,10 @@ pub fn verify_module(module: &Module) -> Result<(), Vec<VerifyError>> {
                 None,
                 None,
                 None,
-                format!("global @g{i} '{}' alignment {} is not a power of two", g.name, g.align),
+                format!(
+                    "global @g{i} '{}' alignment {} is not a power of two",
+                    g.name, g.align
+                ),
             ));
         }
     }
@@ -125,7 +128,10 @@ fn check_operand(
                     Some(fname),
                     Some(b),
                     Some(i),
-                    format!("register {r} out of range (function has {})", func.regs.len()),
+                    format!(
+                        "register {r} out of range (function has {})",
+                        func.regs.len()
+                    ),
                 ));
             }
         }
@@ -261,10 +267,14 @@ fn verify_function(module: &Module, func: &Function, errors: &mut Vec<VerifyErro
                         _ => {}
                     };
                 }
-                Instr::Phi { incoming, .. }
-                    if incoming.is_empty() => {
-                        errors.push(err(Some(fname), Some(b), Some(i), "phi with no incoming arms"));
-                    }
+                Instr::Phi { incoming, .. } if incoming.is_empty() => {
+                    errors.push(err(
+                        Some(fname),
+                        Some(b),
+                        Some(i),
+                        "phi with no incoming arms",
+                    ));
+                }
                 _ => {}
             }
         }
@@ -353,7 +363,9 @@ mod tests {
         let mut m = valid_module();
         m.functions[1].blocks.push(Block {
             label: None,
-            instrs: vec![Instr::Br { target: BlockId(77) }],
+            instrs: vec![Instr::Br {
+                target: BlockId(77),
+            }],
         });
         let errs = verify_module(&m).unwrap_err();
         assert!(errs.iter().any(|e| e.message.contains("branch target")));

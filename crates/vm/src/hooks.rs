@@ -45,7 +45,13 @@ pub trait ExecHook {
 
     /// Called for every register operand read; the returned value is what the
     /// instruction actually consumes.
-    fn on_read(&mut self, _ctx: &InstrContext, _operand_index: usize, _reg: Reg, value: Value) -> Value {
+    fn on_read(
+        &mut self,
+        _ctx: &InstrContext,
+        _operand_index: usize,
+        _reg: Reg,
+        value: Value,
+    ) -> Value {
         value
     }
 

@@ -1,22 +1,36 @@
-//! The IR interpreter.
+//! The compiled-bytecode interpreter.
 //!
-//! [`Vm::run`] executes a module's entry function to completion, to a trap,
-//! or until the dynamic-instruction limit is exceeded, routing every register
-//! read and write through the supplied [`ExecHook`].
+//! [`Vm`] executes a [`CompiledModule`] — the flat, pre-decoded form produced
+//! by [`CompiledModule::lower`] — with a single PC-indexed fetch per dynamic
+//! instruction and per-instruction static metadata (opcode, register-read
+//! count, destination flag) read from the lowering-time table instead of
+//! recomputed per step.
 //!
+//! All hook entry points are generic over `H: ExecHook + ?Sized`: a golden
+//! run with a [`crate::NoopHook`] monomorphizes to a loop with zero dispatch
+//! overhead, while object-safe callers can still pass `&mut dyn ExecHook`
+//! (the unsized instantiation is the thin `dyn` adapter).
+//!
+//! [`Vm::run`] executes the module's entry function to completion, to a
+//! trap, or until the dynamic-instruction limit is exceeded, routing every
+//! register read and write through the supplied [`ExecHook`].
 //! [`Vm::run_until`] pauses execution at an exact dynamic-instruction
 //! boundary instead, which combined with [`Vm::snapshot`] /
 //! [`Vm::resume_from`] is the substrate for checkpointed golden-run replay.
+//!
+//! The legacy tree walker that interprets the [`Module`] structure directly
+//! survives as [`crate::WalkerVm`], kept for differential testing and as the
+//! baseline the `exec_bench` binary measures against.
 
 use crate::hooks::{ExecHook, InstrContext};
 use crate::limits::Limits;
 use crate::memory::{Memory, MemoryLayout};
+use crate::ops;
 use crate::snapshot::VmSnapshot;
 use crate::trap::Trap;
 use crate::value::Value;
-use mbfi_ir::{
-    BinOp, CastOp, Constant, FcmpPred, IcmpPred, Instr, Intrinsic, Module, Operand, Reg, Type,
-};
+use mbfi_ir::compiled::{CInstr, CompiledModule};
+use mbfi_ir::{Constant, Module, Operand, Reg};
 
 /// How a run ended.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,12 +65,18 @@ pub struct RunResult {
 }
 
 /// One activation record.
+///
+/// Where the tree walker tracked a `(func, block, instr)` triple, a compiled
+/// frame holds the flat `pc` plus the function index (for the register
+/// table) and the predecessor block (for phi resolution).
 #[derive(Debug, Clone)]
 pub(crate) struct Frame {
-    func: usize,
-    block: usize,
-    instr: usize,
-    prev_block: usize,
+    /// Index of the executing function (register-table / layout lookup).
+    func: u32,
+    /// Absolute PC of the next instruction to execute.
+    pc: usize,
+    /// Block index the frame most recently jumped *from* (phi resolution).
+    prev_block: u32,
     pub(crate) regs: Vec<Value>,
     stack_mark: u64,
     /// Where the caller wants this frame's return value.
@@ -67,8 +87,8 @@ pub(crate) struct Frame {
 }
 
 /// The virtual machine executing one program run.
-pub struct Vm<'m> {
-    module: &'m Module,
+pub struct Vm<'c> {
+    code: &'c CompiledModule,
     mem: Memory,
     limits: Limits,
     output: Vec<u8>,
@@ -88,46 +108,59 @@ enum Step {
     Return(Option<Value>),
 }
 
-impl<'m> Vm<'m> {
-    /// Create a VM for `module` with default memory layout.
-    pub fn new(module: &'m Module, limits: Limits) -> Vm<'m> {
-        Vm::with_layout(module, limits, MemoryLayout::default())
+impl<'c> Vm<'c> {
+    /// Create a VM for a compiled module with the default memory layout.
+    pub fn new(code: &'c CompiledModule, limits: Limits) -> Vm<'c> {
+        Vm::with_layout(code, limits, MemoryLayout::default())
     }
 
     /// Create a VM with an explicit memory layout.
-    pub fn with_layout(module: &'m Module, limits: Limits, layout: MemoryLayout) -> Vm<'m> {
+    pub fn with_layout(code: &'c CompiledModule, limits: Limits, layout: MemoryLayout) -> Vm<'c> {
         let mut vm = Vm {
-            module,
-            mem: Memory::for_module(module, layout),
+            code,
+            mem: Memory::for_globals(&code.globals, layout),
             limits,
             output: Vec::new(),
             dyn_count: 0,
             stack: Vec::new(),
             done: false,
         };
-        if let Some(entry) = module.entry {
-            let frame = vm.make_frame(entry.index(), &[]);
+        if let Some(entry) = code.entry {
+            let frame = vm.make_frame(entry, &[]);
             vm.stack.push(frame);
         }
         vm
     }
 
-    /// Convenience: run the module's entry function with a no-op hook.
-    pub fn run_golden(module: &'m Module, limits: Limits) -> RunResult {
+    /// Convenience: lower `module` and run its entry function with a no-op
+    /// hook.  For repeated runs, lower once with [`CompiledModule::lower`]
+    /// and reuse the result.
+    pub fn run_golden(module: &Module, limits: Limits) -> RunResult {
+        let code = CompiledModule::lower(module);
+        Vm::run_golden_compiled(&code, limits)
+    }
+
+    /// Run a pre-lowered module's entry function with a no-op hook.
+    pub fn run_golden_compiled(code: &CompiledModule, limits: Limits) -> RunResult {
         let mut hook = crate::hooks::NoopHook;
-        Vm::new(module, limits).run(&mut hook)
+        Vm::new(code, limits).run(&mut hook)
+    }
+
+    /// The compiled module this VM executes.
+    pub fn code(&self) -> &'c CompiledModule {
+        self.code
     }
 
     fn make_frame(&self, func_idx: usize, args: &[Value]) -> Frame {
-        let func = &self.module.functions[func_idx];
-        let mut regs: Vec<Value> = func.regs.iter().map(|r| Value::zero(r.ty)).collect();
-        for (param, arg) in func.params.iter().zip(args) {
-            regs[param.index()] = Value::new(func.regs[param.index()].ty, arg.bits);
+        let layout = &self.code.funcs[func_idx];
+        let mut regs: Vec<Value> = layout.reg_tys.iter().map(|ty| Value::zero(*ty)).collect();
+        for (param, arg) in layout.params.iter().zip(args) {
+            let idx = *param as usize;
+            regs[idx] = Value::new(layout.reg_tys[idx], arg.bits);
         }
         Frame {
-            func: func_idx,
-            block: 0,
-            instr: 0,
+            func: func_idx as u32,
+            pc: layout.entry_pc,
             prev_block: 0,
             regs,
             stack_mark: self.mem.stack_mark(),
@@ -146,13 +179,13 @@ impl<'m> Vm<'m> {
         }
     }
 
-    fn read_operand(
+    fn read_operand<H: ExecHook + ?Sized>(
         &self,
         frame: &Frame,
         op: &Operand,
         ctx: &InstrContext,
         reg_read_idx: &mut usize,
-        hook: &mut dyn ExecHook,
+        hook: &mut H,
     ) -> Result<Value, Trap> {
         match op {
             Operand::Reg(r) => {
@@ -165,26 +198,20 @@ impl<'m> Vm<'m> {
         }
     }
 
-    fn write_dest(
+    fn write_dest<H: ExecHook + ?Sized>(
         frame: &mut Frame,
         reg: Reg,
         value: Value,
         ctx: &InstrContext,
-        hook: &mut dyn ExecHook,
+        hook: &mut H,
     ) {
         let value = hook.on_write(ctx, reg, value);
         frame.regs[reg.index()] = value;
     }
 
-    fn append_output(&mut self, bytes: &[u8]) {
-        let remaining = self.limits.max_output_bytes.saturating_sub(self.output.len());
-        let take = remaining.min(bytes.len());
-        self.output.extend_from_slice(&bytes[..take]);
-    }
-
     /// Execute the module's entry function, routing register traffic through
     /// `hook`.
-    pub fn run(mut self, hook: &mut dyn ExecHook) -> RunResult {
+    pub fn run<H: ExecHook + ?Sized>(mut self, hook: &mut H) -> RunResult {
         self.run_until(hook, u64::MAX)
             .expect("a run can never pause at the u64::MAX boundary")
     }
@@ -202,7 +229,11 @@ impl<'m> Vm<'m> {
     /// # Panics
     ///
     /// Panics if called again after the run has ended.
-    pub fn run_until(&mut self, hook: &mut dyn ExecHook, stop_at: u64) -> Option<RunResult> {
+    pub fn run_until<H: ExecHook + ?Sized>(
+        &mut self,
+        hook: &mut H,
+        stop_at: u64,
+    ) -> Option<RunResult> {
         assert!(!self.done, "Vm::run_until called after the run ended");
         // Take the stack into a local for the duration of the loop so the
         // active frame can be borrowed mutably alongside `self` without
@@ -216,9 +247,9 @@ impl<'m> Vm<'m> {
 
     /// The interpreter loop proper: `Some(outcome)` when the run ended,
     /// `None` when paused at the `stop_at` boundary.
-    fn step_loop(
+    fn step_loop<H: ExecHook + ?Sized>(
         &mut self,
-        hook: &mut dyn ExecHook,
+        hook: &mut H,
         stop_at: u64,
         stack: &mut Vec<Frame>,
     ) -> Option<RunOutcome> {
@@ -237,21 +268,22 @@ impl<'m> Vm<'m> {
             let step = {
                 let depth = stack.len();
                 let frame = stack.last_mut().expect("non-empty call stack");
-                let func = &self.module.functions[frame.func];
-                let block = &func.blocks[frame.block];
-                if frame.instr >= block.instrs.len() {
-                    // A verified module never falls off the end of a block.
-                    return Some(RunOutcome::Trapped(Trap::Abort));
-                }
-                let instr = &block.instrs[frame.instr];
+                let instr = match self.code.instrs.get(frame.pc) {
+                    // Falling off the end of a block (or a bodiless
+                    // function) aborts without counting an instruction,
+                    // matching the tree walker.
+                    None | Some(CInstr::FellOff) => return Some(RunOutcome::Trapped(Trap::Abort)),
+                    Some(instr) => instr,
+                };
+                let meta = &self.code.meta[frame.pc];
                 let ctx = InstrContext {
                     dyn_index: self.dyn_count,
-                    func: frame.func,
-                    block: frame.block,
-                    instr: frame.instr,
-                    opcode: instr.opcode(),
-                    reg_reads: instr.operands().iter().filter(|o| o.is_reg()).count(),
-                    has_dest: instr.dest().is_some(),
+                    func: meta.func as usize,
+                    block: meta.block as usize,
+                    instr: meta.instr as usize,
+                    opcode: meta.opcode,
+                    reg_reads: meta.reg_reads as usize,
+                    has_dest: meta.has_dest,
                 };
                 hook.on_instr(&ctx);
                 self.dyn_count += 1;
@@ -264,13 +296,12 @@ impl<'m> Vm<'m> {
 
             match step {
                 Step::Next => {
-                    stack.last_mut().unwrap().instr += 1;
+                    stack.last_mut().unwrap().pc += 1;
                 }
                 Step::Jump(target) => {
                     let frame = stack.last_mut().unwrap();
-                    frame.prev_block = frame.block;
-                    frame.block = target;
-                    frame.instr = 0;
+                    frame.prev_block = self.code.meta[frame.pc].block;
+                    frame.pc = target;
                 }
                 Step::Call(new_frame) => {
                     stack.push(new_frame);
@@ -283,10 +314,11 @@ impl<'m> Vm<'m> {
                         Some(caller) => {
                             if let (Some(dest), Some(v)) = (finished.ret_dest, value) {
                                 let ctx = finished.call_ctx.expect("call frame has call context");
-                                let ty = self.module.functions[caller.func].regs[dest.index()].ty;
+                                let ty =
+                                    self.code.funcs[caller.func as usize].reg_tys[dest.index()];
                                 Self::write_dest(caller, dest, Value::new(ty, v.bits), &ctx, hook);
                             }
-                            caller.instr += 1;
+                            caller.pc += 1;
                         }
                     }
                 }
@@ -313,9 +345,9 @@ impl<'m> Vm<'m> {
     }
 
     /// Restore interpreter state from a snapshot taken on a VM running the
-    /// **same module**, replacing this VM's frames, memory, output and
-    /// dynamic-instruction counter.  The VM's own [`Limits`] are kept, so a
-    /// replay can run under different (e.g. hang-detection) limits than the
+    /// **same compiled module**, replacing this VM's frames, memory, output
+    /// and dynamic-instruction counter.  The VM's own [`Limits`] are kept, so
+    /// a replay can run under different (e.g. hang-detection) limits than the
     /// capture run.
     pub fn resume_from(&mut self, snapshot: &VmSnapshot) {
         self.stack = snapshot.frames.clone();
@@ -335,12 +367,12 @@ impl<'m> Vm<'m> {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn exec_instr(
+    fn exec_instr<H: ExecHook + ?Sized>(
         &mut self,
         frame: &mut Frame,
-        instr: &Instr,
+        instr: &CInstr,
         ctx: &InstrContext,
-        hook: &mut dyn ExecHook,
+        hook: &mut H,
         depth: usize,
     ) -> Result<Step, Trap> {
         let mut reads = 0usize;
@@ -351,34 +383,63 @@ impl<'m> Vm<'m> {
         }
 
         match instr {
-            Instr::Binary { dest, op, ty, lhs, rhs } => {
+            CInstr::Binary {
+                dest,
+                op,
+                ty,
+                lhs,
+                rhs,
+            } => {
                 let a = rd!(lhs);
                 let b = rd!(rhs);
-                let result = eval_binary(*op, *ty, a, b)?;
+                let result = ops::eval_binary(*op, *ty, a, b)?;
                 Self::write_dest(frame, *dest, result, ctx, hook);
                 Ok(Step::Next)
             }
-            Instr::Icmp { dest, pred, ty, lhs, rhs } => {
+            CInstr::Icmp {
+                dest,
+                pred,
+                ty,
+                lhs,
+                rhs,
+            } => {
                 let a = rd!(lhs);
                 let b = rd!(rhs);
-                let result = Value::bool(eval_icmp(*pred, *ty, a, b));
+                let result = Value::bool(ops::eval_icmp(*pred, *ty, a, b));
                 Self::write_dest(frame, *dest, result, ctx, hook);
                 Ok(Step::Next)
             }
-            Instr::Fcmp { dest, pred, lhs, rhs, .. } => {
+            CInstr::Fcmp {
+                dest,
+                pred,
+                lhs,
+                rhs,
+            } => {
                 let a = rd!(lhs);
                 let b = rd!(rhs);
-                let result = Value::bool(eval_fcmp(*pred, a.as_f64(), b.as_f64()));
+                let result = Value::bool(ops::eval_fcmp(*pred, a.as_f64(), b.as_f64()));
                 Self::write_dest(frame, *dest, result, ctx, hook);
                 Ok(Step::Next)
             }
-            Instr::Cast { dest, op, from_ty, to_ty, src } => {
+            CInstr::Cast {
+                dest,
+                op,
+                from_ty,
+                to_ty,
+                src,
+            } => {
                 let v = rd!(src);
-                let result = eval_cast(*op, *from_ty, *to_ty, v);
+                let result = ops::eval_cast(*op, *from_ty, *to_ty, v);
                 Self::write_dest(frame, *dest, result, ctx, hook);
                 Ok(Step::Next)
             }
-            Instr::Select { dest, ty, cond, then_val, else_val } => {
+            CInstr::Select {
+                dest,
+                ty,
+                cond,
+                then_val,
+                else_val,
+            } => {
                 let c = rd!(cond);
                 let t = rd!(then_val);
                 let e = rd!(else_val);
@@ -386,26 +447,36 @@ impl<'m> Vm<'m> {
                 Self::write_dest(frame, *dest, Value::new(*ty, result.bits), ctx, hook);
                 Ok(Step::Next)
             }
-            Instr::Alloca { dest, elem_ty, count } => {
+            CInstr::Alloca {
+                dest,
+                elem_ty,
+                count,
+            } => {
                 let n = rd!(count);
                 let size = elem_ty.byte_size().saturating_mul(n.as_u64());
                 let addr = self.mem.stack_push(size.max(1))?;
                 Self::write_dest(frame, *dest, Value::ptr(addr), ctx, hook);
                 Ok(Step::Next)
             }
-            Instr::Load { dest, ty, addr } => {
+            CInstr::Load { dest, ty, addr } => {
                 let a = rd!(addr);
                 let bits = self.mem.load(*ty, a.as_u64())?;
                 Self::write_dest(frame, *dest, Value::new(*ty, bits), ctx, hook);
                 Ok(Step::Next)
             }
-            Instr::Store { ty, value, addr } => {
+            CInstr::Store { ty, value, addr } => {
                 let v = rd!(value);
                 let a = rd!(addr);
                 self.mem.store(*ty, a.as_u64(), v.bits)?;
                 Ok(Step::Next)
             }
-            Instr::Gep { dest, base, index, elem_size, offset } => {
+            CInstr::Gep {
+                dest,
+                base,
+                index,
+                elem_size,
+                offset,
+            } => {
                 let b = rd!(base);
                 let i = rd!(index);
                 let addr = (b.as_u64())
@@ -414,8 +485,8 @@ impl<'m> Vm<'m> {
                 Self::write_dest(frame, *dest, Value::ptr(addr), ctx, hook);
                 Ok(Step::Next)
             }
-            Instr::Call { dest, callee, args } => {
-                if *callee >= self.module.functions.len() {
+            CInstr::Call { dest, callee, args } => {
+                if *callee >= self.code.funcs.len() {
                     return Err(Trap::InvalidCall {
                         callee: *callee as u64,
                     });
@@ -424,7 +495,7 @@ impl<'m> Vm<'m> {
                     return Err(Trap::StackOverflow);
                 }
                 let mut arg_values = Vec::with_capacity(args.len());
-                for a in args {
+                for a in args.iter() {
                     arg_values.push(rd!(a));
                 }
                 let mut new_frame = self.make_frame(*callee, &arg_values);
@@ -432,21 +503,27 @@ impl<'m> Vm<'m> {
                 new_frame.call_ctx = Some(*ctx);
                 Ok(Step::Call(new_frame))
             }
-            Instr::IntrinsicCall { dest, which, args } => {
+            CInstr::IntrinsicCall { dest, which, args } => {
                 let mut arg_values = Vec::with_capacity(args.len());
-                for a in args {
+                for a in args.iter() {
                     arg_values.push(rd!(a));
                 }
-                let result = self.exec_intrinsic(*which, &arg_values)?;
+                let result = ops::exec_intrinsic(
+                    &mut self.mem,
+                    &mut self.output,
+                    &self.limits,
+                    *which,
+                    &arg_values,
+                )?;
                 if let (Some(d), Some(v)) = (dest, result) {
                     Self::write_dest(frame, *d, v, ctx, hook);
                 }
                 Ok(Step::Next)
             }
-            Instr::Phi { dest, ty, incoming } => {
+            CInstr::Phi { dest, ty, incoming } => {
                 let arm = incoming
                     .iter()
-                    .find(|(b, _)| b.index() == frame.prev_block)
+                    .find(|(b, _)| *b == frame.prev_block)
                     .or_else(|| incoming.first());
                 match arm {
                     Some((_, op)) => {
@@ -457,236 +534,40 @@ impl<'m> Vm<'m> {
                     None => Err(Trap::Abort),
                 }
             }
-            Instr::Br { target } => Ok(Step::Jump(target.index())),
-            Instr::CondBr { cond, then_bb, else_bb } => {
+            CInstr::Jump { target } => Ok(Step::Jump(*target)),
+            CInstr::CondBr {
+                cond,
+                then_pc,
+                else_pc,
+            } => {
                 let c = rd!(cond);
-                let target = if c.as_bool() { then_bb } else { else_bb };
-                Ok(Step::Jump(target.index()))
+                let target = if c.as_bool() { *then_pc } else { *else_pc };
+                Ok(Step::Jump(target))
             }
-            Instr::Switch { value, default, cases } => {
+            CInstr::Switch {
+                value,
+                default_pc,
+                cases,
+            } => {
                 let v = rd!(value);
                 let target = cases
                     .iter()
                     .find(|(case, _)| *case == v.as_u64())
-                    .map(|(_, b)| *b)
-                    .unwrap_or(*default);
-                Ok(Step::Jump(target.index()))
+                    .map(|(_, pc)| *pc)
+                    .unwrap_or(*default_pc);
+                Ok(Step::Jump(target))
             }
-            Instr::Ret { value } => {
+            CInstr::Ret { value } => {
                 let v = match value {
                     Some(op) => Some(rd!(op)),
                     None => None,
                 };
                 Ok(Step::Return(v))
             }
-            Instr::Unreachable => Err(Trap::Abort),
+            CInstr::Unreachable => Err(Trap::Abort),
+            // Handled before dispatch; unreachable here.
+            CInstr::FellOff => Err(Trap::Abort),
         }
-    }
-
-    fn exec_intrinsic(&mut self, which: Intrinsic, args: &[Value]) -> Result<Option<Value>, Trap> {
-        let arg = |i: usize| args.get(i).copied().unwrap_or(Value::i64(0));
-        match which {
-            Intrinsic::PrintI64 => {
-                let text = format!("{}\n", arg(0).as_i64());
-                self.append_output(text.as_bytes());
-                Ok(None)
-            }
-            Intrinsic::PrintF64 => {
-                let v = arg(0).as_f64();
-                let text = if v.is_finite() {
-                    format!("{v:.6}\n")
-                } else {
-                    format!("{v}\n")
-                };
-                self.append_output(text.as_bytes());
-                Ok(None)
-            }
-            Intrinsic::PrintChar => {
-                self.append_output(&[arg(0).as_u64() as u8]);
-                Ok(None)
-            }
-            Intrinsic::PrintBytes => {
-                let addr = arg(0).as_u64();
-                let len = arg(1).as_u64().min(self.limits.max_output_bytes as u64);
-                let bytes = self.mem.read_bytes(addr, len)?;
-                self.append_output(&bytes);
-                Ok(None)
-            }
-            Intrinsic::Abort => Err(Trap::Abort),
-            Intrinsic::Malloc => {
-                let addr = self.mem.heap_alloc(arg(0).as_u64())?;
-                Ok(Some(Value::ptr(addr)))
-            }
-            Intrinsic::Free => {
-                self.mem.heap_free(arg(0).as_u64())?;
-                Ok(None)
-            }
-            Intrinsic::Memcpy => {
-                self.mem.copy(arg(0).as_u64(), arg(1).as_u64(), arg(2).as_u64())?;
-                Ok(None)
-            }
-            Intrinsic::Memset => {
-                self.mem
-                    .fill(arg(0).as_u64(), arg(1).as_u64() as u8, arg(2).as_u64())?;
-                Ok(None)
-            }
-            Intrinsic::Sqrt => Ok(Some(Value::f64(arg(0).as_f64().sqrt()))),
-            Intrinsic::Sin => Ok(Some(Value::f64(arg(0).as_f64().sin()))),
-            Intrinsic::Cos => Ok(Some(Value::f64(arg(0).as_f64().cos()))),
-            Intrinsic::Atan => Ok(Some(Value::f64(arg(0).as_f64().atan()))),
-            Intrinsic::Pow => Ok(Some(Value::f64(arg(0).as_f64().powf(arg(1).as_f64())))),
-            Intrinsic::Exp => Ok(Some(Value::f64(arg(0).as_f64().exp()))),
-            Intrinsic::Log => Ok(Some(Value::f64(arg(0).as_f64().ln()))),
-            Intrinsic::Fabs => Ok(Some(Value::f64(arg(0).as_f64().abs()))),
-            Intrinsic::Floor => Ok(Some(Value::f64(arg(0).as_f64().floor()))),
-            Intrinsic::Ceil => Ok(Some(Value::f64(arg(0).as_f64().ceil()))),
-            Intrinsic::Cbrt => Ok(Some(Value::f64(arg(0).as_f64().cbrt()))),
-        }
-    }
-}
-
-/// Evaluate an integer or floating binary operation.
-fn eval_binary(op: BinOp, ty: Type, a: Value, b: Value) -> Result<Value, Trap> {
-    if op.is_float() {
-        let (x, y) = (a.as_f64(), b.as_f64());
-        let r = match op {
-            BinOp::FAdd => x + y,
-            BinOp::FSub => x - y,
-            BinOp::FMul => x * y,
-            BinOp::FDiv => x / y,
-            BinOp::FRem => x % y,
-            _ => unreachable!(),
-        };
-        return Ok(Value::from_f64(ty, r));
-    }
-
-    let width = ty.bit_width();
-    let ua = a.bits & ty.bit_mask();
-    let ub = b.bits & ty.bit_mask();
-    let sa = a.as_i64();
-    let sb = b.as_i64();
-    let bits = match op {
-        BinOp::Add => ua.wrapping_add(ub),
-        BinOp::Sub => ua.wrapping_sub(ub),
-        BinOp::Mul => ua.wrapping_mul(ub),
-        BinOp::UDiv => {
-            if ub == 0 {
-                return Err(Trap::DivideByZero);
-            }
-            ua / ub
-        }
-        BinOp::SDiv => {
-            if sb == 0 {
-                return Err(Trap::DivideByZero);
-            }
-            if sa == i64::MIN && sb == -1 {
-                return Err(Trap::DivideByZero);
-            }
-            (sa / sb) as u64
-        }
-        BinOp::URem => {
-            if ub == 0 {
-                return Err(Trap::DivideByZero);
-            }
-            ua % ub
-        }
-        BinOp::SRem => {
-            if sb == 0 {
-                return Err(Trap::DivideByZero);
-            }
-            if sa == i64::MIN && sb == -1 {
-                return Err(Trap::DivideByZero);
-            }
-            (sa % sb) as u64
-        }
-        BinOp::Shl => ua.wrapping_shl(ub as u32 % width),
-        BinOp::LShr => ua.wrapping_shr(ub as u32 % width),
-        BinOp::AShr => {
-            let shift = ub as u32 % width;
-            (sign_extend_to_i64(ua, width) >> shift) as u64
-        }
-        BinOp::And => ua & ub,
-        BinOp::Or => ua | ub,
-        BinOp::Xor => ua ^ ub,
-        _ => unreachable!("float ops handled above"),
-    };
-    Ok(Value::new(ty, bits))
-}
-
-fn sign_extend_to_i64(bits: u64, width: u32) -> i64 {
-    mbfi_ir::value::sign_extend(bits, width)
-}
-
-/// Evaluate an integer comparison.
-fn eval_icmp(pred: IcmpPred, ty: Type, a: Value, b: Value) -> bool {
-    let ua = a.bits & ty.bit_mask();
-    let ub = b.bits & ty.bit_mask();
-    let sa = sign_extend_to_i64(ua, ty.bit_width());
-    let sb = sign_extend_to_i64(ub, ty.bit_width());
-    match pred {
-        IcmpPred::Eq => ua == ub,
-        IcmpPred::Ne => ua != ub,
-        IcmpPred::Ugt => ua > ub,
-        IcmpPred::Uge => ua >= ub,
-        IcmpPred::Ult => ua < ub,
-        IcmpPred::Ule => ua <= ub,
-        IcmpPred::Sgt => sa > sb,
-        IcmpPred::Sge => sa >= sb,
-        IcmpPred::Slt => sa < sb,
-        IcmpPred::Sle => sa <= sb,
-    }
-}
-
-/// Evaluate a floating-point comparison.
-fn eval_fcmp(pred: FcmpPred, x: f64, y: f64) -> bool {
-    let unordered = x.is_nan() || y.is_nan();
-    match pred {
-        FcmpPred::Oeq => !unordered && x == y,
-        FcmpPred::One => !unordered && x != y,
-        FcmpPred::Ogt => !unordered && x > y,
-        FcmpPred::Oge => !unordered && x >= y,
-        FcmpPred::Olt => !unordered && x < y,
-        FcmpPred::Ole => !unordered && x <= y,
-        FcmpPred::Ord => !unordered,
-        FcmpPred::Uno => unordered,
-        FcmpPred::Ueq => unordered || x == y,
-        FcmpPred::Une => unordered || x != y,
-    }
-}
-
-/// Evaluate a cast.
-fn eval_cast(op: CastOp, from_ty: Type, to_ty: Type, v: Value) -> Value {
-    match op {
-        CastOp::Trunc | CastOp::Bitcast | CastOp::PtrToInt | CastOp::IntToPtr | CastOp::ZExt => {
-            Value::new(to_ty, v.bits & from_ty.bit_mask())
-        }
-        CastOp::SExt => {
-            let s = sign_extend_to_i64(v.bits & from_ty.bit_mask(), from_ty.bit_width());
-            Value::new(to_ty, s as u64)
-        }
-        CastOp::FpToSi => {
-            let f = if from_ty == Type::F32 {
-                f32::from_bits(v.bits as u32) as f64
-            } else {
-                f64::from_bits(v.bits)
-            };
-            Value::new(to_ty, f as i64 as u64)
-        }
-        CastOp::FpToUi => {
-            let f = if from_ty == Type::F32 {
-                f32::from_bits(v.bits as u32) as f64
-            } else {
-                f64::from_bits(v.bits)
-            };
-            Value::new(to_ty, f as u64)
-        }
-        CastOp::SiToFp => {
-            let s = sign_extend_to_i64(v.bits & from_ty.bit_mask(), from_ty.bit_width());
-            Value::from_f64(to_ty, s as f64)
-        }
-        CastOp::UiToFp => Value::from_f64(to_ty, (v.bits & from_ty.bit_mask()) as f64),
-        CastOp::FpTrunc => Value::f32(f64::from_bits(v.bits) as f32),
-        CastOp::FpExt => Value::f64(f32::from_bits(v.bits as u32) as f64),
     }
 }
 
@@ -694,7 +575,7 @@ fn eval_cast(op: CastOp, from_ty: Type, to_ty: Type, v: Value) -> Value {
 mod tests {
     use super::*;
     use crate::hooks::NoopHook;
-    use mbfi_ir::{IcmpPred, ModuleBuilder};
+    use mbfi_ir::{CastOp, IcmpPred, Intrinsic, ModuleBuilder, Type};
 
     fn run(module: &Module) -> RunResult {
         Vm::run_golden(module, Limits::default())
@@ -829,7 +710,10 @@ mod tests {
         }
         mb.set_entry(main);
         let r = run(&mb.finish());
-        assert!(matches!(r.outcome, RunOutcome::Trapped(Trap::Segfault { .. })));
+        assert!(matches!(
+            r.outcome,
+            RunOutcome::Trapped(Trap::Segfault { .. })
+        ));
     }
 
     #[test]
@@ -845,9 +729,10 @@ mod tests {
         }
         mb.set_entry(main);
         let m = mb.finish();
+        let code = CompiledModule::lower(&m);
         let mut hook = NoopHook;
         let r = Vm::new(
-            &m,
+            &code,
             Limits {
                 max_dynamic_instrs: 1_000,
                 ..Limits::default()
@@ -892,12 +777,20 @@ mod tests {
             let b = f.malloc(32i64);
             f.intrinsic(
                 Intrinsic::Memset,
-                &[Operand::Reg(a), Operand::Const(Constant::i64(7)), Operand::Const(Constant::i64(8))],
+                &[
+                    Operand::Reg(a),
+                    Operand::Const(Constant::i64(7)),
+                    Operand::Const(Constant::i64(8)),
+                ],
                 None,
             );
             f.intrinsic(
                 Intrinsic::Memcpy,
-                &[Operand::Reg(b), Operand::Reg(a), Operand::Const(Constant::i64(8))],
+                &[
+                    Operand::Reg(b),
+                    Operand::Reg(a),
+                    Operand::Const(Constant::i64(8)),
+                ],
                 None,
             );
             let v = f.load(Type::I8, b);
@@ -991,69 +884,24 @@ mod tests {
     }
 
     #[test]
-    fn signed_division_overflow_traps() {
-        assert_eq!(
-            eval_binary(BinOp::SDiv, Type::I64, Value::i64(i64::MIN), Value::i64(-1)),
-            Err(Trap::DivideByZero)
-        );
-        assert_eq!(
-            eval_binary(BinOp::SRem, Type::I64, Value::i64(i64::MIN), Value::i64(-1)),
-            Err(Trap::DivideByZero)
-        );
-    }
-
-    #[test]
-    fn cast_semantics() {
-        assert_eq!(
-            eval_cast(CastOp::SExt, Type::I8, Type::I64, Value::new(Type::I8, 0xff)).as_i64(),
-            -1
-        );
-        assert_eq!(
-            eval_cast(CastOp::ZExt, Type::I8, Type::I64, Value::new(Type::I8, 0xff)).as_i64(),
-            255
-        );
-        assert_eq!(
-            eval_cast(CastOp::FpToSi, Type::F64, Type::I32, Value::f64(-3.7)).as_i64(),
-            -3
-        );
-        assert_eq!(
-            eval_cast(CastOp::SiToFp, Type::I32, Type::F64, Value::i32(-2)).as_f64(),
-            -2.0
-        );
-        assert_eq!(
-            eval_cast(CastOp::FpExt, Type::F32, Type::F64, Value::f32(1.5)).as_f64(),
-            1.5
-        );
-        assert_eq!(
-            eval_cast(CastOp::Trunc, Type::I64, Type::I8, Value::i64(0x1234)).as_u64(),
-            0x34
-        );
-    }
-
-    #[test]
-    fn icmp_signed_vs_unsigned() {
-        let a = Value::i32(-1);
-        let b = Value::i32(1);
-        assert!(eval_icmp(IcmpPred::Slt, Type::I32, a, b));
-        assert!(!eval_icmp(IcmpPred::Ult, Type::I32, a, b));
-        assert!(eval_icmp(IcmpPred::Ugt, Type::I32, a, b));
-        assert!(eval_icmp(IcmpPred::Ne, Type::I32, a, b));
-    }
-
-    #[test]
-    fn fcmp_handles_nan() {
-        assert!(!eval_fcmp(FcmpPred::Oeq, f64::NAN, 1.0));
-        assert!(eval_fcmp(FcmpPred::Uno, f64::NAN, 1.0));
-        assert!(eval_fcmp(FcmpPred::Ord, 1.0, 2.0));
-        assert!(eval_fcmp(FcmpPred::Une, f64::NAN, f64::NAN));
-        assert!(eval_fcmp(FcmpPred::Ole, 1.0, 1.0));
-    }
-
-    #[test]
-    fn shifts_wrap_amount_modulo_width() {
-        let v = eval_binary(BinOp::Shl, Type::I32, Value::i32(1), Value::i32(33)).unwrap();
-        assert_eq!(v.as_u64(), 2);
-        let v = eval_binary(BinOp::AShr, Type::I32, Value::i32(-8), Value::i32(2)).unwrap();
-        assert_eq!(v.as_i64(), -2);
+    fn dyn_hook_adapter_still_works() {
+        // The generic entry points accept unsized hooks, so callers that only
+        // have a `&mut dyn ExecHook` keep working.
+        let mut mb = ModuleBuilder::new("dyn");
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(main);
+            let a = f.add(Type::I64, 1i64, 2i64);
+            f.print_i64(a);
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        let m = mb.finish();
+        let code = CompiledModule::lower(&m);
+        let mut counting = crate::profile::CountingHook::new();
+        let hook: &mut dyn ExecHook = &mut counting;
+        let r = Vm::new(&code, Limits::default()).run(hook);
+        assert_eq!(r.output, b"3\n");
+        assert_eq!(counting.profile().dynamic_instrs, r.dynamic_instrs);
     }
 }

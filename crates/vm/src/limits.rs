@@ -1,6 +1,5 @@
 //! Execution limits for hang detection and resource bounding.
 
-
 /// Resource limits applied to one program run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Limits {

@@ -80,9 +80,15 @@ impl Memory {
     /// Create the memory image for a module: lay out and initialise globals,
     /// map the (empty) heap and stack.
     pub fn for_module(module: &Module, layout: MemoryLayout) -> Memory {
-        let mut global_addrs = Vec::with_capacity(module.globals.len());
+        Memory::for_globals(&module.globals, layout)
+    }
+
+    /// Create the memory image from a bare global table (the form carried by
+    /// a compiled module, which does not retain the source [`Module`]).
+    pub fn for_globals(globals: &[mbfi_ir::Global], layout: MemoryLayout) -> Memory {
+        let mut global_addrs = Vec::with_capacity(globals.len());
         let mut globals_data = Vec::new();
-        for g in &module.globals {
+        for g in globals {
             // Align the next global.
             let align = g.align.max(1);
             while (layout.globals_base + globals_data.len() as u64) % align != 0 {
@@ -90,7 +96,8 @@ impl Memory {
             }
             global_addrs.push(layout.globals_base + globals_data.len() as u64);
             globals_data.extend_from_slice(&g.init);
-            globals_data.extend(std::iter::repeat(0).take((g.size as usize).saturating_sub(g.init.len())));
+            globals_data
+                .extend(std::iter::repeat(0).take((g.size as usize).saturating_sub(g.init.len())));
         }
 
         Memory {
@@ -138,9 +145,7 @@ impl Memory {
         }
         let addr = self.layout.heap_base + self.heap_top;
         self.heap_top += aligned;
-        self.heap
-            .data
-            .resize(self.heap_top as usize, 0);
+        self.heap.data.resize(self.heap_top as usize, 0);
         Ok(addr)
     }
 
@@ -229,7 +234,8 @@ impl Memory {
         let len = ty.byte_size();
         let seg = self.segment_for_mut(addr, len)?;
         let bytes = (bits & ty.bit_mask()).to_le_bytes();
-        seg.slice_mut(addr, len).copy_from_slice(&bytes[..len as usize]);
+        seg.slice_mut(addr, len)
+            .copy_from_slice(&bytes[..len as usize]);
         Ok(())
     }
 
@@ -248,7 +254,8 @@ impl Memory {
             return Ok(());
         }
         let seg = self.segment_for_mut(addr, bytes.len() as u64)?;
-        seg.slice_mut(addr, bytes.len() as u64).copy_from_slice(bytes);
+        seg.slice_mut(addr, bytes.len() as u64)
+            .copy_from_slice(bytes);
         Ok(())
     }
 
@@ -298,7 +305,9 @@ mod tests {
         assert_eq!(mem.load(Type::I64, 0), Err(Trap::Segfault { addr: 0 }));
         assert_eq!(
             mem.load(Type::I8, 0xdead_beef_0000),
-            Err(Trap::Segfault { addr: 0xdead_beef_0000 })
+            Err(Trap::Segfault {
+                addr: 0xdead_beef_0000
+            })
         );
     }
 

@@ -118,7 +118,7 @@ mod tests {
     use super::*;
     use crate::interp::Vm;
     use crate::limits::Limits;
-    use mbfi_ir::{ModuleBuilder, Type};
+    use mbfi_ir::{CompiledModule, ModuleBuilder, Type};
 
     fn sample_module() -> mbfi_ir::Module {
         let mut mb = ModuleBuilder::new("p");
@@ -143,8 +143,9 @@ mod tests {
     #[test]
     fn counting_hook_counts_candidates() {
         let m = sample_module();
+        let code = CompiledModule::lower(&m);
         let mut hook = CountingHook::new();
-        let result = Vm::new(&m, Limits::default()).run(&mut hook);
+        let result = Vm::new(&code, Limits::default()).run(&mut hook);
         let profile = hook.into_profile();
         assert!(result.outcome.is_completed());
         assert_eq!(profile.dynamic_instrs, result.dynamic_instrs);
@@ -175,8 +176,9 @@ mod tests {
     #[test]
     fn trace_hook_caps_its_length() {
         let m = sample_module();
+        let code = CompiledModule::lower(&m);
         let mut hook = TraceHook::with_capacity(5);
-        let result = Vm::new(&m, Limits::default()).run(&mut hook);
+        let result = Vm::new(&code, Limits::default()).run(&mut hook);
         assert_eq!(hook.trace.len(), 5);
         assert_eq!(hook.total, result.dynamic_instrs);
     }

@@ -2,16 +2,19 @@
 //!
 //! A [`VmSnapshot`] freezes everything a [`crate::Vm`] needs to continue a
 //! run from an exact dynamic-instruction boundary: the frame stack (with all
-//! register values), the full memory image, the output buffer and the
-//! dynamic-instruction counter.  Snapshots taken during a fault-free run let
-//! a fault-injection campaign skip the fault-free prefix of each experiment:
-//! restore the nearest checkpoint at or before the first injection point and
-//! execute only the tail.
+//! register values and, since the compiled-pipeline refactor, each frame's
+//! flat program counter instead of a `(func, block, instr)` triple), the
+//! full memory image, the output buffer and the dynamic-instruction counter.
+//! Snapshots taken during a fault-free run let a fault-injection campaign
+//! skip the fault-free prefix of each experiment: restore the nearest
+//! checkpoint at or before the first injection point and execute only the
+//! tail.
 //!
-//! Snapshots are tied to the module they were captured from — restoring a
-//! snapshot into a VM for a different module is undefined behaviour at the
-//! semantic level (the interpreter will index into the wrong functions).
-//! `mbfi-core`'s checkpoint store keeps the pairing implicit by owning both.
+//! Snapshots are tied to the compiled module they were captured from —
+//! restoring a snapshot into a VM for a different module is undefined
+//! behaviour at the semantic level (the interpreter will index into the
+//! wrong code).  `mbfi-core`'s checkpoint store keeps the pairing implicit
+//! by owning both.
 
 use crate::interp::Frame;
 use crate::memory::Memory;
@@ -74,7 +77,7 @@ mod tests {
     use crate::interp::Vm;
     use crate::limits::Limits;
     use crate::profile::CountingHook;
-    use mbfi_ir::{ModuleBuilder, Type};
+    use mbfi_ir::{CompiledModule, ModuleBuilder, Type};
 
     fn looping_module(n: i64) -> mbfi_ir::Module {
         let mut mb = ModuleBuilder::new("snap");
@@ -99,18 +102,19 @@ mod tests {
     #[test]
     fn snapshot_and_resume_reproduce_the_full_run() {
         let m = looping_module(100);
+        let code = CompiledModule::lower(&m);
         let mut hook = crate::hooks::NoopHook;
-        let full = Vm::new(&m, Limits::default()).run(&mut hook);
+        let full = Vm::new(&code, Limits::default()).run(&mut hook);
 
         // Pause mid-run, snapshot, and finish from the snapshot in a new VM.
-        let mut vm = Vm::new(&m, Limits::default());
+        let mut vm = Vm::new(&code, Limits::default());
         assert!(vm.run_until(&mut hook, 123).is_none());
         let snap = vm.snapshot();
         assert_eq!(snap.dyn_count(), 123);
         assert!(snap.depth() >= 1);
         assert!(snap.approx_bytes() > 0);
 
-        let mut resumed = Vm::new(&m, Limits::default());
+        let mut resumed = Vm::new(&code, Limits::default());
         resumed.resume_from(&snap);
         let tail = resumed.run(&mut hook);
         assert_eq!(tail.outcome, full.outcome);
@@ -121,14 +125,15 @@ mod tests {
     #[test]
     fn one_snapshot_seeds_many_replays() {
         let m = looping_module(50);
+        let code = CompiledModule::lower(&m);
         let mut hook = crate::hooks::NoopHook;
-        let full = Vm::new(&m, Limits::default()).run(&mut hook);
+        let full = Vm::new(&code, Limits::default()).run(&mut hook);
 
-        let mut vm = Vm::new(&m, Limits::default());
+        let mut vm = Vm::new(&code, Limits::default());
         assert!(vm.run_until(&mut hook, 40).is_none());
         let snap = vm.snapshot();
         for _ in 0..3 {
-            let mut r = Vm::new(&m, Limits::default());
+            let mut r = Vm::new(&code, Limits::default());
             r.resume_from(&snap);
             let result = r.run(&mut hook);
             assert_eq!(result.output, full.output);
@@ -152,13 +157,14 @@ mod tests {
         }
         mb.set_entry(main);
         let m = mb.finish();
+        let code = CompiledModule::lower(&m);
         let mut hook = CountingHook::new();
-        let mut vm = Vm::new(&m, Limits::default());
+        let mut vm = Vm::new(&code, Limits::default());
         // Run the first two prints, then snapshot.
         assert!(vm.run_until(&mut hook, 2).is_none());
         let snap = vm.snapshot();
         assert_eq!(snap.output_len(), b"1\n2\n".len());
-        let mut r = Vm::new(&m, Limits::default());
+        let mut r = Vm::new(&code, Limits::default());
         r.resume_from(&snap);
         let result = r.run(&mut hook);
         assert_eq!(result.output, b"1\n2\n3\n");
@@ -170,13 +176,14 @@ mod tests {
         // instruction limit must still hit the tight limit (hang detection
         // uses the experiment's limits, not the capture run's).
         let m = looping_module(1000);
+        let code = CompiledModule::lower(&m);
         let mut hook = crate::hooks::NoopHook;
-        let mut vm = Vm::new(&m, Limits::default());
+        let mut vm = Vm::new(&code, Limits::default());
         assert!(vm.run_until(&mut hook, 100).is_none());
         let snap = vm.snapshot();
 
         let mut tight = Vm::new(
-            &m,
+            &code,
             Limits {
                 max_dynamic_instrs: 150,
                 ..Limits::default()
@@ -184,7 +191,10 @@ mod tests {
         );
         tight.resume_from(&snap);
         let result = tight.run(&mut hook);
-        assert_eq!(result.outcome, crate::interp::RunOutcome::InstrLimitExceeded);
+        assert_eq!(
+            result.outcome,
+            crate::interp::RunOutcome::InstrLimitExceeded
+        );
         assert_eq!(result.dynamic_instrs, 150);
     }
 }

@@ -57,7 +57,10 @@ impl fmt::Display for Trap {
         match self {
             Trap::Segfault { addr } => write!(f, "segmentation fault at {addr:#x}"),
             Trap::Misaligned { addr, required } => {
-                write!(f, "misaligned access at {addr:#x} (requires {required}-byte alignment)")
+                write!(
+                    f,
+                    "misaligned access at {addr:#x} (requires {required}-byte alignment)"
+                )
             }
             Trap::DivideByZero => write!(f, "integer divide by zero"),
             Trap::Abort => write!(f, "program aborted"),
@@ -78,7 +81,10 @@ mod tests {
     fn kinds_are_distinct_and_display_works() {
         let traps = [
             Trap::Segfault { addr: 0x10 },
-            Trap::Misaligned { addr: 0x11, required: 4 },
+            Trap::Misaligned {
+                addr: 0x11,
+                required: 4,
+            },
             Trap::DivideByZero,
             Trap::Abort,
             Trap::StackOverflow,

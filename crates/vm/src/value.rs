@@ -112,12 +112,21 @@ impl Value {
     }
 
     /// Flip several bits at once (used by the same-register multi-bit model).
+    ///
+    /// The bit positions are folded into one XOR mask first, so the flip is a
+    /// single XOR regardless of how many bits are listed.  Semantics match
+    /// applying [`Value::flip_bit`] per position: out-of-width positions are
+    /// ignored and a position listed twice cancels itself (XOR, not OR).
     pub fn flip_bits(&self, bits: &[u32]) -> Value {
-        let mut v = *self;
-        for &b in bits {
-            v = v.flip_bit(b);
+        let width = self.ty.bit_width();
+        let mask = bits
+            .iter()
+            .filter(|&&b| b < width)
+            .fold(0u64, |m, &b| m ^ (1u64 << b));
+        Value {
+            ty: self.ty,
+            bits: self.bits ^ mask,
         }
-        v
     }
 
     /// Convert an IR constant into a runtime value.
@@ -209,6 +218,33 @@ mod tests {
         let v = Value::i64(0);
         let f = v.flip_bits(&[0, 1, 2]);
         assert_eq!(f.as_i64(), 7);
+    }
+
+    /// The masked `flip_bits` is equivalent to folding `flip_bit` over the
+    /// positions — including duplicate positions (which cancel) and
+    /// out-of-width positions (which are ignored).
+    #[test]
+    fn flip_bits_matches_sequential_flip_bit() {
+        for (i, bits) in test_bits(0xB175, 16).into_iter().enumerate() {
+            for ty in Type::ALL {
+                let v = Value::new(ty, bits);
+                // A deterministic positions list with repeats and
+                // out-of-width entries.
+                let positions: Vec<u32> = (0..12)
+                    .map(|k| ((bits >> (5 * k)) as u32).wrapping_add(i as u32) % 80)
+                    .collect();
+                let sequential = positions.iter().fold(v, |acc, &b| acc.flip_bit(b));
+                assert_eq!(v.flip_bits(&positions), sequential, "{ty} {positions:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn flip_bits_duplicates_cancel_and_out_of_width_are_ignored() {
+        let v = Value::new(Type::I8, 0x5a);
+        assert_eq!(v.flip_bits(&[3, 3]), v);
+        assert_eq!(v.flip_bits(&[8, 17, 63]), v);
+        assert_eq!(v.flip_bits(&[1, 1, 1]), v.flip_bit(1));
     }
 
     #[test]

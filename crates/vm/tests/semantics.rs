@@ -10,8 +10,8 @@
 //! inputs on every run, on every machine, so a failure is always
 //! reproducible from the test name alone.
 
-use mbfi_ir::{BinOp, IcmpPred, Module, ModuleBuilder, Operand, Type};
-use mbfi_vm::{Limits, NoopHook, RunOutcome, Trap, Vm};
+use mbfi_ir::{BinOp, CompiledModule, IcmpPred, Module, ModuleBuilder, Operand, Type};
+use mbfi_vm::{Limits, NoopHook, RunOutcome, Trap, Vm, WalkerVm};
 
 /// Deterministic input generator (SplitMix64; the engine's own PRNG lives in
 /// `mbfi-core`, which this crate must not depend on).
@@ -72,6 +72,10 @@ fn binary_program(op: BinOp, a: i64, b: i64) -> Module {
 
 fn run(module: &Module) -> (RunOutcome, String) {
     let result = Vm::run_golden(module, Limits::default());
+    // Every property doubles as a differential check: the legacy tree walker
+    // must agree with the compiled pipeline on arbitrary generated programs.
+    let walked = WalkerVm::run_golden(module, Limits::default());
+    assert_eq!(result, walked, "compiled and walker paths diverged");
     let text = String::from_utf8_lossy(&result.output).trim().to_string();
     (result.outcome, text)
 }
@@ -89,7 +93,10 @@ fn wrapping_arithmetic_matches_rust() {
             (BinOp::Xor, a ^ b),
         ] {
             let (outcome, text) = run(&binary_program(op, a, b));
-            assert!(outcome.is_completed(), "op {op:?} on ({a}, {b}): {outcome:?}");
+            assert!(
+                outcome.is_completed(),
+                "op {op:?} on ({a}, {b}): {outcome:?}"
+            );
             assert_eq!(
                 text.parse::<i64>().unwrap(),
                 expected,
@@ -166,7 +173,11 @@ fn memory_round_trip() {
                 let slot = f.slot(ty);
                 f.store(ty, Operand::Const(mbfi_ir::Constant::int(ty, value)), slot);
                 let v = f.load(ty, slot);
-                let wide = if ty == Type::I64 { v } else { f.sext_to_i64(ty, v) };
+                let wide = if ty == Type::I64 {
+                    v
+                } else {
+                    f.sext_to_i64(ty, v)
+                };
                 f.print_i64(wide);
                 f.ret_void();
             }
@@ -247,8 +258,9 @@ fn instruction_accounting() {
         }
         mb.set_entry(main);
         let module = mb.finish();
+        let code = CompiledModule::lower(&module);
         let mut counter = Counter(0);
-        let result = Vm::new(&module, Limits::default()).run(&mut counter);
+        let result = Vm::new(&code, Limits::default()).run(&mut counter);
         assert!(result.outcome.is_completed());
         assert_eq!(counter.0, result.dynamic_instrs);
         // The loop body executes n times; the instruction count grows linearly.
@@ -260,7 +272,10 @@ fn instruction_accounting() {
 fn shift_amounts_wrap_modulo_the_width() {
     let (outcome, text) = run(&binary_program(BinOp::Shl, 1, 65));
     assert!(outcome.is_completed());
-    assert_eq!(text, "2", "shifting by 65 on i64 behaves like shifting by 1");
+    assert_eq!(
+        text, "2",
+        "shifting by 65 on i64 behaves like shifting by 1"
+    );
 }
 
 #[test]
@@ -280,9 +295,10 @@ fn memory_is_isolated_between_runs() {
     }
     mb.set_entry(main);
     let module = mb.finish();
+    let code = CompiledModule::lower(&module);
     let mut hook = NoopHook;
-    let r1 = Vm::new(&module, Limits::default()).run(&mut hook);
-    let r2 = Vm::new(&module, Limits::default()).run(&mut hook);
+    let r1 = Vm::new(&code, Limits::default()).run(&mut hook);
+    let r2 = Vm::new(&code, Limits::default()).run(&mut hook);
     assert_eq!(r1.output, b"42\n");
     assert_eq!(r2.output, b"42\n");
 }

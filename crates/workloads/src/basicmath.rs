@@ -128,7 +128,12 @@ impl Workload for BasicMath {
             let t = f.load(Type::I64, acc);
             let mixed = f.srem(Type::I64, t, 9973i64);
             let check = f.icmp(IcmpPred::Sge, Type::I64, mixed, 0i64);
-            let adjusted = f.select(Type::I64, check, mixed, Operand::Const(mbfi_ir::Constant::i64(0)));
+            let adjusted = f.select(
+                Type::I64,
+                check,
+                mixed,
+                Operand::Const(mbfi_ir::Constant::i64(0)),
+            );
             f.print_i64(adjusted);
 
             f.ret_void();

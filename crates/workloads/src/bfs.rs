@@ -197,7 +197,10 @@ mod tests {
         let (offsets, neighbours) = Bfs::graph(InputSize::Small);
         let costs = Bfs::costs(&offsets, &neighbours, n);
         assert_eq!(costs[0], 0);
-        assert!(costs.iter().all(|&c| c >= 0), "ring backbone keeps the graph connected");
+        assert!(
+            costs.iter().all(|&c| c >= 0),
+            "ring backbone keeps the graph connected"
+        );
     }
 
     #[test]

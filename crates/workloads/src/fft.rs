@@ -152,9 +152,13 @@ fn build_fft(inverse: bool, size: InputSize) -> Module {
         f.store(Type::F64, 0.0f64, total);
         f.counted_loop(Type::I64, 0i64, ni, |f, i| {
             let r = f.load_elem(Type::F64, re, i);
-            let ra = f.intrinsic(Intrinsic::Fabs, &[Operand::Reg(r)], Some(Type::F64)).unwrap();
+            let ra = f
+                .intrinsic(Intrinsic::Fabs, &[Operand::Reg(r)], Some(Type::F64))
+                .unwrap();
             let v = f.load_elem(Type::F64, im, i);
-            let va = f.intrinsic(Intrinsic::Fabs, &[Operand::Reg(v)], Some(Type::F64)).unwrap();
+            let va = f
+                .intrinsic(Intrinsic::Fabs, &[Operand::Reg(v)], Some(Type::F64))
+                .unwrap();
             let cur = f.load(Type::F64, total);
             let t1 = f.fadd(cur, ra);
             let t2 = f.fadd(t1, va);

@@ -252,10 +252,7 @@ mod tests {
         assert_eq!(rows.len(), cols.len());
         assert_eq!(rows.len(), vals.len());
         for i in 0..8 {
-            assert!(rows
-                .iter()
-                .zip(&cols)
-                .any(|(&r, &c)| r == i && c == i));
+            assert!(rows.iter().zip(&cols).any(|(&r, &c)| r == i && c == i));
         }
     }
 }

@@ -44,7 +44,10 @@ pub fn execute_module(module: &Module) -> Vec<u8> {
         RunOutcome::Completed { .. } => result.output,
         RunOutcome::Trapped(trap) => panic!("golden run of '{}' trapped: {trap}", module.name),
         RunOutcome::InstrLimitExceeded => {
-            panic!("golden run of '{}' exceeded the instruction limit", module.name)
+            panic!(
+                "golden run of '{}' exceeded the instruction limit",
+                module.name
+            )
         }
     }
 }

@@ -189,9 +189,15 @@ mod tests {
     #[test]
     fn perfect_match_exists_in_the_frame() {
         let d = Sad::frame_dim(InputSize::Small);
-        let (best, best_pos, _) =
-            Sad::sweep(&Sad::frame(InputSize::Small), &Sad::block(InputSize::Small), d);
-        assert_eq!(best, 0, "the block was cut from the frame, so SAD 0 must exist");
+        let (best, best_pos, _) = Sad::sweep(
+            &Sad::frame(InputSize::Small),
+            &Sad::block(InputSize::Small),
+            d,
+        );
+        assert_eq!(
+            best, 0,
+            "the block was cut from the frame, so SAD 0 must exist"
+        );
         let positions = (d - BLOCK + 1) as i64;
         let (bx, by) = (d as i64 / 3, d as i64 / 2);
         assert_eq!(best_pos, by * positions + bx);
@@ -200,7 +206,11 @@ mod tests {
     #[test]
     fn total_sad_is_positive() {
         let d = Sad::frame_dim(InputSize::Tiny);
-        let (_, _, total) = Sad::sweep(&Sad::frame(InputSize::Tiny), &Sad::block(InputSize::Tiny), d);
+        let (_, _, total) = Sad::sweep(
+            &Sad::frame(InputSize::Tiny),
+            &Sad::block(InputSize::Tiny),
+            d,
+        );
         assert!(total > 0);
     }
 }

@@ -112,7 +112,11 @@ impl Workload for Sha {
         );
 
         // rotl(x, n) = (x << n) | (x >> (32 - n))
-        let rotl = mb.declare("rotl", &[(Type::I32, "x"), (Type::I32, "n")], Some(Type::I32));
+        let rotl = mb.declare(
+            "rotl",
+            &[(Type::I32, "x"), (Type::I32, "n")],
+            Some(Type::I32),
+        );
         let main = mb.declare("main", &[], None);
 
         {
@@ -269,7 +273,10 @@ impl Workload for Sha {
                     let rot30 = f
                         .call(
                             rotl,
-                            &[Operand::Reg(bv2), Operand::Const(mbfi_ir::Constant::i32(30))],
+                            &[
+                                Operand::Reg(bv2),
+                                Operand::Const(mbfi_ir::Constant::i32(30)),
+                            ],
                             Some(Type::I32),
                         )
                         .unwrap();

@@ -97,12 +97,13 @@ impl Workload for Spmv {
             f.store(Type::F64, 0.0f64, total);
             f.counted_loop(Type::I64, 0i64, ni, |f, i| {
                 let v = f.load_elem(Type::F64, y, i);
-                let a = f.intrinsic(
-                    mbfi_ir::Intrinsic::Fabs,
-                    &[mbfi_ir::Operand::Reg(v)],
-                    Some(Type::F64),
-                )
-                .unwrap();
+                let a = f
+                    .intrinsic(
+                        mbfi_ir::Intrinsic::Fabs,
+                        &[mbfi_ir::Operand::Reg(v)],
+                        Some(Type::F64),
+                    )
+                    .unwrap();
                 let cur = f.load(Type::F64, total);
                 let next = f.fadd(cur, a);
                 f.store(Type::F64, next, total);

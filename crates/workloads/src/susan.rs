@@ -319,7 +319,10 @@ mod tests {
     fn corners_finds_the_rectangle_corners() {
         let text = String::from_utf8(reference_susan(Kernel::Corners, InputSize::Small)).unwrap();
         let count: i64 = text.lines().nth(1).unwrap().parse().unwrap();
-        assert!(count >= 4, "a rectangle has at least four corners, found {count}");
+        assert!(
+            count >= 4,
+            "a rectangle has at least four corners, found {count}"
+        );
         assert!(count < 40, "corner detector fires too often: {count}");
     }
 
@@ -336,13 +339,11 @@ mod tests {
     fn smoothing_preserves_mean_brightness_roughly() {
         let (w, h) = image_dims(InputSize::Small);
         let img = image(InputSize::Small);
-        let text =
-            String::from_utf8(reference_susan(Kernel::Smoothing, InputSize::Small)).unwrap();
+        let text = String::from_utf8(reference_susan(Kernel::Smoothing, InputSize::Small)).unwrap();
         let acc: i64 = text.lines().next().unwrap().parse().unwrap();
         let count: i64 = text.lines().nth(1).unwrap().parse().unwrap();
         let smoothed_mean = acc / count;
-        let raw_mean: i64 =
-            img.iter().map(|&p| p as i64).sum::<i64>() / (w as i64 * h as i64);
+        let raw_mean: i64 = img.iter().map(|&p| p as i64).sum::<i64>() / (w as i64 * h as i64);
         assert!((smoothed_mean - raw_mean).abs() < 30);
     }
 

@@ -128,7 +128,9 @@ fn main() {
     println!(
         "collatz: {} dynamic instructions, output = {:?}",
         golden.dynamic_instrs,
-        String::from_utf8_lossy(&golden.output).trim().replace('\n', " / ")
+        String::from_utf8_lossy(&golden.output)
+            .trim()
+            .replace('\n', " / ")
     );
 
     // Compare the single-bit and a multi-bit model on the custom workload.

@@ -29,8 +29,7 @@ fn main() {
             } else {
                 FaultModel::multi_bit(2, WinSize::Fixed(100))
             };
-            let analysis =
-                LocationAnalysis::run(&module, &golden, technique, worst, pairs, 9, 20);
+            let analysis = LocationAnalysis::run(&module, &golden, technique, worst, pairs, 9, 20);
 
             println!(
                 "  {technique}: Transition I (Detection→SDC) = {:.1}%, \

@@ -36,7 +36,10 @@ fn main() {
     // 2. Capture the golden (fault-free) run: output, dynamic instruction
     //    count and the injection candidate counts.
     let golden = GoldenRun::capture(&module).expect("the quickstart program must run cleanly");
-    println!("golden output        : {}", String::from_utf8_lossy(&golden.output).trim());
+    println!(
+        "golden output        : {}",
+        String::from_utf8_lossy(&golden.output).trim()
+    );
     println!("dynamic instructions : {}", golden.dynamic_instrs);
     println!(
         "injection candidates : {} (read), {} (write)\n",

@@ -57,7 +57,10 @@ fn main() {
     assert_eq!(full, replayed, "replay must be byte-identical");
     println!("full re-execution    : {full_secs:.3} s");
     println!("checkpointed replay  : {replay_secs:.3} s");
-    println!("speedup              : {:.2}x", full_secs / replay_secs.max(1e-9));
+    println!(
+        "speedup              : {:.2}x",
+        full_secs / replay_secs.max(1e-9)
+    );
     println!(
         "results identical    : {} experiments, SDC {:.1}%, outcome counts match",
         full.total(),

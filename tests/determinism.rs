@@ -1,10 +1,10 @@
 //! Reproducibility guarantees: identical seeds must give identical campaigns,
 //! experiments and analyses, regardless of thread count.
 
+use mbfi_core::pruning::LocationAnalysis;
 use mbfi_core::{
     Campaign, CampaignSpec, Experiment, ExperimentSpec, FaultModel, GoldenRun, Technique, WinSize,
 };
-use mbfi_core::pruning::LocationAnalysis;
 use mbfi_workloads::{workload_by_name, InputSize};
 
 #[test]

@@ -19,7 +19,8 @@ fn golden_runs_exist_for_every_workload() {
         assert!(!golden.output.is_empty());
         assert!(golden.dynamic_instrs > 100, "{} is too trivial", w.name());
         assert!(
-            golden.candidates(Technique::InjectOnRead) >= golden.candidates(Technique::InjectOnWrite),
+            golden.candidates(Technique::InjectOnRead)
+                >= golden.candidates(Technique::InjectOnWrite),
             "{}: table II shape requires read candidates >= write candidates",
             w.name()
         );
@@ -43,8 +44,16 @@ fn single_bit_campaign_on_a_real_workload_produces_mixed_outcomes() {
     assert_eq!(result.total(), 150);
     // A register-level fault-injection campaign on a pointer-heavy workload
     // must produce benign outcomes, detections and at least a handful of SDCs.
-    assert!(result.counts.benign > 0, "no benign outcomes: {:?}", result.counts);
-    assert!(result.counts.detection() > 0, "no detections: {:?}", result.counts);
+    assert!(
+        result.counts.benign > 0,
+        "no benign outcomes: {:?}",
+        result.counts
+    );
+    assert!(
+        result.counts.detection() > 0,
+        "no detections: {:?}",
+        result.counts
+    );
     assert!(result.counts.sdc + result.counts.benign > 10);
 }
 
@@ -109,7 +118,10 @@ fn outcome_fractions_sum_to_one_for_every_technique() {
             .iter()
             .map(|o| result.counts.fraction(*o))
             .sum();
-        assert!((sum - 1.0).abs() < 1e-9, "{technique}: fractions sum to {sum}");
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "{technique}: fractions sum to {sum}"
+        );
         let ci = result.sdc_proportion();
         assert!(ci.lower <= ci.estimate && ci.estimate <= ci.upper);
     }

@@ -3,9 +3,7 @@
 //! (RQ2-RQ4) and location sensitivity (RQ5).
 
 use mbfi_core::pruning::{ActivationAnalysis, LocationAnalysis, PessimisticAnalysis};
-use mbfi_core::{
-    Campaign, CampaignSpec, FaultModel, GoldenRun, Technique, WinSize,
-};
+use mbfi_core::{Campaign, CampaignSpec, FaultModel, GoldenRun, Technique, WinSize};
 use mbfi_workloads::{workload_by_name, InputSize};
 
 #[test]
@@ -35,7 +33,10 @@ fn activation_analysis_bounds_max_mbf_like_rq1() {
     assert_eq!(analysis.total, 180);
     // The suggested bound for 95% coverage should be far below 30.
     let bound = analysis.suggested_bound(0.95);
-    assert!(bound < 30, "suggested bound {bound} should prune max-MBF = 30");
+    assert!(
+        bound < 30,
+        "suggested bound {bound} should prune max-MBF = 30"
+    );
     let (le5, six_to_ten, gt10) = analysis.fig3_buckets();
     assert!((le5 + six_to_ten + gt10 - 1.0).abs() < 1e-9);
 
