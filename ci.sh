@@ -48,6 +48,17 @@ if [[ "${1:-}" == "bench" ]]; then
     echo "==> cargo run --release -p mbfi-bench --bin exec_bench"
     MBFI_EXPERIMENTS=16 MBFI_BENCH_SAMPLES=3 cargo run --release --offline -q \
         -p mbfi-bench --bin exec_bench -- --out-dir "$MBFI_BENCH_OUT"
+
+    # Whole-grid sweep engine: first the self-verifying mode (every sweep
+    # cell compared byte-for-byte against the serial per-campaign runner on a
+    # 2-workload sub-grid, at sweep thread counts 1 and 4), then a small
+    # timing run that writes BENCH_sweep.json.
+    echo "==> cargo run --release -p mbfi-bench --bin sweep_bench -- --check"
+    cargo run --release --offline -q -p mbfi-bench \
+        --bin sweep_bench -- --check
+    echo "==> cargo run --release -p mbfi-bench --bin sweep_bench"
+    MBFI_EXPERIMENTS=10 MBFI_WORKLOADS=qsort,histo,CRC32 cargo run --release \
+        --offline -q -p mbfi-bench --bin sweep_bench -- --out-dir "$MBFI_BENCH_OUT"
 fi
 
 echo "==> OK"

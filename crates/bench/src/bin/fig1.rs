@@ -12,8 +12,10 @@ fn main() {
         cfg.size
     );
     let mut artefact = Artefact::from_args("fig1");
-    let data = harness::prepare(&cfg);
-    let results = harness::single_bit_results(&cfg, &data);
+    let mut grid = harness::CampaignGrid::new(&cfg);
+    grid.request_single_bit();
+    let run = grid.run();
+    let results = harness::single_bit_results(&run);
     for (_, table) in harness::fig1(&results) {
         artefact.emit(table.render());
     }

@@ -12,9 +12,13 @@ fn main() {
         cfg.experiments
     );
     let mut artefact = Artefact::from_args("fig2");
-    let data = harness::prepare(&cfg);
+    let mut grid = harness::CampaignGrid::new(&cfg);
     for technique in Technique::ALL {
-        let results = harness::same_register_results(&cfg, &data, technique);
+        grid.request_same_register(technique);
+    }
+    let run = grid.run();
+    for technique in Technique::ALL {
+        let results = harness::same_register_results(&cfg, &run, technique);
         artefact.emit(harness::fig2(technique, &results).render());
     }
     artefact.finish();

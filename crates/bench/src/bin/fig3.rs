@@ -12,9 +12,13 @@ fn main() {
         cfg.experiments
     );
     let mut artefact = Artefact::from_args("fig3");
-    let data = harness::prepare(&cfg);
+    let mut grid = harness::CampaignGrid::new(&cfg);
     for technique in Technique::ALL {
-        let campaigns = harness::activation_results(&cfg, &data, technique);
+        grid.request_activation(technique);
+    }
+    let run = grid.run();
+    for technique in Technique::ALL {
+        let campaigns = harness::activation_results(&cfg, &run, technique);
         let (table, analysis) = harness::fig3(technique, &campaigns);
         artefact.emit(table.render());
         artefact.emit(format!(

@@ -13,8 +13,10 @@ fn main() {
         if cfg.full_grid { "full" } else { "coarse" }
     );
     let mut artefact = Artefact::from_args("fig4");
-    let data = harness::prepare(&cfg);
-    let sweeps = harness::multi_register_results(&cfg, &data, Technique::InjectOnRead);
+    let mut grid = harness::CampaignGrid::new(&cfg);
+    grid.request_multi_register(Technique::InjectOnRead);
+    let run = grid.run();
+    let sweeps = harness::multi_register_results(&cfg, &run, Technique::InjectOnRead);
     for fig in harness::fig45(Technique::InjectOnRead, &sweeps) {
         artefact.emit(fig.render());
     }

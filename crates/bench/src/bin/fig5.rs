@@ -13,8 +13,10 @@ fn main() {
         if cfg.full_grid { "full" } else { "coarse" }
     );
     let mut artefact = Artefact::from_args("fig5");
-    let data = harness::prepare(&cfg);
-    let sweeps = harness::multi_register_results(&cfg, &data, Technique::InjectOnWrite);
+    let mut grid = harness::CampaignGrid::new(&cfg);
+    grid.request_multi_register(Technique::InjectOnWrite);
+    let run = grid.run();
+    let sweeps = harness::multi_register_results(&cfg, &run, Technique::InjectOnWrite);
     for fig in harness::fig45(Technique::InjectOnWrite, &sweeps) {
         artefact.emit(fig.render());
     }

@@ -47,23 +47,14 @@ fn env_names(key: &str, default: &[&str]) -> Vec<String> {
 /// The experiment specs of a campaign, pre-sampled, optionally with the first
 /// injection remapped into the last quartile of the candidate space.
 fn sample_specs(spec: &CampaignSpec, golden: &GoldenRun, late: bool) -> Vec<ExperimentSpec> {
-    (0..spec.experiments as u64)
-        .map(|i| {
-            let mut s = ExperimentSpec::sample(
-                spec.technique,
-                spec.model,
-                golden,
-                spec.seed,
-                i,
-                spec.hang_factor,
-            );
-            if late {
-                s.first_target =
-                    last_quartile_target(golden.candidates(spec.technique), s.first_target);
-            }
-            s
-        })
-        .collect()
+    let mut specs = ExperimentSpec::sample_campaign(spec, golden);
+    if late {
+        for s in &mut specs {
+            s.first_target =
+                last_quartile_target(golden.candidates(spec.technique), s.first_target);
+        }
+    }
+    specs
 }
 
 fn run_serial(
@@ -133,7 +124,7 @@ fn main() {
         let code = CompiledModule::lower(&module);
         let golden = GoldenRun::capture_compiled(&code)
             .unwrap_or_else(|e| panic!("golden run of {name} failed: {e}"));
-        let auto_interval = (golden.dynamic_instrs / 128).max(1);
+        let auto_interval = golden.default_checkpoint_interval();
 
         let uniform_spec = CampaignSpec {
             technique: Technique::InjectOnRead,

@@ -1,0 +1,252 @@
+//! Measures the whole-grid sweep engine against the pre-sweep grid walk and
+//! writes `BENCH_sweep.json`.
+//!
+//! **Serial baseline** — the grid exactly as `run_all` executed it before
+//! the sweep refactor: artifacts prepared without checkpoint stores (replay
+//! was off by default), and one `Campaign::run_compiled` per cell, walking
+//! every figure's cell list in order *including the duplicates* (the
+//! single-bit baseline ran once for Fig. 1, again for Fig. 2 and again for
+//! Fig. 4/5; the max-MBF = 30 activation row ran for Fig. 3 and again inside
+//! the Fig. 4/5 grid).
+//!
+//! **Sweep** — the same artifacts through the new pipeline: one
+//! [`SweepCache`] per workload (golden run captured once, checkpoint store
+//! shared read-only by every campaign), duplicate cells collapsed on the
+//! [`CampaignGrid`], and every remaining cell executed by one
+//! work-stealing sweep.
+//!
+//! Both sides produce byte-identical figure inputs (the replay and sweep
+//! determinism contracts); the JSON reports grid wall-clock and
+//! experiments/sec for both, plus the deduplicated/duplicated cell counts.
+//!
+//! Flags and knobs:
+//!
+//! * `--check` — self-verifying mode: skip timing and instead compare every
+//!   sweep cell byte-for-byte against serial `Campaign::run_compiled` (with
+//!   and without replay stores) at sweep thread counts {1, 4}; exits
+//!   non-zero on the first divergence.
+//! * `--out-dir <path>` — where `BENCH_sweep.json` goes (default: CWD).
+//! * `MBFI_WORKLOADS` — workload filter (default: all 15; `--check` defaults
+//!   to a 2-workload sub-grid, `qsort,histo`).
+//! * `MBFI_EXPERIMENTS` — experiments per campaign (default 24; `--check`
+//!   default 8).
+//! * `MBFI_BENCH_SAMPLES` — timing samples per side (default 1; one untimed
+//!   warm-up pass runs first and the median sample is reported — the shared
+//!   `timing::median_wall_ns` methodology).
+//! * plus the harness knobs (`MBFI_THREADS`, `MBFI_SWEEP_BATCH`, ...).
+
+use mbfi_bench::artifacts::OutDir;
+use mbfi_bench::harness::{self, CampaignGrid, HarnessConfig, WorkloadData};
+use mbfi_bench::timing::{env_usize, median_wall_ns};
+use mbfi_core::report::Json;
+use mbfi_core::{Campaign, CampaignResult, FaultModel, Technique, WinSize};
+
+/// The per-workload cell lists of the pre-sweep `run_all`, duplicates
+/// included, in execution order: Fig. 1 singles, Fig. 2 same-register,
+/// Fig. 3 activation, Fig. 4/5 multi-register.
+fn serial_cells(cfg: &HarnessConfig) -> Vec<(Technique, FaultModel)> {
+    let mut cells = Vec::new();
+    for technique in Technique::ALL {
+        cells.push((technique, FaultModel::single_bit()));
+    }
+    for technique in Technique::ALL {
+        cells.push((technique, FaultModel::single_bit()));
+        for &m in &cfg.max_mbf_values() {
+            cells.push((technique, FaultModel::multi_bit(m, WinSize::Fixed(0))));
+        }
+    }
+    for technique in Technique::ALL {
+        for &win in &cfg.win_size_values() {
+            cells.push((technique, FaultModel::multi_bit(30, win)));
+        }
+    }
+    for technique in Technique::ALL {
+        cells.push((technique, FaultModel::single_bit()));
+        for &m in &cfg.max_mbf_values() {
+            for &win in &cfg.win_size_values() {
+                cells.push((technique, FaultModel::multi_bit(m, win)));
+            }
+        }
+    }
+    cells
+}
+
+/// One pre-sweep grid walk: per-campaign runner, no stores, duplicate cells.
+fn run_serial_grid(cfg: &HarnessConfig, data: &[WorkloadData]) -> Vec<CampaignResult> {
+    let cells = serial_cells(cfg);
+    let mut out = Vec::with_capacity(data.len() * cells.len());
+    for w in data {
+        for &(technique, model) in &cells {
+            out.push(Campaign::run_compiled(
+                &w.code,
+                &w.golden,
+                &cfg.campaign_spec(technique, model),
+            ));
+        }
+    }
+    out
+}
+
+fn check(cfg: &HarnessConfig) -> ! {
+    let serial_cfg = HarnessConfig {
+        replay: false,
+        ..cfg.clone()
+    };
+    let serial_data = harness::prepare(&serial_cfg);
+    let mut mismatches = 0usize;
+    let mut cells_checked = 0usize;
+    for threads in [1usize, 4] {
+        let mut cells_this_round = 0usize;
+        let sweep_cfg = HarnessConfig {
+            threads,
+            ..cfg.clone()
+        };
+        let mut grid = CampaignGrid::new(&sweep_cfg);
+        grid.request_artifact_grid();
+        let run = grid.run();
+        for (w, data) in serial_data.iter().enumerate() {
+            for technique in Technique::ALL {
+                let mut models = vec![FaultModel::single_bit()];
+                for &m in &cfg.max_mbf_values() {
+                    models.push(FaultModel::multi_bit(m, WinSize::Fixed(0)));
+                    for &win in &cfg.win_size_values() {
+                        models.push(FaultModel::multi_bit(m, win));
+                    }
+                }
+                for model in models {
+                    let serial = Campaign::run_compiled(
+                        &data.code,
+                        &data.golden,
+                        &sweep_cfg.campaign_spec(technique, model),
+                    );
+                    let swept = run.get(w, technique, model);
+                    cells_checked += 1;
+                    cells_this_round += 1;
+                    if *swept != serial {
+                        mismatches += 1;
+                        eprintln!(
+                            "DIVERGENCE: {} {technique} {} (threads={threads}): \
+                             sweep {:?} vs serial {:?}",
+                            data.name,
+                            model.label(),
+                            swept.counts,
+                            serial.counts
+                        );
+                    }
+                }
+            }
+        }
+        println!(
+            "threads={threads}: {cells_this_round} cells checked against the serial \
+             per-campaign runner"
+        );
+    }
+    if mismatches > 0 {
+        eprintln!("sweep_bench --check: {mismatches} mismatching cells");
+        std::process::exit(1);
+    }
+    println!(
+        "sweep_bench --check: sweep grid is byte-identical to serial per-campaign execution \
+         ({cells_checked} cell comparisons)"
+    );
+    std::process::exit(0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check_mode = args.iter().any(|a| a == "--check");
+    let out = OutDir::from_args();
+
+    let mut cfg = HarnessConfig::from_env();
+    // This binary's own default is smaller than the harness-wide 60; apply
+    // it whenever the knob did not parse to a value (unset or malformed —
+    // from_env already warned about the latter).
+    let experiments_given =
+        std::env::var("MBFI_EXPERIMENTS").is_ok_and(|v| v.trim().parse::<usize>().is_ok());
+    if !experiments_given {
+        cfg.experiments = if check_mode { 8 } else { 24 };
+    }
+    if check_mode && cfg.workload_filter.is_none() {
+        cfg.workload_filter = Some(vec!["qsort".into(), "histo".into()]);
+    }
+    let samples = env_usize("MBFI_BENCH_SAMPLES", 1);
+    eprintln!(
+        "sweep_bench: {} workloads, {} experiments/campaign, {} mode",
+        cfg.workloads().len(),
+        cfg.experiments,
+        if check_mode { "check" } else { "timing" }
+    );
+
+    if check_mode {
+        check(&cfg);
+    }
+
+    let serial_cfg = HarnessConfig {
+        replay: false,
+        ..cfg.clone()
+    };
+    let serial_cells_per_workload = serial_cells(&cfg).len();
+
+    // Serial side: per-binary artifact derivation + per-campaign grid walk.
+    let mut serial_campaigns = 0usize;
+    let serial_ns = median_wall_ns(samples, || {
+        let data = harness::prepare(&serial_cfg);
+        let results = run_serial_grid(&serial_cfg, &data);
+        serial_campaigns = results.len();
+    });
+
+    // Sweep side: shared cache + deduplicated cells + one sweep.
+    let mut sweep_campaigns = 0usize;
+    let sweep_ns = median_wall_ns(samples, || {
+        let mut grid = CampaignGrid::new(&cfg);
+        grid.request_artifact_grid();
+        let run = grid.run();
+        sweep_campaigns = run.cell_count();
+    });
+
+    let serial_experiments = (serial_campaigns * cfg.experiments) as u64;
+    let sweep_experiments = (sweep_campaigns * cfg.experiments) as u64;
+    let serial_eps = serial_experiments as f64 * 1e9 / serial_ns.max(1) as f64;
+    let sweep_eps = sweep_experiments as f64 * 1e9 / sweep_ns.max(1) as f64;
+    let speedup = serial_ns as f64 / sweep_ns.max(1) as f64;
+    println!(
+        "serial grid: {serial_campaigns} campaigns ({} duplicated cells/workload), \
+         {:.2} s, {serial_eps:.0} exp/s",
+        serial_cells_per_workload,
+        serial_ns as f64 / 1e9
+    );
+    println!(
+        "sweep grid:  {sweep_campaigns} campaigns (deduplicated), \
+         {:.2} s, {sweep_eps:.0} exp/s",
+        sweep_ns as f64 / 1e9
+    );
+    println!("speedup: {speedup:.2}x (whole-grid sweep over serial per-campaign walk)");
+
+    let mut root = Json::object();
+    root.set("suite", "sweep");
+    root.set(
+        "workloads",
+        cfg.workloads()
+            .iter()
+            .map(|w| w.name().to_string())
+            .collect::<Vec<_>>(),
+    );
+    root.set("experiments_per_campaign", cfg.experiments);
+    root.set("samples", samples);
+    let mut serial = Json::object();
+    serial.set("campaigns", serial_campaigns);
+    serial.set("experiments", serial_experiments);
+    serial.set("wall_ns", serial_ns);
+    serial.set("experiments_per_sec", serial_eps);
+    serial.set("replay", false);
+    root.set("serial", serial);
+    let mut sweep = Json::object();
+    sweep.set("campaigns", sweep_campaigns);
+    sweep.set("experiments", sweep_experiments);
+    sweep.set("wall_ns", sweep_ns);
+    sweep.set("experiments_per_sec", sweep_eps);
+    sweep.set("replay", cfg.replay);
+    root.set("sweep", sweep);
+    root.set("speedup", speedup);
+    out.write("BENCH_sweep.json", &root.render());
+}

@@ -13,9 +13,13 @@ fn main() {
         if cfg.full_grid { "full" } else { "coarse" }
     );
     let mut artefact = Artefact::from_args("table3");
-    let data = harness::prepare(&cfg);
-    let read = harness::multi_register_results(&cfg, &data, Technique::InjectOnRead);
-    let write = harness::multi_register_results(&cfg, &data, Technique::InjectOnWrite);
+    let mut grid = harness::CampaignGrid::new(&cfg);
+    for technique in Technique::ALL {
+        grid.request_multi_register(technique);
+    }
+    let run = grid.run();
+    let read = harness::multi_register_results(&cfg, &run, Technique::InjectOnRead);
+    let write = harness::multi_register_results(&cfg, &run, Technique::InjectOnWrite);
     artefact.emit(harness::table3(&read, &write).render());
     artefact.finish();
 }

@@ -13,10 +13,14 @@ fn main() {
         cfg.experiments
     );
     let mut artefact = Artefact::from_args("table4");
-    let data = harness::prepare(&cfg);
-    let read = harness::multi_register_results(&cfg, &data, Technique::InjectOnRead);
-    let write = harness::multi_register_results(&cfg, &data, Technique::InjectOnWrite);
-    let (table, _) = harness::table4(&cfg, &data, &read, &write);
+    let mut grid = harness::CampaignGrid::new(&cfg);
+    for technique in Technique::ALL {
+        grid.request_multi_register(technique);
+    }
+    let run = grid.run();
+    let read = harness::multi_register_results(&cfg, &run, Technique::InjectOnRead);
+    let write = harness::multi_register_results(&cfg, &run, Technique::InjectOnWrite);
+    let (table, _) = harness::table4(&cfg, &run.data, &read, &write);
     artefact.emit(table.render());
     artefact.finish();
 }

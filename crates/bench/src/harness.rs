@@ -1,12 +1,33 @@
 //! Shared machinery for the per-table / per-figure binaries.
+//!
+//! Since the sweep refactor the harness is split into three layers:
+//!
+//! 1. **[`SweepCache`]** — per-`(workload, input size)` artifacts (built IR
+//!    module, lowered bytecode, golden run, checkpoint store), built once on
+//!    first request and shared by every campaign that touches the workload.
+//! 2. **[`CampaignGrid`]** — a request/run/extract pipeline: binaries
+//!    *request* the campaign cells their figures need (duplicates collapse
+//!    onto one cell), `run` submits every cell as **one**
+//!    [`mbfi_core::Sweep`] on a global work-stealing worker pool, and the
+//!    extractors below pull each figure's slice out of the [`GridRun`].
+//! 3. **Renderers** (`fig1`, `fig2`, ..., `table4`) — unchanged: they turn
+//!    extracted results into the paper's tables and figures.
+//!
+//! The sweep is deterministic (see `mbfi_core::sweep`), so every artifact is
+//! byte-identical to running each cell through `Campaign::run_compiled`
+//! serially — the pre-refactor behaviour.
 
+use std::collections::HashMap;
+
+use crate::timing::env_parsed;
 use mbfi_core::cluster::{MAX_MBF_VALUES, WIN_SIZE_VALUES};
 use mbfi_core::pruning::{ActivationAnalysis, LocationAnalysis, PessimisticAnalysis};
 use mbfi_core::replay::{CheckpointConfig, CheckpointStore};
 use mbfi_core::report::{FigureData, Series, TextTable};
 use mbfi_core::space::ErrorSpace;
 use mbfi_core::{
-    Campaign, CampaignResult, CampaignSpec, FaultModel, GoldenRun, Outcome, Technique, WinSize,
+    Campaign, CampaignResult, CampaignSpec, CampaignWarning, FaultModel, GoldenRun, Outcome, Sweep,
+    SweepCampaign, SweepConfig, SweepUnit, Technique, WinSize,
 };
 use mbfi_ir::{CompiledModule, Module};
 use mbfi_workloads::{all_workloads, InputSize, Workload};
@@ -26,17 +47,23 @@ pub struct HarnessConfig {
     pub workload_filter: Option<Vec<String>>,
     /// Hang threshold as a multiple of the golden run length.
     pub hang_factor: u64,
-    /// Worker threads per campaign (0 = all cores).
+    /// Worker threads for the sweep pool (0 = all cores).
     pub threads: usize,
     /// Use the full 10 × 9 parameter grid instead of the coarse sub-grid.
     pub full_grid: bool,
     /// Run campaigns through the checkpointed golden-run replay engine.
+    /// On by default since the sweep refactor: one store per workload is
+    /// shared read-only by every campaign of the grid, so the capture cost
+    /// amortizes across the whole sweep (results are byte-identical either
+    /// way, by the replay contract).
     pub replay: bool,
     /// Checkpoint interval in dynamic instructions; `None` picks a
     /// per-workload interval (1/128th of the golden run length).
     pub replay_interval: Option<u64>,
     /// Memory budget for each workload's checkpoint store, in bytes.
     pub replay_budget_bytes: usize,
+    /// Experiments per stealable sweep batch (0 = auto).
+    pub sweep_batch: usize,
 }
 
 impl Default for HarnessConfig {
@@ -49,9 +76,10 @@ impl Default for HarnessConfig {
             hang_factor: 20,
             threads: 0,
             full_grid: false,
-            replay: false,
+            replay: true,
             replay_interval: None,
             replay_budget_bytes: CheckpointConfig::default().max_bytes,
+            sweep_batch: 0,
         }
     }
 }
@@ -64,30 +92,36 @@ impl HarnessConfig {
     /// * `MBFI_SIZE` — `tiny` or `small` (default tiny)
     /// * `MBFI_WORKLOADS` — comma-separated names (default: all 15)
     /// * `MBFI_HANG_FACTOR` — hang threshold multiplier (default 20)
-    /// * `MBFI_THREADS` — worker threads per campaign (default: all cores)
-    /// * `MBFI_GRID` — `full` for the 10 × 9 grid, anything else for the
-    ///   coarse sub-grid used by default
-    /// * `MBFI_REPLAY` — `on` to run campaigns via the checkpointed replay
-    ///   engine with an auto-picked interval, a number for an explicit
-    ///   checkpoint interval, `off`/unset to re-execute from instruction 0
+    /// * `MBFI_THREADS` — sweep worker threads (default: all cores)
+    /// * `MBFI_GRID` — `full` for the 10 × 9 grid, `coarse` for the sub-grid
+    ///   used by default
+    /// * `MBFI_REPLAY` — `off` to re-execute every experiment from
+    ///   instruction 0, `on` (the default) for checkpointed replay with an
+    ///   auto-picked interval, or a number for an explicit checkpoint
+    ///   interval
     /// * `MBFI_REPLAY_BUDGET_MB` — checkpoint-store memory budget per
     ///   workload in MiB (default 64)
+    /// * `MBFI_SWEEP_BATCH` — experiments per stealable sweep batch
+    ///   (default: auto)
+    ///
+    /// A set-but-malformed value falls back to the default with a one-line
+    /// warning on stderr naming the variable and the value kept.
     pub fn from_env() -> HarnessConfig {
         let mut cfg = HarnessConfig::default();
-        if let Ok(v) = std::env::var("MBFI_EXPERIMENTS") {
-            if let Ok(n) = v.parse() {
-                cfg.experiments = n;
-            }
-        }
-        if let Ok(v) = std::env::var("MBFI_SEED") {
-            if let Ok(n) = v.parse() {
-                cfg.seed = n;
-            }
-        }
+        cfg.experiments = env_parsed("MBFI_EXPERIMENTS", cfg.experiments);
+        cfg.seed = env_parsed("MBFI_SEED", cfg.seed);
         if let Ok(v) = std::env::var("MBFI_SIZE") {
             cfg.size = match v.to_ascii_lowercase().as_str() {
                 "small" => InputSize::Small,
-                _ => InputSize::Tiny,
+                "tiny" => InputSize::Tiny,
+                _ => {
+                    eprintln!(
+                        "warning: MBFI_SIZE={v:?} is not \"tiny\" or \"small\"; \
+                         falling back to {}",
+                        cfg.size
+                    );
+                    cfg.size
+                }
             };
         }
         if let Ok(v) = std::env::var("MBFI_WORKLOADS") {
@@ -100,34 +134,44 @@ impl HarnessConfig {
                 cfg.workload_filter = Some(names);
             }
         }
-        if let Ok(v) = std::env::var("MBFI_HANG_FACTOR") {
-            if let Ok(n) = v.parse() {
-                cfg.hang_factor = n;
-            }
-        }
-        if let Ok(v) = std::env::var("MBFI_THREADS") {
-            if let Ok(n) = v.parse() {
-                cfg.threads = n;
-            }
-        }
+        cfg.hang_factor = env_parsed("MBFI_HANG_FACTOR", cfg.hang_factor);
+        cfg.threads = env_parsed("MBFI_THREADS", cfg.threads);
         if let Ok(v) = std::env::var("MBFI_GRID") {
-            cfg.full_grid = v.eq_ignore_ascii_case("full");
+            cfg.full_grid = match v.to_ascii_lowercase().as_str() {
+                "full" => true,
+                "coarse" => false,
+                _ => {
+                    eprintln!(
+                        "warning: MBFI_GRID={v:?} is not \"full\" or \"coarse\"; \
+                         falling back to {}",
+                        if cfg.full_grid { "full" } else { "coarse" }
+                    );
+                    cfg.full_grid
+                }
+            };
         }
         if let Ok(v) = std::env::var("MBFI_REPLAY") {
-            if v.eq_ignore_ascii_case("on") {
-                cfg.replay = true;
-            } else if let Ok(n) = v.parse::<u64>() {
-                if n > 0 {
-                    cfg.replay = true;
-                    cfg.replay_interval = Some(n);
-                }
+            match v.to_ascii_lowercase().as_str() {
+                "on" | "auto" | "1" | "true" => cfg.replay = true,
+                "off" | "0" | "false" | "no" => cfg.replay = false,
+                other => match other.parse::<u64>() {
+                    Ok(n) => {
+                        cfg.replay = true;
+                        cfg.replay_interval = Some(n);
+                    }
+                    Err(_) => {
+                        eprintln!(
+                            "warning: MBFI_REPLAY={v:?} is not on/off or an interval; \
+                             falling back to {}",
+                            if cfg.replay { "on" } else { "off" }
+                        );
+                    }
+                },
             }
         }
-        if let Ok(v) = std::env::var("MBFI_REPLAY_BUDGET_MB") {
-            if let Ok(n) = v.parse::<usize>() {
-                cfg.replay_budget_bytes = n << 20;
-            }
-        }
+        let budget_mb = env_parsed("MBFI_REPLAY_BUDGET_MB", cfg.replay_budget_bytes >> 20);
+        cfg.replay_budget_bytes = budget_mb << 20;
+        cfg.sweep_batch = env_parsed("MBFI_SWEEP_BATCH", cfg.sweep_batch);
         cfg
     }
 
@@ -170,7 +214,19 @@ impl HarnessConfig {
         }
     }
 
-    fn campaign_spec(&self, technique: Technique, model: FaultModel) -> CampaignSpec {
+    /// The sweep executor knobs this configuration asks for.
+    pub fn sweep_config(&self) -> SweepConfig {
+        SweepConfig {
+            threads: self.threads,
+            batch_size: self.sweep_batch,
+            keep_records: false,
+        }
+    }
+
+    /// The spec this configuration gives one campaign cell (shared by the
+    /// grid, `sweep_bench`'s serial baseline and the equivalence tests, so
+    /// the sweep-vs-serial comparisons can never drift).
+    pub fn campaign_spec(&self, technique: Technique, model: FaultModel) -> CampaignSpec {
         CampaignSpec {
             technique,
             model,
@@ -211,40 +267,269 @@ impl WorkloadData {
     pub fn campaign(&self, spec: &CampaignSpec) -> CampaignResult {
         Campaign::run_compiled_with_store(&self.code, &self.golden, spec, self.store.as_ref())
     }
+
+    /// The borrowed artifact bundle a sweep executes this workload through.
+    pub fn sweep_unit(&self) -> SweepUnit<'_> {
+        SweepUnit {
+            code: &self.code,
+            golden: &self.golden,
+            store: self.store.as_ref(),
+        }
+    }
+}
+
+/// Shared per-workload artifacts, keyed by `(workload name, input size)`.
+///
+/// The first request for a key builds the module, lowers it, captures the
+/// golden run and (when [`HarnessConfig::replay`] is on) lazily captures one
+/// checkpoint store; every later request returns the same entry.  One cache
+/// therefore backs a whole grid of campaigns — and several grids in one
+/// process, even at different input sizes — without ever re-deriving an
+/// artifact.
+#[derive(Default)]
+pub struct SweepCache {
+    entries: HashMap<(String, InputSize), usize>,
+    data: Vec<WorkloadData>,
+}
+
+impl SweepCache {
+    /// An empty cache.
+    pub fn new() -> SweepCache {
+        SweepCache::default()
+    }
+
+    /// Index of the artifacts for `(workload, size)`, building them on the
+    /// first request.
+    pub fn get_or_build(
+        &mut self,
+        cfg: &HarnessConfig,
+        workload: &dyn Workload,
+        size: InputSize,
+    ) -> usize {
+        let key = (workload.name().to_string(), size);
+        if let Some(&index) = self.entries.get(&key) {
+            return index;
+        }
+        let module = workload.build_module(size);
+        let code = CompiledModule::lower(&module);
+        let golden = GoldenRun::capture_compiled(&code)
+            .unwrap_or_else(|e| panic!("golden run of {} failed: {e}", workload.name()));
+        let store = cfg.replay.then(|| {
+            let config = match cfg.replay_interval {
+                Some(interval) => CheckpointConfig {
+                    interval,
+                    max_bytes: cfg.replay_budget_bytes,
+                },
+                None => CheckpointConfig::auto_for(&golden, cfg.replay_budget_bytes),
+            };
+            CheckpointStore::capture_compiled(&code, &golden, config)
+                .unwrap_or_else(|e| panic!("checkpoint capture of {} failed: {e}", workload.name()))
+        });
+        let index = self.data.len();
+        self.data.push(WorkloadData {
+            name: workload.name().to_string(),
+            package: workload.package().to_string(),
+            description: workload.description().to_string(),
+            module,
+            code,
+            golden,
+            store,
+        });
+        self.entries.insert(key, index);
+        index
+    }
+
+    /// The cached artifacts, in build order.
+    pub fn data(&self) -> &[WorkloadData] {
+        &self.data
+    }
+
+    /// Consume the cache, keeping the artifacts.
+    pub fn into_data(self) -> Vec<WorkloadData> {
+        self.data
+    }
 }
 
 /// Build modules, lower them, capture golden runs (and checkpoint stores,
-/// when replay is enabled) for the configured workloads.
+/// when replay is enabled) for the configured workloads, via a fresh
+/// [`SweepCache`].
 pub fn prepare(cfg: &HarnessConfig) -> Vec<WorkloadData> {
-    cfg.workloads()
-        .iter()
-        .map(|w| {
-            let module = w.build_module(cfg.size);
-            let code = CompiledModule::lower(&module);
-            let golden = GoldenRun::capture_compiled(&code)
-                .unwrap_or_else(|e| panic!("golden run of {} failed: {e}", w.name()));
-            let store = cfg.replay.then(|| {
-                let interval = cfg
-                    .replay_interval
-                    .unwrap_or_else(|| (golden.dynamic_instrs / 128).max(1));
-                let config = CheckpointConfig {
-                    interval,
-                    max_bytes: cfg.replay_budget_bytes,
-                };
-                CheckpointStore::capture_compiled(&code, &golden, config)
-                    .unwrap_or_else(|e| panic!("checkpoint capture of {} failed: {e}", w.name()))
-            });
-            WorkloadData {
-                name: w.name().to_string(),
-                package: w.package().to_string(),
-                description: w.description().to_string(),
-                module,
-                code,
-                golden,
-                store,
+    let mut cache = SweepCache::new();
+    for w in cfg.workloads() {
+        cache.get_or_build(cfg, w.as_ref(), cfg.size);
+    }
+    cache.into_data()
+}
+
+// ---------------------------------------------------------------------------
+// The campaign grid: request cells, run one sweep, extract figures.
+// ---------------------------------------------------------------------------
+
+/// A whole grid of campaign cells over prepared workloads, submitted as one
+/// sweep.  Requesting the same `(workload, technique, model)` cell twice —
+/// e.g. the single-bit campaign that Fig. 1, Fig. 2 and Fig. 4/5 all need —
+/// collapses onto one cell, executed once.
+pub struct CampaignGrid<'a> {
+    cfg: &'a HarnessConfig,
+    data: Vec<WorkloadData>,
+    cells: Vec<SweepCampaign>,
+    index: HashMap<(usize, Technique, FaultModel), usize>,
+}
+
+impl<'a> CampaignGrid<'a> {
+    /// A grid over the configured workloads (prepared via [`prepare`]).
+    pub fn new(cfg: &'a HarnessConfig) -> CampaignGrid<'a> {
+        Self::from_data(cfg, prepare(cfg))
+    }
+
+    /// A grid over explicitly prepared workloads.
+    pub fn from_data(cfg: &'a HarnessConfig, data: Vec<WorkloadData>) -> CampaignGrid<'a> {
+        CampaignGrid {
+            cfg,
+            data,
+            cells: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// The prepared workloads this grid runs on.
+    pub fn data(&self) -> &[WorkloadData] {
+        &self.data
+    }
+
+    /// Number of distinct cells requested so far.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Request one campaign cell (deduplicating).
+    pub fn request(&mut self, workload: usize, technique: Technique, model: FaultModel) {
+        let key = (workload, technique, model);
+        if self.index.contains_key(&key) {
+            return;
+        }
+        self.index.insert(key, self.cells.len());
+        self.cells.push(SweepCampaign {
+            unit: workload,
+            spec: self.cfg.campaign_spec(technique, model),
+        });
+    }
+
+    /// Request the single bit-flip campaigns of Fig. 1 (both techniques, all
+    /// workloads).
+    pub fn request_single_bit(&mut self) {
+        for w in 0..self.data.len() {
+            for technique in Technique::ALL {
+                self.request(w, technique, FaultModel::single_bit());
             }
-        })
-        .collect()
+        }
+    }
+
+    /// Request the Fig. 2 same-register sweep for one technique: the
+    /// single-bit baseline plus every configured `max-MBF` at win-size 0.
+    pub fn request_same_register(&mut self, technique: Technique) {
+        for w in 0..self.data.len() {
+            self.request(w, technique, FaultModel::single_bit());
+            for &m in &self.cfg.max_mbf_values() {
+                self.request(w, technique, FaultModel::multi_bit(m, WinSize::Fixed(0)));
+            }
+        }
+    }
+
+    /// Request the Fig. 3 activation campaigns for one technique: max-MBF 30
+    /// over every configured multi-register window.
+    pub fn request_activation(&mut self, technique: Technique) {
+        for w in 0..self.data.len() {
+            for &win in &self.cfg.win_size_values() {
+                self.request(w, technique, FaultModel::multi_bit(30, win));
+            }
+        }
+    }
+
+    /// Request the Fig. 4/5 multi-register grid for one technique: the
+    /// single-bit baseline plus every `(max-MBF, win-size)` point.
+    pub fn request_multi_register(&mut self, technique: Technique) {
+        for w in 0..self.data.len() {
+            self.request(w, technique, FaultModel::single_bit());
+            for &m in &self.cfg.max_mbf_values() {
+                for &win in &self.cfg.win_size_values() {
+                    self.request(w, technique, FaultModel::multi_bit(m, win));
+                }
+            }
+        }
+    }
+
+    /// Request every cell `run_all` needs (all figures and tables).
+    pub fn request_artifact_grid(&mut self) {
+        self.request_single_bit();
+        for technique in Technique::ALL {
+            self.request_same_register(technique);
+            self.request_activation(technique);
+            self.request_multi_register(technique);
+        }
+    }
+
+    /// Submit every requested cell as one sweep and collect the results.
+    pub fn run(self) -> GridRun {
+        let CampaignGrid {
+            cfg,
+            data,
+            cells,
+            index,
+        } = self;
+        let config = cfg.sweep_config();
+        let report = {
+            let units: Vec<SweepUnit<'_>> = data.iter().map(WorkloadData::sweep_unit).collect();
+            Sweep::run(&units, &cells, &config)
+        };
+        GridRun {
+            data,
+            results: report.results.into_iter().map(|r| r.result).collect(),
+            warnings: report.warnings,
+            index,
+        }
+    }
+}
+
+/// The executed grid: per-workload artifacts plus one [`CampaignResult`] per
+/// requested cell, looked up by `(workload, technique, model)`.
+pub struct GridRun {
+    /// The prepared workloads, in grid order.
+    pub data: Vec<WorkloadData>,
+    /// Distinct validation warnings across the whole sweep.
+    pub warnings: Vec<CampaignWarning>,
+    results: Vec<CampaignResult>,
+    index: HashMap<(usize, Technique, FaultModel), usize>,
+}
+
+impl GridRun {
+    /// The result of one cell; panics if the cell was never requested.
+    pub fn get(&self, workload: usize, technique: Technique, model: FaultModel) -> &CampaignResult {
+        let slot = self
+            .index
+            .get(&(workload, technique, model))
+            .unwrap_or_else(|| {
+                panic!(
+                "campaign cell ({}, {technique}, {}) was not requested before CampaignGrid::run",
+                self.data
+                    .get(workload)
+                    .map(|w| w.name.as_str())
+                    .unwrap_or("?"),
+                model.label()
+            )
+            });
+        &self.results[*slot]
+    }
+
+    /// Number of executed cells.
+    pub fn cell_count(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Total experiments across all executed cells.
+    pub fn total_experiments(&self) -> u64 {
+        self.results.iter().map(CampaignResult::total).sum()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -287,18 +572,19 @@ pub fn table2(cfg: &HarnessConfig, data: &[WorkloadData]) -> TextTable {
 // Fig. 1 — single bit-flip outcome classification
 // ---------------------------------------------------------------------------
 
-/// Raw single-bit campaign results per workload: `(name, read, write)`.
-pub fn single_bit_results(
-    cfg: &HarnessConfig,
-    data: &[WorkloadData],
-) -> Vec<(String, CampaignResult, CampaignResult)> {
-    data.iter()
-        .map(|w| {
-            let read =
-                w.campaign(&cfg.campaign_spec(Technique::InjectOnRead, FaultModel::single_bit()));
-            let write =
-                w.campaign(&cfg.campaign_spec(Technique::InjectOnWrite, FaultModel::single_bit()));
-            (w.name.clone(), read, write)
+/// Extract the single-bit campaigns per workload: `(name, read, write)`.
+pub fn single_bit_results(run: &GridRun) -> Vec<(String, CampaignResult, CampaignResult)> {
+    run.data
+        .iter()
+        .enumerate()
+        .map(|(w, data)| {
+            let read = run
+                .get(w, Technique::InjectOnRead, FaultModel::single_bit())
+                .clone();
+            let write = run
+                .get(w, Technique::InjectOnWrite, FaultModel::single_bit())
+                .clone();
+            (data.name.clone(), read, write)
         })
         .collect()
 }
@@ -332,23 +618,25 @@ pub fn fig1(results: &[(String, CampaignResult, CampaignResult)]) -> Vec<(Techni
 // Fig. 2 — multiple bits of the same register (win-size = 0)
 // ---------------------------------------------------------------------------
 
-/// Raw same-register sweep per workload: campaigns for max-MBF = 1 (single)
-/// followed by the configured multi-bit values, all at win-size = 0.
+/// Extract the same-register sweep per workload: campaigns for max-MBF = 1
+/// (single) followed by the configured multi-bit values, all at win-size = 0.
 pub fn same_register_results(
     cfg: &HarnessConfig,
-    data: &[WorkloadData],
+    run: &GridRun,
     technique: Technique,
 ) -> Vec<(String, Vec<CampaignResult>)> {
-    data.iter()
-        .map(|w| {
-            let mut results =
-                vec![w.campaign(&cfg.campaign_spec(technique, FaultModel::single_bit()))];
+    run.data
+        .iter()
+        .enumerate()
+        .map(|(w, data)| {
+            let mut results = vec![run.get(w, technique, FaultModel::single_bit()).clone()];
             for &m in &cfg.max_mbf_values() {
-                results.push(w.campaign(
-                    &cfg.campaign_spec(technique, FaultModel::multi_bit(m, WinSize::Fixed(0))),
-                ));
+                results.push(
+                    run.get(w, technique, FaultModel::multi_bit(m, WinSize::Fixed(0)))
+                        .clone(),
+                );
             }
-            (w.name.clone(), results)
+            (data.name.clone(), results)
         })
         .collect()
 }
@@ -379,16 +667,19 @@ pub fn fig2(technique: Technique, results: &[(String, Vec<CampaignResult>)]) -> 
 // Fig. 3 — activated errors at max-MBF = 30
 // ---------------------------------------------------------------------------
 
-/// Raw max-MBF = 30 campaigns over all configured win-size > 0 values.
+/// Extract the max-MBF = 30 campaigns over all configured win-size > 0 values.
 pub fn activation_results(
     cfg: &HarnessConfig,
-    data: &[WorkloadData],
+    run: &GridRun,
     technique: Technique,
 ) -> Vec<CampaignResult> {
     let mut out = Vec::new();
-    for w in data {
+    for w in 0..run.data.len() {
         for &win in &cfg.win_size_values() {
-            out.push(w.campaign(&cfg.campaign_spec(technique, FaultModel::multi_bit(30, win))));
+            out.push(
+                run.get(w, technique, FaultModel::multi_bit(30, win))
+                    .clone(),
+            );
         }
     }
     out
@@ -429,25 +720,25 @@ pub struct MultiRegisterSweep {
     pub grid: Vec<CampaignResult>,
 }
 
-/// Run the multi-register sweep (win-size > 0) for every workload.
+/// Extract the multi-register sweep (win-size > 0) for every workload.
 pub fn multi_register_results(
     cfg: &HarnessConfig,
-    data: &[WorkloadData],
+    run: &GridRun,
     technique: Technique,
 ) -> Vec<MultiRegisterSweep> {
-    data.iter()
-        .map(|w| {
-            let single = w.campaign(&cfg.campaign_spec(technique, FaultModel::single_bit()));
+    run.data
+        .iter()
+        .enumerate()
+        .map(|(w, data)| {
+            let single = run.get(w, technique, FaultModel::single_bit()).clone();
             let mut grid = Vec::new();
             for &m in &cfg.max_mbf_values() {
                 for &win in &cfg.win_size_values() {
-                    grid.push(
-                        w.campaign(&cfg.campaign_spec(technique, FaultModel::multi_bit(m, win))),
-                    );
+                    grid.push(run.get(w, technique, FaultModel::multi_bit(m, win)).clone());
                 }
             }
             MultiRegisterSweep {
-                name: w.name.clone(),
+                name: data.name.clone(),
                 single,
                 grid,
             }
@@ -647,16 +938,6 @@ locations (Detection or SDC outcomes) can be pruned from multi-bit campaigns.\n"
     )
 }
 
-/// Convenience bundle of everything `run_all` produces.
-pub struct SweepResults {
-    /// Per-workload prepared data.
-    pub data: Vec<WorkloadData>,
-    /// Multi-register sweeps, inject-on-read.
-    pub read: Vec<MultiRegisterSweep>,
-    /// Multi-register sweeps, inject-on-write.
-    pub write: Vec<MultiRegisterSweep>,
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -701,6 +982,35 @@ mod tests {
     }
 
     #[test]
+    fn sweep_cache_shares_artifacts_per_workload_and_size() {
+        let cfg = HarnessConfig {
+            replay: false,
+            ..HarnessConfig::default()
+        };
+        let workloads = cfg.workloads();
+        let qsort = workloads.iter().find(|w| w.name() == "qsort").unwrap();
+        let histo = workloads.iter().find(|w| w.name() == "histo").unwrap();
+        let mut cache = SweepCache::new();
+        let a = cache.get_or_build(&cfg, qsort.as_ref(), InputSize::Tiny);
+        let b = cache.get_or_build(&cfg, qsort.as_ref(), InputSize::Tiny);
+        assert_eq!(a, b, "same (workload, size) key must reuse the entry");
+        let c = cache.get_or_build(&cfg, qsort.as_ref(), InputSize::Small);
+        assert_ne!(a, c, "a different input size is a different entry");
+        let d = cache.get_or_build(&cfg, histo.as_ref(), InputSize::Tiny);
+        assert_ne!(a, d);
+        assert_eq!(cache.data().len(), 3);
+        assert!(cache.data()[a].store.is_none(), "replay off: no store");
+
+        let replay_cfg = HarnessConfig::default();
+        let mut cache = SweepCache::new();
+        let e = cache.get_or_build(&replay_cfg, histo.as_ref(), InputSize::Tiny);
+        assert!(
+            cache.data()[e].store.is_some(),
+            "replay on (the default): the store is built lazily on first use"
+        );
+    }
+
+    #[test]
     fn table2_lists_all_selected_workloads() {
         let cfg = tiny_cfg();
         let data = prepare(&cfg);
@@ -711,52 +1021,69 @@ mod tests {
     }
 
     #[test]
-    fn fig1_and_fig2_render_for_a_small_run() {
-        let cfg = tiny_cfg();
-        let data = prepare(&cfg);
-        let singles = single_bit_results(&cfg, &data);
-        let tables = fig1(&singles);
-        assert_eq!(tables.len(), 2);
-        assert!(tables[0].1.render().contains("SDC%"));
-
-        let same_reg = same_register_results(
-            &HarnessConfig {
-                experiments: 10,
-                ..tiny_cfg()
-            },
-            &data[..1],
-            Technique::InjectOnWrite,
-        );
-        let t = fig2(Technique::InjectOnWrite, &same_reg);
-        assert!(t.render().contains("1-bit"));
-        assert!(t.render().contains("m=30,w=0"));
-    }
-
-    #[test]
-    fn multi_register_sweep_feeds_table3_and_fig45() {
+    fn grid_deduplicates_shared_cells_and_feeds_every_figure() {
         let cfg = HarnessConfig {
             experiments: 10,
             workload_filter: Some(vec!["stringsearch".into()]),
             ..HarnessConfig::default()
         };
-        let data = prepare(&cfg);
-        let read = multi_register_results(&cfg, &data, Technique::InjectOnRead);
-        let write = multi_register_results(&cfg, &data, Technique::InjectOnWrite);
+        let mut grid = CampaignGrid::new(&cfg);
+        grid.request_artifact_grid();
+        // Per workload and technique: 1 single + |mbf| same-register +
+        // |mbf| × |win| multi-register cells; the activation row (max-MBF 30)
+        // and the single-bit baselines are shared, not re-run.
+        let mbf = cfg.max_mbf_values().len();
+        let win = cfg.win_size_values().len();
+        assert_eq!(grid.cell_count(), 2 * (1 + mbf + mbf * win));
+        let run = grid.run();
+        assert_eq!(run.cell_count(), 2 * (1 + mbf + mbf * win));
         assert_eq!(
-            read[0].grid.len(),
-            cfg.max_mbf_values().len() * cfg.win_size_values().len()
+            run.total_experiments(),
+            (run.cell_count() * cfg.experiments) as u64
         );
+
+        let singles = single_bit_results(&run);
+        let tables = fig1(&singles);
+        assert_eq!(tables.len(), 2);
+        assert!(tables[0].1.render().contains("SDC%"));
+
+        let same_reg = same_register_results(&cfg, &run, Technique::InjectOnWrite);
+        let t = fig2(Technique::InjectOnWrite, &same_reg);
+        assert!(t.render().contains("1-bit"));
+        assert!(t.render().contains("m=30,w=0"));
+
+        let read = multi_register_results(&cfg, &run, Technique::InjectOnRead);
+        let write = multi_register_results(&cfg, &run, Technique::InjectOnWrite);
+        assert_eq!(read[0].grid.len(), mbf * win);
 
         let figs = fig45(Technique::InjectOnRead, &read);
         assert_eq!(figs.len(), 1);
-        assert_eq!(figs[0].series.len(), cfg.win_size_values().len());
+        assert_eq!(figs[0].series.len(), win);
 
         let t3 = table3(&read, &write);
         assert_eq!(t3.rows.len(), 1);
 
-        let (t4, raw) = table4(&cfg, &data, &read, &write);
+        let (t4, raw) = table4(&cfg, &run.data, &read, &write);
         assert_eq!(t4.rows.len(), 1);
         assert_eq!(raw.len(), 1);
+    }
+
+    #[test]
+    fn grid_cells_match_the_per_campaign_runner() {
+        let cfg = HarnessConfig {
+            experiments: 12,
+            workload_filter: Some(vec!["crc32".into()]),
+            ..HarnessConfig::default()
+        };
+        let mut grid = CampaignGrid::new(&cfg);
+        grid.request_single_bit();
+        let run = grid.run();
+        for technique in Technique::ALL {
+            let from_grid = run.get(0, technique, FaultModel::single_bit());
+            let serial =
+                run.data[0].campaign(&cfg.campaign_spec(technique, FaultModel::single_bit()));
+            assert_eq!(from_grid, &serial, "{technique}: grid cell diverged");
+        }
     }
 
     #[test]
@@ -764,6 +1091,7 @@ mod tests {
         let cfg_off = HarnessConfig {
             experiments: 12,
             workload_filter: Some(vec!["crc32".into()]),
+            replay: false,
             ..HarnessConfig::default()
         };
         let cfg_on = HarnessConfig {
@@ -774,25 +1102,61 @@ mod tests {
         let data_on = prepare(&cfg_on);
         assert!(data_off[0].store.is_none());
         assert!(data_on[0].store.is_some());
-        let off = single_bit_results(&cfg_off, &data_off);
-        let on = single_bit_results(&cfg_on, &data_on);
-        assert_eq!(off, on, "replay must not change any campaign result");
+        let run_off = {
+            let mut g = CampaignGrid::from_data(&cfg_off, data_off);
+            g.request_single_bit();
+            g.run()
+        };
+        let run_on = {
+            let mut g = CampaignGrid::from_data(&cfg_on, data_on);
+            g.request_single_bit();
+            g.run()
+        };
+        assert_eq!(
+            single_bit_results(&run_off),
+            single_bit_results(&run_on),
+            "replay must not change any campaign result"
+        );
     }
 
+    /// One combined test so that only a single test in this binary mutates
+    /// the process environment — `set_var` concurrent with `env::var` reads
+    /// from a parallel test thread is undefined behaviour on glibc.
     #[test]
-    fn env_config_round_trip() {
+    fn env_config_round_trip_and_malformed_fallback() {
         std::env::set_var("MBFI_EXPERIMENTS", "7");
         std::env::set_var("MBFI_SIZE", "small");
         std::env::set_var("MBFI_GRID", "full");
         std::env::set_var("MBFI_WORKLOADS", "sha, bfs");
+        std::env::set_var("MBFI_REPLAY", "off");
+        std::env::set_var("MBFI_SWEEP_BATCH", "9");
         let cfg = HarnessConfig::from_env();
         assert_eq!(cfg.experiments, 7);
         assert_eq!(cfg.size, InputSize::Small);
         assert!(cfg.full_grid);
         assert_eq!(cfg.workloads().len(), 2);
+        assert!(!cfg.replay);
+        assert_eq!(cfg.sweep_batch, 9);
+        assert_eq!(cfg.sweep_config().batch_size, 9);
         std::env::remove_var("MBFI_EXPERIMENTS");
         std::env::remove_var("MBFI_SIZE");
         std::env::remove_var("MBFI_GRID");
         std::env::remove_var("MBFI_WORKLOADS");
+        std::env::remove_var("MBFI_REPLAY");
+        std::env::remove_var("MBFI_SWEEP_BATCH");
+
+        // Malformed values fall back to the defaults (with a stderr warning,
+        // not capturable here) instead of being silently dropped mid-parse.
+        std::env::set_var("MBFI_HANG_FACTOR", "twenty");
+        std::env::set_var("MBFI_REPLAY_BUDGET_MB", "-3");
+        let cfg = HarnessConfig::from_env();
+        assert_eq!(cfg.hang_factor, HarnessConfig::default().hang_factor);
+        assert_eq!(
+            cfg.replay_budget_bytes,
+            HarnessConfig::default().replay_budget_bytes
+        );
+        std::env::remove_var("MBFI_HANG_FACTOR");
+        std::env::remove_var("MBFI_REPLAY_BUDGET_MB");
+        assert_eq!(env_parsed("MBFI_NOT_SET_EVER", 42usize), 42);
     }
 }

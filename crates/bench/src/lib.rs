@@ -16,6 +16,12 @@
 //! | `table4` | Table IV — Transition I / II likelihoods (Fig. 6 state machine) |
 //! | `run_all`| Everything above plus the RQ1–RQ5 summary |
 //! | `replay_bench` | Full re-execution vs checkpointed golden-run replay (`BENCH_replay.json`; `--check` verifies byte-equivalence) |
+//! | `sweep_bench` | Whole-grid sweep vs per-campaign serial grid walk (`BENCH_sweep.json`; `--check` verifies per-cell byte-equivalence) |
+//!
+//! Campaign cells are requested on a [`harness::CampaignGrid`], deduplicated,
+//! and executed as **one** `mbfi_core::Sweep` per binary; shared per-workload
+//! artifacts (lowered module, golden run, checkpoint store) come from a
+//! [`harness::SweepCache`].
 //!
 //! Every binary also accepts `--out-dir <path>` for its artefact files
 //! (default: the current working directory).
@@ -29,5 +35,5 @@ pub mod harness;
 pub mod timing;
 
 pub use artifacts::{Artefact, OutDir};
-pub use harness::{HarnessConfig, SweepResults, WorkloadData};
+pub use harness::{CampaignGrid, GridRun, HarnessConfig, SweepCache, WorkloadData};
 pub use timing::{median_wall_ns, BenchSuite, Measurement};

@@ -200,13 +200,26 @@ pub fn median_wall_ns<T>(samples: usize, mut f: impl FnMut() -> T) -> u64 {
     times[times.len() / 2]
 }
 
-/// Parse a `usize` knob from the environment, falling back to `default` on
-/// absence or garbage (shared by [`BenchSuite`] and the bench binaries).
+/// Parse an environment knob, warning on stderr and falling back to
+/// `default` when the variable is set but malformed (shared by
+/// [`BenchSuite`], `HarnessConfig::from_env` and the bench binaries, so
+/// every knob has the same warn-on-garbage behaviour).
+pub fn env_parsed<T: std::str::FromStr + std::fmt::Display>(key: &str, default: T) -> T {
+    match std::env::var(key) {
+        Err(_) => default,
+        Ok(v) => match v.trim().parse::<T>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("warning: {key}={v:?} is not a valid value; falling back to {default}");
+                default
+            }
+        },
+    }
+}
+
+/// [`env_parsed`] for the common `usize` knobs.
 pub fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    env_parsed(key, default)
 }
 
 #[cfg(test)]

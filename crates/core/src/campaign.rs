@@ -2,12 +2,12 @@
 //! the same workload (§III-E of the paper).
 
 use crate::cluster::CampaignPoint;
-use crate::experiment::{Experiment, ExperimentSpec};
 use crate::fault_model::FaultModel;
 use crate::golden::GoldenRun;
 use crate::outcome::{Outcome, OutcomeCounts};
 use crate::replay::CheckpointStore;
 use crate::stats::{wald_interval, Proportion};
+use crate::sweep::{Sweep, SweepCampaign, SweepConfig, SweepUnit};
 use crate::technique::Technique;
 use mbfi_ir::{CompiledModule, Module};
 
@@ -103,7 +103,7 @@ impl CampaignSpec {
 /// Aggregated results of one campaign.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignResult {
-    /// The campaign's configuration.
+    /// The campaign's configuration (after [`CampaignSpec::validate`] fix-ups).
     pub spec: CampaignSpec,
     /// Outcome counts over all experiments.
     pub counts: OutcomeCounts,
@@ -113,6 +113,10 @@ pub struct CampaignResult {
     /// Histogram of activated errors restricted to experiments that ended in
     /// a hardware exception (used for Fig. 3 / RQ1).
     pub crash_activation_histogram: Vec<u64>,
+    /// Validation warnings the campaign ran with, so library callers can
+    /// inspect them without scraping stderr (each distinct warning is still
+    /// printed to stderr once per run/sweep).
+    pub warnings: Vec<CampaignWarning>,
 }
 
 impl CampaignResult {
@@ -188,109 +192,25 @@ impl Campaign {
     }
 
     /// Run a campaign on a pre-lowered module, optionally through a
-    /// checkpoint store shared read-only across all worker threads.  With a
-    /// store, experiments are sorted by their first injection ordinal and
-    /// striped across the workers, so each thread walks a monotone sequence
-    /// of injection depths *and* carries the same mix of cheap (deep) and
-    /// expensive (shallow) replays; the aggregated result is byte-identical
-    /// either way (outcome counts and histograms commute).
+    /// checkpoint store shared read-only across all worker threads.
+    ///
+    /// Since the sweep refactor this is a single-cell [`Sweep`]: the
+    /// campaign's experiments are pre-sampled, cut into batches and drained
+    /// by the sweep's work-stealing worker pool (sized by `spec.threads`).
+    /// The result is byte-identical to any other schedule — see the
+    /// determinism contract in [`crate::sweep`].
     pub fn run_compiled_with_store(
         code: &CompiledModule,
         golden: &GoldenRun,
         spec: &CampaignSpec,
         store: Option<&CheckpointStore>,
     ) -> CampaignResult {
-        let (spec, warnings) = spec.validate();
-        for w in &warnings {
-            eprintln!("campaign warning: {w} ({w:?})");
-        }
-        let threads = if spec.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            spec.threads
-        };
-        let threads = threads.clamp(1, spec.experiments.max(1));
-
-        // Pre-sample every experiment spec (cheap: a few RNG draws each).
-        // With a checkpoint store, batch them by injection depth so
-        // neighbouring experiments restore nearby checkpoints.
-        let mut exp_specs: Vec<ExperimentSpec> = (0..spec.experiments)
-            .map(|index| {
-                ExperimentSpec::sample(
-                    spec.technique,
-                    spec.model,
-                    golden,
-                    spec.seed,
-                    index as u64,
-                    spec.hang_factor,
-                )
-            })
-            .collect();
-        let strided = store.is_some();
-        if strided {
-            exp_specs.sort_by_key(|s| s.first_target);
-        }
-        let exp_specs = &exp_specs;
-
-        let max_hist = spec.model.max_mbf as usize + 1;
-        let chunk = spec.experiments.div_ceil(threads);
-        let partials: Vec<Partial> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                let start = t * chunk;
-                let end = ((t + 1) * chunk).min(spec.experiments);
-                if !strided && start >= end {
-                    break;
-                }
-                handles.push(scope.spawn(move || {
-                    let mut partial = Partial::new(max_hist);
-                    // Replay cost falls with injection depth, so a contiguous
-                    // band of the depth-sorted specs would leave one worker
-                    // with almost all the work; a stride gives every worker
-                    // the same depth profile.
-                    let specs: Box<dyn Iterator<Item = &ExperimentSpec>> = if strided {
-                        Box::new(exp_specs.iter().skip(t).step_by(threads))
-                    } else {
-                        Box::new(exp_specs[start..end].iter())
-                    };
-                    for exp_spec in specs {
-                        let result = Experiment::run_compiled(code, golden, exp_spec, store);
-                        partial.record(result.outcome, result.activated as usize);
-                    }
-                    partial
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
-
-        let mut counts = OutcomeCounts::default();
-        let mut activation_histogram = vec![0u64; max_hist];
-        let mut crash_activation_histogram = vec![0u64; max_hist];
-        for p in partials {
-            counts += p.counts;
-            for (i, v) in p.activation.iter().enumerate() {
-                activation_histogram[i] += v;
-            }
-            for (i, v) in p.crash_activation.iter().enumerate() {
-                crash_activation_histogram[i] += v;
-            }
-        }
-
-        CampaignResult {
-            spec,
-            counts,
-            activation_histogram,
-            crash_activation_histogram,
-        }
+        crate::sweep::run_single(code, golden, spec, store)
     }
 
-    /// Run one campaign per grid point (convenience for sweeps).  The module
-    /// is lowered once and shared by every campaign.
+    /// Run one campaign per grid point as a single [`Sweep`].  The module is
+    /// lowered once and shared by every campaign, and all points run on one
+    /// work-stealing worker pool instead of one pool per campaign.
     pub fn run_points(
         module: &Module,
         golden: &GoldenRun,
@@ -299,41 +219,23 @@ impl Campaign {
         seed: u64,
     ) -> Vec<CampaignResult> {
         let code = CompiledModule::lower(module);
-        points
+        let units = [SweepUnit {
+            code: &code,
+            golden,
+            store: None,
+        }];
+        let campaigns: Vec<SweepCampaign> = points
             .iter()
-            .map(|p| {
-                Campaign::run_compiled(
-                    &code,
-                    golden,
-                    &CampaignSpec::from_point(*p, experiments, seed),
-                )
+            .map(|p| SweepCampaign {
+                unit: 0,
+                spec: CampaignSpec::from_point(*p, experiments, seed),
             })
+            .collect();
+        Sweep::run(&units, &campaigns, &SweepConfig::default())
+            .results
+            .into_iter()
+            .map(|r| r.result)
             .collect()
-    }
-}
-
-struct Partial {
-    counts: OutcomeCounts,
-    activation: Vec<u64>,
-    crash_activation: Vec<u64>,
-}
-
-impl Partial {
-    fn new(max_hist: usize) -> Partial {
-        Partial {
-            counts: OutcomeCounts::default(),
-            activation: vec![0; max_hist],
-            crash_activation: vec![0; max_hist],
-        }
-    }
-
-    fn record(&mut self, outcome: Outcome, activated: usize) {
-        self.counts.record(outcome);
-        let slot = activated.min(self.activation.len() - 1);
-        self.activation[slot] += 1;
-        if outcome == Outcome::DetectedHwException {
-            self.crash_activation[slot] += 1;
-        }
     }
 }
 

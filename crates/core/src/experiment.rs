@@ -56,6 +56,28 @@ impl ExperimentSpec {
             hang_factor,
         }
     }
+
+    /// Pre-sample every experiment of a campaign, in experiment-index order.
+    ///
+    /// Sampling is cheap (a few RNG draws per experiment) and depends only on
+    /// `(spec.seed, index)`, which is what lets campaign runners batch,
+    /// reorder and steal experiments without changing any result.  Both the
+    /// per-campaign runner and the whole-grid [`crate::sweep::Sweep`] draw
+    /// their specs through this one function so they cannot drift.
+    pub fn sample_campaign(spec: &crate::CampaignSpec, golden: &GoldenRun) -> Vec<ExperimentSpec> {
+        (0..spec.experiments)
+            .map(|index| {
+                ExperimentSpec::sample(
+                    spec.technique,
+                    spec.model,
+                    golden,
+                    spec.seed,
+                    index as u64,
+                    spec.hang_factor,
+                )
+            })
+            .collect()
+    }
 }
 
 /// Result of one experiment.

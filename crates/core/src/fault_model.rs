@@ -52,6 +52,14 @@ impl WinSize {
             WinSize::Random { hi, .. } => *hi,
         }
     }
+
+    /// The smallest window this configuration can produce.
+    pub fn lower_bound(&self) -> u64 {
+        match self {
+            WinSize::Fixed(v) => *v,
+            WinSize::Random { lo, .. } => *lo,
+        }
+    }
 }
 
 impl fmt::Display for WinSize {
@@ -158,5 +166,62 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_mbf_is_rejected() {
         let _ = FaultModel::multi_bit(0, WinSize::Fixed(0));
+    }
+
+    /// Every Table I `win-size` entry samples within its own bounds: fixed
+    /// windows sample to themselves, random windows stay inside `[lo, hi]`,
+    /// and every multi-register entry (the `w > 0` ones) yields at least 1 —
+    /// a window of 0 would silently collapse a multi-register campaign into
+    /// a same-register one.
+    #[test]
+    fn table1_win_sizes_sample_within_their_bounds() {
+        for (i, w) in crate::cluster::WIN_SIZE_VALUES.iter().enumerate() {
+            assert!(w.lower_bound() <= w.upper_bound(), "w{} inverted", i + 1);
+            let mut rng = SmallRng::seed_from_u64(0xB17 + i as u64);
+            for draw in 0..500 {
+                let v = w.sample(&mut rng);
+                assert!(
+                    (w.lower_bound()..=w.upper_bound()).contains(&v),
+                    "w{} ({}) draw {draw} sampled {v} outside [{}, {}]",
+                    i + 1,
+                    w.label(),
+                    w.lower_bound(),
+                    w.upper_bound()
+                );
+                if !w.is_same_register() {
+                    assert!(v >= 1, "w{} ({}) sampled a zero window", i + 1, w.label());
+                }
+            }
+        }
+    }
+
+    /// Labels are a round-trip-safe identity across the whole 10 × 9 grid:
+    /// every `(max-MBF, win-size)` cell (plus the single-bit model) renders
+    /// to a distinct label, so report rows and result caches keyed by label
+    /// can never collide.
+    #[test]
+    fn labels_are_unique_across_the_grid() {
+        use std::collections::BTreeSet;
+        let mut labels = BTreeSet::new();
+        let mut models = vec![FaultModel::single_bit()];
+        for &m in &crate::cluster::MAX_MBF_VALUES {
+            for &w in &crate::cluster::WIN_SIZE_VALUES {
+                models.push(FaultModel::multi_bit(m, w));
+            }
+        }
+        assert_eq!(models.len(), 1 + 10 * 9);
+        for model in &models {
+            assert!(
+                labels.insert(model.label()),
+                "duplicate label {:?} in the 10 x 9 grid",
+                model.label()
+            );
+        }
+        // Window labels alone are unique too (they name Fig. 4/5 series).
+        let win_labels: BTreeSet<String> = crate::cluster::WIN_SIZE_VALUES
+            .iter()
+            .map(WinSize::label)
+            .collect();
+        assert_eq!(win_labels.len(), crate::cluster::WIN_SIZE_VALUES.len());
     }
 }

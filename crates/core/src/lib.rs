@@ -21,6 +21,9 @@
 //! * [`replay`] — checkpointed golden-run snapshot & replay: campaigns skip
 //!   each experiment's fault-free prefix by restoring a
 //!   [`mbfi_vm::VmSnapshot`] checkpoint (see [`CheckpointStore`]).
+//! * [`sweep`] — whole-grid campaign matrices on one global, deterministic
+//!   work-stealing executor with per-workload shared artifacts (see
+//!   [`Sweep`]).
 //! * [`pruning`] — the three pruning layers answering RQ1–RQ5 (§IV).
 //! * [`space`] — error-space size computations (§II-D).
 //! * [`stats`] — binomial proportions with 95 % confidence intervals.
@@ -76,6 +79,7 @@ pub mod report;
 pub mod rng;
 pub mod space;
 pub mod stats;
+pub mod sweep;
 pub mod technique;
 
 pub use campaign::{Campaign, CampaignResult, CampaignSpec, CampaignWarning};
@@ -86,4 +90,5 @@ pub use golden::GoldenRun;
 pub use injector::{InjectionRecord, InjectorHook};
 pub use outcome::{classify, Outcome, OutcomeCounts};
 pub use replay::{Checkpoint, CheckpointConfig, CheckpointStore, ReplayCaptureError};
+pub use sweep::{Sweep, SweepCampaign, SweepCampaignResult, SweepConfig, SweepReport, SweepUnit};
 pub use technique::Technique;

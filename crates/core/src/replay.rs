@@ -83,6 +83,16 @@ impl CheckpointConfig {
             ..CheckpointConfig::default()
         }
     }
+
+    /// The auto-tuned config for one golden run: the per-workload interval
+    /// from [`GoldenRun::default_checkpoint_interval`] with an explicit
+    /// memory budget.
+    pub fn auto_for(golden: &GoldenRun, max_bytes: usize) -> CheckpointConfig {
+        CheckpointConfig {
+            interval: golden.default_checkpoint_interval(),
+            max_bytes,
+        }
+    }
 }
 
 /// One stored checkpoint: a VM snapshot plus the profile counters needed to

@@ -1,0 +1,743 @@
+//! Whole-grid campaign sweeps on one global, deterministic work-stealing
+//! executor.
+//!
+//! The paper's results all come from *grids* of campaigns — every workload ×
+//! technique × fault model — yet [`crate::Campaign`] alone only knows how to run one
+//! campaign at a time, spawning (and joining) its own worker threads per
+//! campaign.  A [`Sweep`] instead takes the whole grid at once: every
+//! campaign's experiments are cut into fixed-size **batches**
+//! and queued in a per-campaign deque; one pool of workers drains all queues
+//! together, each worker preferring its "home" campaign and **stealing whole
+//! batches** from the other campaigns once its home queue is empty.  The
+//! pool is spawned once for the entire grid instead of once per campaign,
+//! and a long-running campaign at the end of the grid is finished
+//! cooperatively by every worker rather than by one campaign-private pool.
+//!
+//! ## Determinism contract
+//!
+//! Results are *byte-identical regardless of thread count and steal
+//! schedule*, and equal to running each cell through
+//! [`crate::Campaign::run_compiled`] serially:
+//!
+//! * every experiment's spec is a pure function of `(campaign seed,
+//!   experiment index)` alone — workers re-sample it when they run the
+//!   batch — so scheduling cannot influence what is injected;
+//! * each batch produces an independent partial result, stored in a slot
+//!   keyed by `(campaign, batch index)`;
+//! * when a campaign's last batch completes, its partials are folded **in
+//!   batch-index order** into the [`CampaignResult`] (outcome counts and
+//!   histograms are order-independent sums; [`InjectionRecord`]s are keyed
+//!   by experiment index), so Wald intervals and per-experiment records come
+//!   out bit-for-bit the same on 1 thread or 64.
+//!
+//! The contract is enforced by `tests/sweep_equivalence.rs` (per-cell
+//! byte-equality against the serial runner over the default grid on all 15
+//! workloads, invariant across thread counts) and by `sweep_bench --check`.
+//!
+//! ## Shared artifacts
+//!
+//! A [`SweepUnit`] carries *borrowed* per-workload artifacts — the lowered
+//! [`CompiledModule`], the [`GoldenRun`] and optionally a read-only
+//! [`CheckpointStore`] — so one set of artifacts serves every campaign of
+//! the grid (the `mbfi-bench` harness builds them once per `(workload,
+//! input size)` key in its `SweepCache`).
+//!
+//! [`crate::Campaign::run_compiled_with_store`] is itself implemented as a
+//! single-campaign sweep, so there is exactly one execution engine.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+
+use crate::campaign::{CampaignResult, CampaignSpec, CampaignWarning};
+use crate::experiment::{Experiment, ExperimentSpec};
+use crate::golden::GoldenRun;
+use crate::injector::InjectionRecord;
+use crate::outcome::{Outcome, OutcomeCounts};
+use crate::replay::CheckpointStore;
+use mbfi_ir::CompiledModule;
+
+/// Per-workload artifacts shared by every campaign of a sweep: the module is
+/// lowered once, the golden run captured once, and the checkpoint store (if
+/// any) is read-only, so one unit can back any number of campaigns across
+/// any number of worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepUnit<'a> {
+    /// The flat bytecode every experiment executes.
+    pub code: &'a CompiledModule,
+    /// The fault-free profiling run experiments are classified against.
+    pub golden: &'a GoldenRun,
+    /// Optional golden-run checkpoints; experiments restore the deepest
+    /// checkpoint before their first injection instead of re-executing the
+    /// fault-free prefix (byte-transparent, see [`crate::replay`]).
+    pub store: Option<&'a CheckpointStore>,
+}
+
+/// One campaign of a sweep: a unit index plus the campaign's spec.
+///
+/// `spec.threads` is recorded in the result verbatim but does not influence
+/// scheduling — the sweep's global worker pool (sized by
+/// [`SweepConfig::threads`]) runs every campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepCampaign {
+    /// Index into the sweep's unit slice.
+    pub unit: usize,
+    /// The campaign to run.
+    pub spec: CampaignSpec,
+}
+
+/// Knobs of the sweep executor.  None of them affect results — only how the
+/// work is spread over threads.
+///
+/// The default (`threads: 0, batch_size: 0, keep_records: false`) means
+/// "all cores, auto-sized batches, aggregate results only".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepConfig {
+    /// Worker threads (0 = all available parallelism).
+    pub threads: usize,
+    /// Experiments per stealable batch (0 = auto: total experiments spread
+    /// over 8 batches per worker, clamped to `[1, 64]`).
+    pub batch_size: usize,
+    /// Keep every experiment's [`InjectionRecord`]s in the result
+    /// ([`SweepCampaignResult::records`]), indexed by experiment.  Off by
+    /// default: a 10k-experiment grid would hold millions of records.
+    pub keep_records: bool,
+}
+
+/// Result of one campaign of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCampaignResult {
+    /// The aggregated campaign result, byte-identical to
+    /// [`crate::Campaign::run_compiled`] on the same cell.
+    pub result: CampaignResult,
+    /// With [`SweepConfig::keep_records`]: the applied flips of experiment
+    /// `i` at index `i` (empty otherwise).
+    pub records: Vec<Vec<InjectionRecord>>,
+}
+
+/// Everything a sweep produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// One result per submitted campaign, in submission order.
+    pub results: Vec<SweepCampaignResult>,
+    /// Distinct warnings across all campaigns, in submission order (each
+    /// campaign's own warnings are also carried in its
+    /// [`CampaignResult::warnings`]).
+    pub warnings: Vec<CampaignWarning>,
+}
+
+/// The campaign-matrix executor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sweep;
+
+impl Sweep {
+    /// Run every campaign of the grid and collect the results in submission
+    /// order.
+    pub fn run(
+        units: &[SweepUnit<'_>],
+        campaigns: &[SweepCampaign],
+        config: &SweepConfig,
+    ) -> SweepReport {
+        let mut slots: Vec<Option<SweepCampaignResult>> = vec![None; campaigns.len()];
+        let warnings = Self::run_streamed(units, campaigns, config, |index, result| {
+            slots[index] = Some(result);
+        });
+        SweepReport {
+            results: slots
+                .into_iter()
+                .map(|r| r.expect("sweep finished without producing every result"))
+                .collect(),
+            warnings,
+        }
+    }
+
+    /// Run the grid, handing each campaign's result to `sink` as soon as its
+    /// last batch completes (completion order; the `usize` is the campaign's
+    /// submission index).  Returns the deduplicated warnings.
+    ///
+    /// Each distinct warning is also printed to stderr once per sweep.
+    pub fn run_streamed(
+        units: &[SweepUnit<'_>],
+        campaigns: &[SweepCampaign],
+        config: &SweepConfig,
+        mut sink: impl FnMut(usize, SweepCampaignResult),
+    ) -> Vec<CampaignWarning> {
+        for c in campaigns {
+            assert!(
+                c.unit < units.len(),
+                "sweep campaign references unit {} but only {} units were supplied",
+                c.unit,
+                units.len()
+            );
+        }
+
+        let threads = if config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            config.threads
+        };
+        let total_experiments: usize = campaigns.iter().map(|c| c.spec.experiments).sum();
+        let batch = if config.batch_size == 0 {
+            total_experiments.div_ceil(threads.max(1) * 8).clamp(1, 64)
+        } else {
+            config.batch_size
+        };
+
+        let plans: Vec<Plan> = campaigns
+            .iter()
+            .map(|c| Plan::new(c, &units[c.unit], batch))
+            .collect();
+
+        // Warnings are known before any experiment runs; print each distinct
+        // one once (submission order) so a whole grid of equally-misconfigured
+        // campaigns does not repeat itself hundreds of times on stderr.
+        let mut warnings: Vec<CampaignWarning> = Vec::new();
+        for plan in &plans {
+            for w in &plan.warnings {
+                if !warnings.contains(w) {
+                    eprintln!("campaign warning: {w} ({w:?})");
+                    warnings.push(*w);
+                }
+            }
+        }
+
+        // Campaigns without a single batch (0 experiments) cannot be
+        // finalized by a worker; emit their empty results up front.
+        let mut live = 0usize;
+        for (index, plan) in plans.iter().enumerate() {
+            if plan.batches() == 0 {
+                sink(index, plan.empty_result());
+            } else {
+                live += 1;
+            }
+        }
+        if live == 0 {
+            return warnings;
+        }
+
+        let total_batches: usize = plans.iter().map(Plan::batches).sum();
+        let threads = threads.clamp(1, total_batches);
+        let keep_records = config.keep_records;
+        let (tx, rx) = mpsc::channel::<(usize, SweepCampaignResult)>();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let tx = tx.clone();
+                let plans = &plans;
+                scope.spawn(move || worker(t, plans, units, keep_records, &tx));
+            }
+            drop(tx);
+            for _ in 0..live {
+                let (index, result) = rx
+                    .recv()
+                    .expect("sweep worker pool exited before every campaign finished");
+                sink(index, result);
+            }
+        });
+        warnings
+    }
+}
+
+/// One campaign's execution plan: the validated spec, the experiment
+/// execution order, and the batch deque (an atomic cursor — batches are
+/// taken from the front in index order; which *worker* takes each batch is
+/// the only scheduling freedom, and results do not depend on it).
+///
+/// Experiment specs are *not* retained: each is a pure function of
+/// `(campaign seed, experiment index)` and is re-sampled (a few RNG draws)
+/// by the worker that runs its batch, so a whole-grid sweep holds O(grid
+/// cells), not O(grid experiments), between batches.
+struct Plan {
+    unit: usize,
+    spec: CampaignSpec,
+    warnings: Vec<CampaignWarning>,
+    /// Execution order as original experiment indices, sorted by injection
+    /// depth when the unit has a checkpoint store so the experiments of one
+    /// batch restore neighbouring checkpoints; `None` = identity order.
+    order: Option<Vec<u32>>,
+    batch: usize,
+    max_hist: usize,
+    cursor: AtomicUsize,
+    remaining: AtomicUsize,
+    slots: Vec<Mutex<Option<BatchOut>>>,
+}
+
+/// The partial result of one batch.
+struct BatchOut {
+    counts: OutcomeCounts,
+    activation: Vec<u64>,
+    crash_activation: Vec<u64>,
+    records: Vec<(u32, Vec<InjectionRecord>)>,
+}
+
+impl Plan {
+    fn new(campaign: &SweepCampaign, unit: &SweepUnit<'_>, batch: usize) -> Plan {
+        let (spec, warnings) = campaign.spec.validate();
+        // With a store, order experiments by injection depth (the sampled
+        // specs are transient here — only the ordering survives).
+        let order = unit.store.is_some().then(|| {
+            let mut keyed: Vec<(u32, u64)> = ExperimentSpec::sample_campaign(&spec, unit.golden)
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| (i as u32, s.first_target))
+                .collect();
+            keyed.sort_by_key(|&(_, first_target)| first_target);
+            keyed.into_iter().map(|(i, _)| i).collect()
+        });
+        let batches = spec.experiments.div_ceil(batch);
+        let mut slots = Vec::with_capacity(batches);
+        slots.resize_with(batches, || Mutex::new(None));
+        Plan {
+            unit: campaign.unit,
+            spec,
+            warnings,
+            order,
+            batch,
+            max_hist: spec.model.max_mbf as usize + 1,
+            cursor: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(batches),
+            slots,
+        }
+    }
+
+    fn batches(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Take the next batch index off the front of this campaign's deque.
+    fn take_batch(&self) -> Option<usize> {
+        if self.cursor.load(Ordering::Relaxed) >= self.batches() {
+            return None;
+        }
+        let b = self.cursor.fetch_add(1, Ordering::Relaxed);
+        (b < self.batches()).then_some(b)
+    }
+
+    fn empty_result(&self) -> SweepCampaignResult {
+        SweepCampaignResult {
+            result: CampaignResult {
+                spec: self.spec,
+                counts: OutcomeCounts::default(),
+                activation_histogram: vec![0; self.max_hist],
+                crash_activation_histogram: vec![0; self.max_hist],
+                warnings: self.warnings.clone(),
+            },
+            records: Vec::new(),
+        }
+    }
+
+    /// Fold the completed batches, in batch-index order, into the final
+    /// result.  Counts and histograms are commutative sums; records go back
+    /// to their original experiment index.
+    fn finalize(&self, keep_records: bool) -> SweepCampaignResult {
+        let mut counts = OutcomeCounts::default();
+        let mut activation = vec![0u64; self.max_hist];
+        let mut crash_activation = vec![0u64; self.max_hist];
+        let mut records: Vec<Vec<InjectionRecord>> = if keep_records {
+            vec![Vec::new(); self.spec.experiments]
+        } else {
+            Vec::new()
+        };
+        for slot in &self.slots {
+            let out = slot
+                .lock()
+                .expect("sweep batch slot poisoned")
+                .take()
+                .expect("sweep campaign finalized with a missing batch");
+            counts += out.counts;
+            for (i, v) in out.activation.iter().enumerate() {
+                activation[i] += v;
+            }
+            for (i, v) in out.crash_activation.iter().enumerate() {
+                crash_activation[i] += v;
+            }
+            for (orig, recs) in out.records {
+                records[orig as usize] = recs;
+            }
+        }
+        SweepCampaignResult {
+            result: CampaignResult {
+                spec: self.spec,
+                counts,
+                activation_histogram: activation,
+                crash_activation_histogram: crash_activation,
+                warnings: self.warnings.clone(),
+            },
+            records,
+        }
+    }
+}
+
+/// Worker `t`'s loop: drain the home campaign `t % n`, then steal whole
+/// batches from the other campaigns (round-robin scan from home) until every
+/// deque is empty.
+fn worker(
+    t: usize,
+    plans: &[Plan],
+    units: &[SweepUnit<'_>],
+    keep_records: bool,
+    tx: &mpsc::Sender<(usize, SweepCampaignResult)>,
+) {
+    let n = plans.len();
+    if n == 0 {
+        return;
+    }
+    let home = t % n;
+    loop {
+        let mut progressed = false;
+        for offset in 0..n {
+            let index = (home + offset) % n;
+            let plan = &plans[index];
+            if let Some(b) = plan.take_batch() {
+                run_batch(plan, index, b, &units[plan.unit], keep_records, tx);
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            return;
+        }
+    }
+}
+
+fn run_batch(
+    plan: &Plan,
+    index: usize,
+    b: usize,
+    unit: &SweepUnit<'_>,
+    keep_records: bool,
+    tx: &mpsc::Sender<(usize, SweepCampaignResult)>,
+) {
+    let start = b * plan.batch;
+    let end = ((b + 1) * plan.batch).min(plan.spec.experiments);
+    let mut out = BatchOut {
+        counts: OutcomeCounts::default(),
+        activation: vec![0; plan.max_hist],
+        crash_activation: vec![0; plan.max_hist],
+        records: Vec::new(),
+    };
+    for k in start..end {
+        let orig = match &plan.order {
+            Some(order) => order[k],
+            None => k as u32,
+        };
+        let spec = ExperimentSpec::sample(
+            plan.spec.technique,
+            plan.spec.model,
+            unit.golden,
+            plan.spec.seed,
+            orig as u64,
+            plan.spec.hang_factor,
+        );
+        let result = Experiment::run_compiled(unit.code, unit.golden, &spec, unit.store);
+        out.counts.record(result.outcome);
+        let slot = (result.activated as usize).min(plan.max_hist - 1);
+        out.activation[slot] += 1;
+        if result.outcome == Outcome::DetectedHwException {
+            out.crash_activation[slot] += 1;
+        }
+        if keep_records {
+            out.records.push((orig, result.injections));
+        }
+    }
+    *plan.slots[b].lock().expect("sweep batch slot poisoned") = Some(out);
+    // The worker that stores a campaign's last batch folds and emits it.
+    if plan.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        let _ = tx.send((index, plan.finalize(keep_records)));
+    }
+}
+
+/// Convenience used by [`Campaign`]: run one campaign as a single-cell sweep.
+pub(crate) fn run_single(
+    code: &CompiledModule,
+    golden: &GoldenRun,
+    spec: &CampaignSpec,
+    store: Option<&CheckpointStore>,
+) -> CampaignResult {
+    let units = [SweepUnit {
+        code,
+        golden,
+        store,
+    }];
+    let campaigns = [SweepCampaign {
+        unit: 0,
+        spec: *spec,
+    }];
+    let config = SweepConfig {
+        threads: spec.threads,
+        ..SweepConfig::default()
+    };
+    let mut out = None;
+    Sweep::run_streamed(&units, &campaigns, &config, |_, result| {
+        out = Some(result.result);
+    });
+    out.expect("single-campaign sweep produced no result")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::campaign::Campaign;
+
+    use super::*;
+    use crate::fault_model::{FaultModel, WinSize};
+    use crate::replay::{CheckpointConfig, CheckpointStore};
+    use crate::technique::Technique;
+    use mbfi_ir::{Module, ModuleBuilder, Type};
+
+    fn workload(n: i64) -> Module {
+        let mut mb = ModuleBuilder::new("w");
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(main);
+            let data = f.alloca(Type::I64, 16i64);
+            f.counted_loop(Type::I64, 0i64, n, |f, i| {
+                let slot = f.urem(Type::I64, i, 16i64);
+                let v = f.mul(Type::I64, i, 5i64);
+                f.store_elem(Type::I64, data, slot, v);
+            });
+            let acc = f.slot(Type::I64);
+            f.store(Type::I64, 0i64, acc);
+            f.counted_loop(Type::I64, 0i64, 16i64, |f, i| {
+                let v = f.load_elem(Type::I64, data, i);
+                let cur = f.load(Type::I64, acc);
+                let next = f.add(Type::I64, cur, v);
+                f.store(Type::I64, next, acc);
+            });
+            let total = f.load(Type::I64, acc);
+            f.print_i64(total);
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        mb.finish()
+    }
+
+    struct Fixture {
+        code: CompiledModule,
+        golden: GoldenRun,
+        store: Option<CheckpointStore>,
+    }
+
+    fn fixture(n: i64, with_store: bool) -> Fixture {
+        let module = workload(n);
+        let code = CompiledModule::lower(&module);
+        let golden = GoldenRun::capture_compiled(&code).unwrap();
+        let store = with_store.then(|| {
+            CheckpointStore::capture_compiled(&code, &golden, CheckpointConfig::with_interval(25))
+                .unwrap()
+        });
+        Fixture {
+            code,
+            golden,
+            store,
+        }
+    }
+
+    fn grid_specs(experiments: usize) -> Vec<CampaignSpec> {
+        let mut out = Vec::new();
+        for technique in Technique::ALL {
+            for model in [
+                FaultModel::single_bit(),
+                FaultModel::multi_bit(3, WinSize::Fixed(0)),
+                FaultModel::multi_bit(4, WinSize::Random { lo: 1, hi: 12 }),
+            ] {
+                out.push(CampaignSpec {
+                    technique,
+                    model,
+                    experiments,
+                    seed: 0x5EE9,
+                    hang_factor: 8,
+                    threads: 1,
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn sweep_matches_serial_campaigns_per_cell() {
+        let fixtures = [fixture(48, false), fixture(96, true)];
+        let units: Vec<SweepUnit<'_>> = fixtures
+            .iter()
+            .map(|f| SweepUnit {
+                code: &f.code,
+                golden: &f.golden,
+                store: f.store.as_ref(),
+            })
+            .collect();
+        let campaigns: Vec<SweepCampaign> = (0..units.len())
+            .flat_map(|unit| {
+                grid_specs(40)
+                    .into_iter()
+                    .map(move |spec| SweepCampaign { unit, spec })
+            })
+            .collect();
+        let report = Sweep::run(&units, &campaigns, &SweepConfig::default());
+        assert_eq!(report.results.len(), campaigns.len());
+        for (cell, got) in campaigns.iter().zip(&report.results) {
+            let f = &fixtures[cell.unit];
+            let serial = Campaign::run_compiled(&f.code, &f.golden, &cell.spec);
+            assert_eq!(
+                got.result, serial,
+                "sweep cell diverged from the serial campaign runner"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_is_invariant_across_threads_and_batch_sizes() {
+        let f = fixture(64, true);
+        let units = [SweepUnit {
+            code: &f.code,
+            golden: &f.golden,
+            store: f.store.as_ref(),
+        }];
+        let campaigns: Vec<SweepCampaign> = grid_specs(30)
+            .into_iter()
+            .map(|spec| SweepCampaign { unit: 0, spec })
+            .collect();
+        let reference = Sweep::run(
+            &units,
+            &campaigns,
+            &SweepConfig {
+                threads: 1,
+                batch_size: 1,
+                keep_records: true,
+            },
+        );
+        for threads in [2, 4, 8] {
+            for batch_size in [0, 3, 64] {
+                let other = Sweep::run(
+                    &units,
+                    &campaigns,
+                    &SweepConfig {
+                        threads,
+                        batch_size,
+                        keep_records: true,
+                    },
+                );
+                assert_eq!(
+                    reference, other,
+                    "sweep changed with threads={threads} batch={batch_size}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn records_match_per_experiment_serial_execution() {
+        let f = fixture(48, false);
+        let units = [SweepUnit {
+            code: &f.code,
+            golden: &f.golden,
+            store: None,
+        }];
+        let spec = CampaignSpec {
+            technique: Technique::InjectOnWrite,
+            model: FaultModel::multi_bit(3, WinSize::Fixed(2)),
+            experiments: 25,
+            seed: 0xACE,
+            hang_factor: 8,
+            threads: 1,
+        };
+        let report = Sweep::run(
+            &units,
+            &[SweepCampaign { unit: 0, spec }],
+            &SweepConfig {
+                threads: 4,
+                batch_size: 4,
+                keep_records: true,
+            },
+        );
+        let got = &report.results[0];
+        assert_eq!(got.records.len(), spec.experiments);
+        let (validated, _) = spec.validate();
+        for (i, exp_spec) in ExperimentSpec::sample_campaign(&validated, &f.golden)
+            .iter()
+            .enumerate()
+        {
+            let serial = Experiment::run_compiled(&f.code, &f.golden, exp_spec, None);
+            assert_eq!(
+                got.records[i], serial.injections,
+                "records of experiment {i} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn warnings_are_carried_per_campaign_and_deduped_per_sweep() {
+        let f = fixture(32, false);
+        let units = [SweepUnit {
+            code: &f.code,
+            golden: &f.golden,
+            store: None,
+        }];
+        let bad = CampaignSpec {
+            experiments: 4,
+            hang_factor: 0,
+            threads: 1,
+            ..CampaignSpec::default()
+        };
+        let ok = CampaignSpec {
+            experiments: 4,
+            hang_factor: 8,
+            threads: 1,
+            ..CampaignSpec::default()
+        };
+        let cells = [
+            SweepCampaign { unit: 0, spec: bad },
+            SweepCampaign { unit: 0, spec: ok },
+            SweepCampaign { unit: 0, spec: bad },
+        ];
+        let report = Sweep::run(&units, &cells, &SweepConfig::default());
+        let expected = CampaignWarning::HangFactorRaised {
+            requested: 0,
+            used: 2,
+        };
+        assert_eq!(report.warnings, vec![expected]);
+        assert_eq!(report.results[0].result.warnings, vec![expected]);
+        assert!(report.results[1].result.warnings.is_empty());
+        assert_eq!(report.results[2].result.warnings, vec![expected]);
+        assert_eq!(report.results[0].result.spec.hang_factor, 2);
+    }
+
+    #[test]
+    fn zero_experiment_campaigns_produce_empty_results() {
+        let f = fixture(32, false);
+        let units = [SweepUnit {
+            code: &f.code,
+            golden: &f.golden,
+            store: None,
+        }];
+        let cells = [SweepCampaign {
+            unit: 0,
+            spec: CampaignSpec {
+                experiments: 0,
+                threads: 1,
+                ..CampaignSpec::default()
+            },
+        }];
+        let report = Sweep::run(&units, &cells, &SweepConfig::default());
+        assert_eq!(report.results[0].result.total(), 0);
+        assert_eq!(report.results[0].result.activation_histogram, vec![0, 0]);
+    }
+
+    #[test]
+    fn streamed_results_arrive_once_per_campaign() {
+        let f = fixture(48, false);
+        let units = [SweepUnit {
+            code: &f.code,
+            golden: &f.golden,
+            store: None,
+        }];
+        let cells: Vec<SweepCampaign> = grid_specs(12)
+            .into_iter()
+            .map(|spec| SweepCampaign { unit: 0, spec })
+            .collect();
+        let mut seen = vec![0u32; cells.len()];
+        Sweep::run_streamed(&units, &cells, &SweepConfig::default(), |index, result| {
+            seen[index] += 1;
+            assert_eq!(result.result.total(), 12);
+        });
+        assert!(seen.iter().all(|&n| n == 1));
+    }
+}

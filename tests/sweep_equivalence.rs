@@ -1,0 +1,193 @@
+//! The sweep engine's determinism contract, as a test suite: for the coarse
+//! default grid over **all 15** registry workloads, whole-grid sweep results
+//! are byte-identical to running each cell through the serial per-campaign
+//! runner — outcome counts, SDC/detection/benign proportions, warnings and
+//! per-experiment `InjectionRecord`s — and invariant across sweep thread
+//! counts (1, 4, 8) and batch sizes.
+
+use mbfi_bench::harness::{self, CampaignGrid, HarnessConfig};
+use mbfi_core::{
+    Campaign, CampaignResult, Experiment, ExperimentSpec, FaultModel, Outcome, Sweep,
+    SweepCampaign, SweepConfig, Technique, WinSize,
+};
+
+/// Experiments per cell.  The coarse artifact grid has 62 cells per workload
+/// (2 × (1 single + 6 same-register + 6 × 4 multi-register)), so this keeps
+/// the suite at a few thousand experiments per grid pass.
+const EXPERIMENTS: usize = 3;
+
+fn grid_cfg(threads: usize) -> HarnessConfig {
+    HarnessConfig {
+        experiments: EXPERIMENTS,
+        threads,
+        ..HarnessConfig::default()
+    }
+}
+
+/// The deduplicated cell list of the coarse artifact grid, in a canonical
+/// order (mirrors `CampaignGrid::request_artifact_grid`).
+fn artifact_cells(cfg: &HarnessConfig) -> Vec<(Technique, FaultModel)> {
+    let mut cells = Vec::new();
+    for technique in Technique::ALL {
+        cells.push((technique, FaultModel::single_bit()));
+        for &m in &cfg.max_mbf_values() {
+            cells.push((technique, FaultModel::multi_bit(m, WinSize::Fixed(0))));
+            for &win in &cfg.win_size_values() {
+                cells.push((technique, FaultModel::multi_bit(m, win)));
+            }
+        }
+    }
+    cells
+}
+
+/// Collect every grid cell's result in canonical order.
+fn collect(run: &harness::GridRun, cfg: &HarnessConfig) -> Vec<CampaignResult> {
+    let mut out = Vec::new();
+    for w in 0..run.data.len() {
+        for &(technique, model) in &artifact_cells(cfg) {
+            out.push(run.get(w, technique, model).clone());
+        }
+    }
+    out
+}
+
+/// Sweep results equal serial `Campaign::run_compiled` per cell, for every
+/// registry workload over the whole coarse grid — including the Wald-interval
+/// proportions derived from the counts.
+#[test]
+fn sweep_grid_matches_serial_campaigns_for_every_workload() {
+    let cfg = grid_cfg(4);
+    let mut grid = CampaignGrid::new(&cfg);
+    grid.request_artifact_grid();
+    let run = grid.run();
+    assert_eq!(run.data.len(), 15, "the default grid covers all workloads");
+    assert_eq!(run.cell_count(), 15 * artifact_cells(&cfg).len());
+    assert!(
+        run.warnings.is_empty(),
+        "default grid warns: {:?}",
+        run.warnings
+    );
+
+    // The serial side re-derives its artifacts without replay stores; the
+    // replay and sweep contracts compose, so results must still be identical.
+    let serial_cfg = HarnessConfig {
+        replay: false,
+        ..cfg.clone()
+    };
+    let serial_data = harness::prepare(&serial_cfg);
+    for (w, data) in serial_data.iter().enumerate() {
+        for &(technique, model) in &artifact_cells(&cfg) {
+            let serial = Campaign::run_compiled(
+                &data.code,
+                &data.golden,
+                &cfg.campaign_spec(technique, model),
+            );
+            let swept = run.get(w, technique, model);
+            assert_eq!(
+                swept,
+                &serial,
+                "{} {technique} {}: sweep cell differs from the serial campaign",
+                data.name,
+                model.label()
+            );
+            // Field-level spot checks on the derived statistics the figures
+            // print (equality of counts implies these, but they are the
+            // acceptance surface).
+            assert_eq!(swept.sdc_proportion(), serial.sdc_proportion());
+            assert_eq!(
+                swept.proportion(Outcome::Benign),
+                serial.proportion(Outcome::Benign)
+            );
+            assert_eq!(swept.counts.detection_pct(), serial.counts.detection_pct());
+        }
+    }
+}
+
+/// The same grid at 1, 4 and 8 sweep threads produces bit-identical results
+/// and warnings.
+#[test]
+fn sweep_grid_is_invariant_across_thread_counts() {
+    let reference_cfg = grid_cfg(1);
+    let reference = {
+        let mut grid = CampaignGrid::new(&reference_cfg);
+        grid.request_artifact_grid();
+        grid.run()
+    };
+    let reference_cells = collect(&reference, &reference_cfg);
+    for threads in [4usize, 8] {
+        let cfg = grid_cfg(threads);
+        let mut grid = CampaignGrid::new(&cfg);
+        grid.request_artifact_grid();
+        let run = grid.run();
+        let cells = collect(&run, &cfg);
+        assert_eq!(reference_cells.len(), cells.len());
+        for (a, b) in reference_cells.iter().zip(&cells) {
+            // `spec.threads` intentionally records what was asked for; all
+            // result payloads must be identical.
+            assert_eq!(a.counts, b.counts, "threads={threads}: counts diverged");
+            assert_eq!(a.activation_histogram, b.activation_histogram);
+            assert_eq!(a.crash_activation_histogram, b.crash_activation_histogram);
+            assert_eq!(a.warnings, b.warnings);
+        }
+        assert_eq!(reference.warnings, run.warnings);
+    }
+}
+
+/// Per-experiment injection records from a keep-records sweep equal serial
+/// per-experiment execution, in experiment-index order, for a sample of
+/// cells on real workloads.
+#[test]
+fn sweep_records_match_per_experiment_execution() {
+    let cfg = HarnessConfig {
+        experiments: 10,
+        workload_filter: Some(vec!["qsort".into(), "CRC32".into()]),
+        ..HarnessConfig::default()
+    };
+    let data = harness::prepare(&cfg);
+    let units: Vec<_> = data.iter().map(|w| w.sweep_unit()).collect();
+    let mut campaigns = Vec::new();
+    for unit in 0..units.len() {
+        for technique in Technique::ALL {
+            for model in [
+                FaultModel::single_bit(),
+                FaultModel::multi_bit(3, WinSize::Fixed(0)),
+                FaultModel::multi_bit(5, WinSize::Random { lo: 2, hi: 10 }),
+            ] {
+                campaigns.push(SweepCampaign {
+                    unit,
+                    spec: cfg.campaign_spec(technique, model),
+                });
+            }
+        }
+    }
+    let report = Sweep::run(
+        &units,
+        &campaigns,
+        &SweepConfig {
+            threads: 8,
+            batch_size: 3,
+            keep_records: true,
+        },
+    );
+    for (cell, swept) in campaigns.iter().zip(&report.results) {
+        let w = &data[cell.unit];
+        assert_eq!(swept.records.len(), cfg.experiments);
+        let (validated, _) = cell.spec.validate();
+        for (i, spec) in ExperimentSpec::sample_campaign(&validated, &w.golden)
+            .iter()
+            .enumerate()
+        {
+            // Serial side runs without the store: replay transparency and
+            // sweep determinism compose down to the injection-record level.
+            let serial = Experiment::run_compiled(&w.code, &w.golden, spec, None);
+            assert_eq!(
+                swept.records[i],
+                serial.injections,
+                "{} {} {}: records of experiment {i} diverged",
+                w.name,
+                cell.spec.technique,
+                cell.spec.model.label()
+            );
+        }
+    }
+}
