@@ -59,6 +59,19 @@ if [[ "${1:-}" == "bench" ]]; then
     echo "==> cargo run --release -p mbfi-bench --bin sweep_bench"
     MBFI_EXPERIMENTS=10 MBFI_WORKLOADS=qsort,histo,CRC32 cargo run --release \
         --offline -q -p mbfi-bench --bin sweep_bench -- --out-dir "$MBFI_BENCH_OUT"
+
+    # Adaptive precision-targeted sampling: first the self-verifying mode
+    # (adaptive grid byte-identical at sweep thread counts 1, 4 and 8, and
+    # every stopped cell meets the half-width target or spent its whole
+    # budget), then a small timing run that writes BENCH_adaptive.json with
+    # the experiments-saved and wall-clock ratios vs fixed-n at equal
+    # realized precision.
+    echo "==> cargo run --release -p mbfi-bench --bin adaptive_bench -- --check"
+    cargo run --release --offline -q -p mbfi-bench \
+        --bin adaptive_bench -- --check
+    echo "==> cargo run --release -p mbfi-bench --bin adaptive_bench"
+    MBFI_PRECISION=5,40 MBFI_WORKLOADS=qsort,sad cargo run --release \
+        --offline -q -p mbfi-bench --bin adaptive_bench -- --out-dir "$MBFI_BENCH_OUT"
 fi
 
 echo "==> OK"

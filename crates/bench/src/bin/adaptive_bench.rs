@@ -1,0 +1,282 @@
+//! Measures adaptive precision-targeted sampling against fixed-n campaigns
+//! at equal realized precision and writes `BENCH_adaptive.json`.
+//!
+//! **Fixed-n baseline** — every cell of the coarse artifact grid runs the
+//! same experiment count: the smallest n that *guarantees* the precision
+//! target for any outcome proportion (`Precision::worst_case_fixed_n`, the
+//! worst case `p = 0.5`).  That is what a non-adaptive campaign must
+//! provision, because it cannot know in advance which cells are easy.
+//!
+//! **Adaptive** — the same grid with [`SweepConfig::precision`] set: each
+//! cell stops at the first deterministic round where both the SDC and the
+//! Detection 95 % interval half-widths meet the target, capped at the same
+//! worst-case n.  Both sides therefore meet the same precision target on
+//! every cell — "equal realized precision" — but the adaptive side spends
+//! experiments proportional to each cell's actual variance.
+//!
+//! The JSON reports total experiments, wall-clock and experiments/sec for
+//! both sides, the experiments-saved and wall-clock ratios, and the worst
+//! realized half-width of each side.
+//!
+//! Flags and knobs:
+//!
+//! * `--check` — self-verifying mode: skip timing and instead (a) run the
+//!   adaptive grid at sweep thread counts {1, 4, 8} and compare every cell
+//!   byte-for-byte, and (b) verify every stopped cell's realized half-width
+//!   meets the target or the cell spent its whole `max_experiments` budget;
+//!   exits non-zero on any violation.
+//! * `--out-dir <path>` — where `BENCH_adaptive.json` goes (default: CWD).
+//! * `MBFI_PRECISION` — the precision spec (default here: `2.5` points,
+//!   Wilson, min 60; `--check` default `6` so the sub-grid stays fast).
+//! * `MBFI_WORKLOADS` — workload filter (default: `qsort,sad,stringsearch`;
+//!   `--check` defaults to `qsort,histo`).
+//! * `MBFI_BENCH_SAMPLES` — timing samples per side (default 1; one untimed
+//!   warm-up pass runs first and the median sample is reported).
+//! * plus the harness knobs (`MBFI_THREADS`, `MBFI_REPLAY`, ...).
+
+use mbfi_bench::artifacts::OutDir;
+use mbfi_bench::harness::{CampaignGrid, GridRun, HarnessConfig};
+use mbfi_bench::timing::{env_usize, median_wall_ns};
+use mbfi_core::report::Json;
+use mbfi_core::Precision;
+
+/// Run the coarse artifact grid under `cfg` and return it.
+fn run_grid(cfg: &HarnessConfig) -> GridRun {
+    let mut grid = CampaignGrid::new(cfg);
+    grid.request_artifact_grid();
+    grid.run()
+}
+
+/// Verify every adaptive cell: the realized half-width meets the target, or
+/// the cell exhausted its budget.  Returns the number of violations.
+fn check_targets(run: &GridRun, precision: &Precision) -> usize {
+    let p = precision.normalized();
+    let mut violations = 0usize;
+    for r in run.results() {
+        let Some(status) = &r.adaptive else {
+            eprintln!("VIOLATION: adaptive grid produced a cell without adaptive status");
+            violations += 1;
+            continue;
+        };
+        let n = r.total();
+        let hw = status.realized_half_width_pct();
+        let ok = (status.reached_target && hw <= p.target_half_width_pct)
+            || n == p.max_experiments as u64;
+        if !ok {
+            eprintln!(
+                "VIOLATION: {} {} cell stopped at n={n} with half-width {hw:.3} pts \
+                 (target {} pts, max {})",
+                r.spec.technique,
+                r.spec.model.label(),
+                p.target_half_width_pct,
+                p.max_experiments
+            );
+            violations += 1;
+        }
+    }
+    violations
+}
+
+fn check(cfg: &HarnessConfig, precision: &Precision) -> ! {
+    let mut violations = 0usize;
+    let reference = {
+        let reference_cfg = HarnessConfig {
+            threads: 1,
+            ..cfg.clone()
+        };
+        run_grid(&reference_cfg)
+    };
+    violations += check_targets(&reference, precision);
+    println!(
+        "threads=1: {} cells, {} experiments, every stopped cell within the target \
+         (or capped)",
+        reference.cell_count(),
+        reference.total_experiments()
+    );
+    for threads in [4usize, 8] {
+        let other_cfg = HarnessConfig {
+            threads,
+            ..cfg.clone()
+        };
+        let other = run_grid(&other_cfg);
+        let mut diverged = 0usize;
+        for (a, b) in reference.results().iter().zip(other.results()) {
+            // `spec.threads` records the knob; every payload must match.
+            if a.counts != b.counts
+                || a.spec.experiments != b.spec.experiments
+                || a.activation_histogram != b.activation_histogram
+                || a.crash_activation_histogram != b.crash_activation_histogram
+                || a.adaptive != b.adaptive
+                || a.warnings != b.warnings
+            {
+                eprintln!(
+                    "DIVERGENCE at threads={threads}: {} {} (n {} vs {})",
+                    a.spec.technique,
+                    a.spec.model.label(),
+                    a.total(),
+                    b.total()
+                );
+                diverged += 1;
+            }
+        }
+        violations += diverged;
+        println!(
+            "threads={threads}: {} cells compared byte-for-byte against threads=1",
+            other.cell_count()
+        );
+    }
+    if violations > 0 {
+        eprintln!("adaptive_bench --check: {violations} violations");
+        std::process::exit(1);
+    }
+    println!(
+        "adaptive_bench --check: thread-count-invariant and every reported interval \
+         meets the target"
+    );
+    std::process::exit(0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check_mode = args.iter().any(|a| a == "--check");
+    let out = OutDir::from_args();
+
+    let mut cfg = HarnessConfig::from_env();
+    if cfg.workload_filter.is_none() {
+        cfg.workload_filter = Some(if check_mode {
+            vec!["qsort".into(), "histo".into()]
+        } else {
+            vec!["qsort".into(), "sad".into(), "stringsearch".into()]
+        });
+    }
+    // This binary's own precision default; MBFI_PRECISION overrides it.
+    let precision = cfg.precision.unwrap_or(Precision {
+        target_half_width_pct: if check_mode { 6.0 } else { 2.5 },
+        min_experiments: 60,
+        ..Precision::default()
+    });
+    // Equal realized precision by construction: the fixed side provisions
+    // the worst-case n for the target, and the adaptive side is capped at
+    // exactly that budget (a cell that never meets the target runs the same
+    // experiments as the fixed side).  The floor must not exceed the cap —
+    // for a loose target the worst-case n can fall below the configured
+    // minimum, and normalization would otherwise raise the cap back above
+    // the fixed side's budget.
+    let fixed_n = precision.worst_case_fixed_n();
+    let precision = Precision {
+        max_experiments: fixed_n,
+        min_experiments: precision.min_experiments.min(fixed_n),
+        ..precision
+    };
+    cfg.precision = Some(precision);
+    let samples = env_usize("MBFI_BENCH_SAMPLES", 1);
+    eprintln!(
+        "adaptive_bench: {} workloads, target ±{} pts ({}), min {} / max {} exps per cell, \
+         {} mode",
+        cfg.workloads().len(),
+        precision.target_half_width_pct,
+        precision.interval,
+        precision.min_experiments,
+        precision.max_experiments,
+        if check_mode { "check" } else { "timing" }
+    );
+
+    if check_mode {
+        check(&cfg, &precision);
+    }
+
+    let fixed_cfg = HarnessConfig {
+        precision: None,
+        experiments: fixed_n,
+        ..cfg.clone()
+    };
+
+    // Fixed-n side: every cell at the worst-case n.
+    let mut fixed_experiments = 0u64;
+    let mut fixed_worst_hw = 0f64;
+    let mut cells = 0usize;
+    let fixed_ns = median_wall_ns(samples, || {
+        let run = run_grid(&fixed_cfg);
+        cells = run.cell_count();
+        fixed_experiments = run.total_experiments();
+        fixed_worst_hw = run
+            .results()
+            .iter()
+            .map(|r| {
+                r.sdc_proportion_by(precision.interval)
+                    .half_width_pct()
+                    .max(
+                        r.detection_proportion_by(precision.interval)
+                            .half_width_pct(),
+                    )
+            })
+            .fold(0.0, f64::max);
+    });
+
+    // Adaptive side: same grid, same cap, early stopping.
+    let mut adaptive_experiments = 0u64;
+    let mut adaptive_summary = None;
+    let adaptive_ns = median_wall_ns(samples, || {
+        let run = run_grid(&cfg);
+        adaptive_experiments = run.total_experiments();
+        adaptive_summary = run.adaptive_summary();
+    });
+    let (met, capped, adaptive_worst_hw) = adaptive_summary.expect("adaptive grid ran");
+
+    let experiments_saved = fixed_experiments as f64 / adaptive_experiments.max(1) as f64;
+    let wall_speedup = fixed_ns as f64 / adaptive_ns.max(1) as f64;
+    let fixed_eps = fixed_experiments as f64 * 1e9 / fixed_ns.max(1) as f64;
+    let adaptive_eps = adaptive_experiments as f64 * 1e9 / adaptive_ns.max(1) as f64;
+    println!(
+        "fixed-n:  {cells} cells x {fixed_n} experiments = {fixed_experiments}, {:.2} s, \
+         {fixed_eps:.0} exp/s, worst half-width {fixed_worst_hw:.2} pts",
+        fixed_ns as f64 / 1e9
+    );
+    println!(
+        "adaptive: {cells} cells, {adaptive_experiments} experiments ({met} met the target, \
+         {capped} capped), {:.2} s, {adaptive_eps:.0} exp/s, worst half-width \
+         {adaptive_worst_hw:.2} pts",
+        adaptive_ns as f64 / 1e9
+    );
+    println!(
+        "experiments saved: {experiments_saved:.2}x fewer; wall-clock: {wall_speedup:.2}x \
+         (equal realized precision: both sides meet ±{} pts per cell)",
+        precision.target_half_width_pct
+    );
+
+    let mut root = Json::object();
+    root.set("suite", "adaptive");
+    root.set(
+        "workloads",
+        cfg.workloads()
+            .iter()
+            .map(|w| w.name().to_string())
+            .collect::<Vec<_>>(),
+    );
+    root.set("cells", cells);
+    root.set("samples", samples);
+    let mut target = Json::object();
+    target.set("half_width_pct", precision.target_half_width_pct);
+    target.set("interval", precision.interval.label());
+    target.set("min_experiments", precision.min_experiments);
+    target.set("max_experiments", precision.max_experiments);
+    root.set("target", target);
+    let mut fixed = Json::object();
+    fixed.set("experiments_per_cell", fixed_n);
+    fixed.set("experiments", fixed_experiments);
+    fixed.set("wall_ns", fixed_ns);
+    fixed.set("experiments_per_sec", fixed_eps);
+    fixed.set("worst_half_width_pct", fixed_worst_hw);
+    root.set("fixed", fixed);
+    let mut adaptive = Json::object();
+    adaptive.set("experiments", adaptive_experiments);
+    adaptive.set("wall_ns", adaptive_ns);
+    adaptive.set("experiments_per_sec", adaptive_eps);
+    adaptive.set("worst_half_width_pct", adaptive_worst_hw);
+    adaptive.set("cells_met_target", met);
+    adaptive.set("cells_capped", capped);
+    root.set("adaptive", adaptive);
+    root.set("experiments_saved", experiments_saved);
+    root.set("wall_speedup", wall_speedup);
+    out.write("BENCH_adaptive.json", &root.render());
+}

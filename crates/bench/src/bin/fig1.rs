@@ -6,9 +6,9 @@ use mbfi_bench::{harness, Artefact};
 fn main() {
     let cfg = harness::HarnessConfig::from_env();
     eprintln!(
-        "fig1: {} workloads, {} experiments/campaign, {} input",
+        "fig1: {} workloads, {}, {} input",
         cfg.workloads().len(),
-        cfg.experiments,
+        cfg.sampling_label(),
         cfg.size
     );
     let mut artefact = Artefact::from_args("fig1");

@@ -7,9 +7,9 @@ use mbfi_core::Technique;
 fn main() {
     let cfg = harness::HarnessConfig::from_env();
     eprintln!(
-        "fig2: {} workloads, {} experiments/campaign",
+        "fig2: {} workloads, {}",
         cfg.workloads().len(),
-        cfg.experiments
+        cfg.sampling_label()
     );
     let mut artefact = Artefact::from_args("fig2");
     let mut grid = harness::CampaignGrid::new(&cfg);

@@ -25,9 +25,9 @@ fn main() {
 
     let cfg = harness::HarnessConfig::from_env();
     eprintln!(
-        "run_all: {} workloads, {} experiments/campaign, {} input, grid = {}, replay = {}",
+        "run_all: {} workloads, {}, {} input, grid = {}, replay = {}",
         cfg.workloads().len(),
-        cfg.experiments,
+        cfg.sampling_label(),
         cfg.size,
         if cfg.full_grid { "full" } else { "coarse" },
         if cfg.replay { "on" } else { "off" }
@@ -35,12 +35,27 @@ fn main() {
     let mut artefact = Artefact::from_args("run_all");
     let mut grid = harness::CampaignGrid::new(&cfg);
     grid.request_artifact_grid();
-    eprintln!(
-        "run_all: sweeping {} campaign cells ({} experiments) on one executor",
-        grid.cell_count(),
-        grid.cell_count() * cfg.experiments
-    );
+    match &cfg.precision {
+        Some(_) => eprintln!(
+            "run_all: sweeping {} campaign cells (adaptive budgets) on one executor",
+            grid.cell_count()
+        ),
+        None => eprintln!(
+            "run_all: sweeping {} campaign cells ({} experiments) on one executor",
+            grid.cell_count(),
+            grid.cell_count() * cfg.experiments
+        ),
+    }
     let run = grid.run();
+    if let Some((met, capped, worst)) = run.adaptive_summary() {
+        eprintln!(
+            "run_all: adaptive sampling ran {} experiments over {} cells \
+             ({met} met the target, {capped} capped at max; worst realized half-width \
+             {worst:.2} pts)",
+            run.total_experiments(),
+            run.cell_count(),
+        );
+    }
 
     // Table II.
     artefact.emit(harness::table2(&cfg, &run.data).render());

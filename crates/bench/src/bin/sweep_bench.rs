@@ -158,6 +158,13 @@ fn main() {
     let out = OutDir::from_args();
 
     let mut cfg = HarnessConfig::from_env();
+    // This benchmark compares the fixed-n sweep against the fixed-n serial
+    // walk; an exported MBFI_PRECISION would make only the sweep side
+    // adaptive and invalidate both --check and the timing ratio.
+    // adaptive_bench is the adaptive-vs-fixed comparison.
+    if cfg.precision.take().is_some() {
+        eprintln!("sweep_bench: ignoring MBFI_PRECISION (this bench compares fixed-n paths)");
+    }
     // This binary's own default is smaller than the harness-wide 60; apply
     // it whenever the knob did not parse to a value (unset or malformed —
     // from_env already warned about the latter).

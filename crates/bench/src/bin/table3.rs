@@ -7,9 +7,9 @@ use mbfi_core::Technique;
 fn main() {
     let cfg = harness::HarnessConfig::from_env();
     eprintln!(
-        "table3: {} workloads, {} experiments/campaign, grid = {}",
+        "table3: {} workloads, {}, grid = {}",
         cfg.workloads().len(),
-        cfg.experiments,
+        cfg.sampling_label(),
         if cfg.full_grid { "full" } else { "coarse" }
     );
     let mut artefact = Artefact::from_args("table3");

@@ -8,8 +8,9 @@ use mbfi_core::Technique;
 fn main() {
     let cfg = harness::HarnessConfig::from_env();
     eprintln!(
-        "table4: {} workloads, {} location pairs per workload/technique",
+        "table4: {} workloads, {} (grid), {} location pairs per workload/technique",
         cfg.workloads().len(),
+        cfg.sampling_label(),
         cfg.experiments
     );
     let mut artefact = Artefact::from_args("table4");

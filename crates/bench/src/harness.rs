@@ -24,10 +24,10 @@ use mbfi_core::cluster::{MAX_MBF_VALUES, WIN_SIZE_VALUES};
 use mbfi_core::pruning::{ActivationAnalysis, LocationAnalysis, PessimisticAnalysis};
 use mbfi_core::replay::{CheckpointConfig, CheckpointStore};
 use mbfi_core::report::{FigureData, Series, TextTable};
-use mbfi_core::space::ErrorSpace;
+use mbfi_core::space::{ErrorSpace, REGISTER_BITS};
 use mbfi_core::{
-    Campaign, CampaignResult, CampaignSpec, CampaignWarning, FaultModel, GoldenRun, Outcome, Sweep,
-    SweepCampaign, SweepConfig, SweepUnit, Technique, WinSize,
+    Campaign, CampaignResult, CampaignSpec, CampaignWarning, FaultModel, GoldenRun, IntervalMethod,
+    Outcome, Precision, Sweep, SweepCampaign, SweepConfig, SweepUnit, Technique, WinSize,
 };
 use mbfi_ir::{CompiledModule, Module};
 use mbfi_workloads::{all_workloads, InputSize, Workload};
@@ -64,6 +64,13 @@ pub struct HarnessConfig {
     pub replay_budget_bytes: usize,
     /// Experiments per stealable sweep batch (0 = auto).
     pub sweep_batch: usize,
+    /// Adaptive precision-targeted sampling: `Some` stops every sweep cell
+    /// once its SDC and Detection 95 % interval half-widths meet the target
+    /// (cell budget = `precision.max_experiments`; `experiments` is
+    /// ignored).  `None` — the default, so figure regeneration stays
+    /// byte-reproducible at a known fixed n — runs every cell at
+    /// `experiments`.
+    pub precision: Option<Precision>,
 }
 
 impl Default for HarnessConfig {
@@ -80,6 +87,7 @@ impl Default for HarnessConfig {
             replay_interval: None,
             replay_budget_bytes: CheckpointConfig::default().max_bytes,
             sweep_batch: 0,
+            precision: None,
         }
     }
 }
@@ -103,6 +111,14 @@ impl HarnessConfig {
     ///   workload in MiB (default 64)
     /// * `MBFI_SWEEP_BATCH` — experiments per stealable sweep batch
     ///   (default: auto)
+    /// * `MBFI_PRECISION` — `off` (the default: fixed-n sampling with
+    ///   `MBFI_EXPERIMENTS` per cell) or
+    ///   `<pct>[,<min>[,<max>[,wald|wilson]]]` for adaptive
+    ///   precision-targeted sampling: stop each cell once the SDC and
+    ///   Detection 95 % interval half-widths are ≤ `<pct>` points (never
+    ///   before `<min>` experiments, never beyond `<max>`; unspecified
+    ///   fields keep the [`Precision`] defaults).  E.g.
+    ///   `MBFI_PRECISION=2.5` or `MBFI_PRECISION=2,100,5000,wilson`.
     ///
     /// A set-but-malformed value falls back to the default with a one-line
     /// warning on stderr naming the variable and the value kept.
@@ -172,6 +188,15 @@ impl HarnessConfig {
         let budget_mb = env_parsed("MBFI_REPLAY_BUDGET_MB", cfg.replay_budget_bytes >> 20);
         cfg.replay_budget_bytes = budget_mb << 20;
         cfg.sweep_batch = env_parsed("MBFI_SWEEP_BATCH", cfg.sweep_batch);
+        if let Ok(v) = std::env::var("MBFI_PRECISION") {
+            match parse_precision(&v) {
+                Some(p) => cfg.precision = p,
+                None => eprintln!(
+                    "warning: MBFI_PRECISION={v:?} is not \"off\" or \
+                     \"<pct>[,<min>[,<max>[,wald|wilson]]]\"; falling back to fixed-n sampling"
+                ),
+            }
+        }
         cfg
     }
 
@@ -214,12 +239,26 @@ impl HarnessConfig {
         }
     }
 
+    /// One-line description of the sampling mode for the bins' stderr
+    /// banners: the fixed experiment count, or the adaptive precision spec
+    /// (under which `experiments` is ignored).
+    pub fn sampling_label(&self) -> String {
+        match &self.precision {
+            Some(p) => format!(
+                "adaptive ±{} pts ({}, {}..{} exps/cell)",
+                p.target_half_width_pct, p.interval, p.min_experiments, p.max_experiments
+            ),
+            None => format!("{} experiments/campaign", self.experiments),
+        }
+    }
+
     /// The sweep executor knobs this configuration asks for.
     pub fn sweep_config(&self) -> SweepConfig {
         SweepConfig {
             threads: self.threads,
             batch_size: self.sweep_batch,
             keep_records: false,
+            precision: self.precision,
         }
     }
 
@@ -236,6 +275,36 @@ impl HarnessConfig {
             threads: self.threads,
         }
     }
+}
+
+/// Parse an `MBFI_PRECISION` value: `Some(None)` for `off`,
+/// `Some(Some(precision))` for `<pct>[,<min>[,<max>[,wald|wilson]]]`, and
+/// `None` when the value is malformed (the caller warns and keeps fixed-n).
+pub fn parse_precision(value: &str) -> Option<Option<Precision>> {
+    let value = value.trim();
+    match value.to_ascii_lowercase().as_str() {
+        "off" | "0" | "false" | "no" | "none" => return Some(None),
+        _ => {}
+    }
+    let mut parts = value.split(',').map(str::trim);
+    let mut p = Precision::with_target(parts.next()?.parse().ok().filter(|t| *t > 0.0)?);
+    if let Some(min) = parts.next() {
+        p.min_experiments = min.parse().ok()?;
+    }
+    if let Some(max) = parts.next() {
+        p.max_experiments = max.parse().ok()?;
+    }
+    if let Some(interval) = parts.next() {
+        p.interval = match interval.to_ascii_lowercase().as_str() {
+            "wald" => IntervalMethod::Wald,
+            "wilson" => IntervalMethod::Wilson,
+            _ => return None,
+        };
+    }
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(Some(p))
 }
 
 /// A workload prepared for campaigns: its module (tree and compiled forms),
@@ -530,6 +599,33 @@ impl GridRun {
     pub fn total_experiments(&self) -> u64 {
         self.results.iter().map(CampaignResult::total).sum()
     }
+
+    /// Every executed cell's result, in request order.
+    pub fn results(&self) -> &[CampaignResult] {
+        &self.results
+    }
+
+    /// Summary of an adaptive grid: `(cells that met the target, cells that
+    /// exhausted max_experiments, worst realized half-width in points)`.
+    /// `None` when the grid ran fixed-n.
+    pub fn adaptive_summary(&self) -> Option<(usize, usize, f64)> {
+        let mut met = 0usize;
+        let mut capped = 0usize;
+        let mut worst: f64 = 0.0;
+        let mut any = false;
+        for r in &self.results {
+            if let Some(status) = &r.adaptive {
+                any = true;
+                if status.reached_target {
+                    met += 1;
+                } else {
+                    capped += 1;
+                }
+                worst = worst.max(status.realized_half_width_pct());
+            }
+        }
+        any.then_some((met, capped, worst))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -555,7 +651,7 @@ pub fn table2(cfg: &HarnessConfig, data: &[WorkloadData]) -> TextTable {
     for w in data {
         let read = w.golden.candidates(Technique::InjectOnRead);
         let write = w.golden.candidates(Technique::InjectOnWrite);
-        let space = ErrorSpace::new(read, 64);
+        let space = ErrorSpace::new(read, REGISTER_BITS);
         table.add_row(vec![
             w.name.clone(),
             w.package.clone(),
@@ -1130,6 +1226,7 @@ mod tests {
         std::env::set_var("MBFI_WORKLOADS", "sha, bfs");
         std::env::set_var("MBFI_REPLAY", "off");
         std::env::set_var("MBFI_SWEEP_BATCH", "9");
+        std::env::set_var("MBFI_PRECISION", "2.5,80,4000,wald");
         let cfg = HarnessConfig::from_env();
         assert_eq!(cfg.experiments, 7);
         assert_eq!(cfg.size, InputSize::Small);
@@ -1138,25 +1235,76 @@ mod tests {
         assert!(!cfg.replay);
         assert_eq!(cfg.sweep_batch, 9);
         assert_eq!(cfg.sweep_config().batch_size, 9);
+        assert_eq!(
+            cfg.precision,
+            Some(Precision {
+                target_half_width_pct: 2.5,
+                min_experiments: 80,
+                max_experiments: 4000,
+                interval: IntervalMethod::Wald,
+            })
+        );
+        assert_eq!(cfg.sweep_config().precision, cfg.precision);
         std::env::remove_var("MBFI_EXPERIMENTS");
         std::env::remove_var("MBFI_SIZE");
         std::env::remove_var("MBFI_GRID");
         std::env::remove_var("MBFI_WORKLOADS");
         std::env::remove_var("MBFI_REPLAY");
         std::env::remove_var("MBFI_SWEEP_BATCH");
+        std::env::remove_var("MBFI_PRECISION");
 
         // Malformed values fall back to the defaults (with a stderr warning,
         // not capturable here) instead of being silently dropped mid-parse.
         std::env::set_var("MBFI_HANG_FACTOR", "twenty");
         std::env::set_var("MBFI_REPLAY_BUDGET_MB", "-3");
+        std::env::set_var("MBFI_PRECISION", "tight");
         let cfg = HarnessConfig::from_env();
         assert_eq!(cfg.hang_factor, HarnessConfig::default().hang_factor);
         assert_eq!(
             cfg.replay_budget_bytes,
             HarnessConfig::default().replay_budget_bytes
         );
+        assert_eq!(cfg.precision, None);
         std::env::remove_var("MBFI_HANG_FACTOR");
         std::env::remove_var("MBFI_REPLAY_BUDGET_MB");
+        std::env::remove_var("MBFI_PRECISION");
         assert_eq!(env_parsed("MBFI_NOT_SET_EVER", 42usize), 42);
+    }
+
+    /// `parse_precision` grammar, without touching the process environment.
+    #[test]
+    fn precision_knob_grammar() {
+        assert_eq!(parse_precision("off"), Some(None));
+        assert_eq!(parse_precision("none"), Some(None));
+        assert_eq!(
+            parse_precision("3"),
+            Some(Some(Precision::with_target(3.0)))
+        );
+        assert_eq!(
+            parse_precision(" 1.5 , 50 "),
+            Some(Some(Precision {
+                min_experiments: 50,
+                ..Precision::with_target(1.5)
+            }))
+        );
+        assert_eq!(
+            parse_precision("2,100,5000,wilson"),
+            Some(Some(Precision {
+                min_experiments: 100,
+                max_experiments: 5000,
+                interval: IntervalMethod::Wilson,
+                ..Precision::with_target(2.0)
+            }))
+        );
+        for bad in ["", "-2", "0", "2,x", "2,1,2,gauss", "2,1,2,wald,extra"] {
+            // "0" parses as off (fixed-n), everything else is malformed.
+            let parsed = parse_precision(bad);
+            assert!(
+                parsed.is_none() || parsed == Some(None),
+                "{bad:?} must not produce a precision spec, got {parsed:?}"
+            );
+        }
+        assert_eq!(parse_precision("-2"), None);
+        assert_eq!(parse_precision("2,"), None);
     }
 }

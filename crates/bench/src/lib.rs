@@ -17,6 +17,7 @@
 //! | `run_all`| Everything above plus the RQ1–RQ5 summary |
 //! | `replay_bench` | Full re-execution vs checkpointed golden-run replay (`BENCH_replay.json`; `--check` verifies byte-equivalence) |
 //! | `sweep_bench` | Whole-grid sweep vs per-campaign serial grid walk (`BENCH_sweep.json`; `--check` verifies per-cell byte-equivalence) |
+//! | `adaptive_bench` | Adaptive precision-targeted sampling vs fixed-n at equal realized precision (`BENCH_adaptive.json`; `--check` verifies thread-count invariance and per-cell targets) |
 //!
 //! Campaign cells are requested on a [`harness::CampaignGrid`], deduplicated,
 //! and executed as **one** `mbfi_core::Sweep` per binary; shared per-workload

@@ -1,12 +1,13 @@
 //! Fault-injection campaigns: many experiments with the same fault model on
 //! the same workload (§III-E of the paper).
 
+use crate::adaptive::{AdaptiveStatus, Precision};
 use crate::cluster::CampaignPoint;
 use crate::fault_model::FaultModel;
 use crate::golden::GoldenRun;
 use crate::outcome::{Outcome, OutcomeCounts};
 use crate::replay::CheckpointStore;
-use crate::stats::{wald_interval, Proportion};
+use crate::stats::{wald_interval, IntervalMethod, Proportion};
 use crate::sweep::{Sweep, SweepCampaign, SweepConfig, SweepUnit};
 use crate::technique::Technique;
 use mbfi_ir::{CompiledModule, Module};
@@ -56,6 +57,17 @@ pub enum CampaignWarning {
         /// The value the campaign runs with.
         used: u64,
     },
+    /// The campaign's experiment budget exceeds the single bit-flip error
+    /// space `d · b` — every additional experiment beyond the space size
+    /// re-samples an already-coverable fault, so the sampling fraction is
+    /// clamped to 1.0 (see [`crate::space::ErrorSpace::sampling_fraction`]).
+    /// Possible for tiny inputs under an adaptive `max_experiments`.
+    SamplingSaturated {
+        /// The campaign's experiment budget.
+        budget: u64,
+        /// The single bit-flip error space size (`d · b`, saturated to u64).
+        space: u64,
+    },
 }
 
 impl std::fmt::Display for CampaignWarning {
@@ -64,6 +76,11 @@ impl std::fmt::Display for CampaignWarning {
             CampaignWarning::HangFactorRaised { requested, used } => write!(
                 f,
                 "hang_factor {requested} is below the minimum; campaign runs with {used}"
+            ),
+            CampaignWarning::SamplingSaturated { budget, space } => write!(
+                f,
+                "experiment budget {budget} exceeds the single bit-flip error space {space}; \
+                 the sampling fraction is clamped to 1"
             ),
         }
     }
@@ -117,6 +134,10 @@ pub struct CampaignResult {
     /// inspect them without scraping stderr (each distinct warning is still
     /// printed to stderr once per run/sweep).
     pub warnings: Vec<CampaignWarning>,
+    /// How adaptive precision-targeted sampling ended this cell (realized
+    /// intervals, rounds, whether the target was met).  `None` for classic
+    /// fixed-n campaigns — the default everywhere.
+    pub adaptive: Option<AdaptiveStatus>,
 }
 
 impl CampaignResult {
@@ -138,6 +159,18 @@ impl CampaignResult {
     /// Proportion (with CI) of one outcome category.
     pub fn proportion(&self, outcome: Outcome) -> Proportion {
         wald_interval(self.counts.get(outcome), self.counts.total())
+    }
+
+    /// SDC proportion with the interval method of choice (adaptive stopping
+    /// uses Wilson by default; the paper's error bars are Wald).
+    pub fn sdc_proportion_by(&self, method: IntervalMethod) -> Proportion {
+        method.interval(self.counts.sdc, self.counts.total())
+    }
+
+    /// Detection proportion (hardware exception + hang + no output) with the
+    /// interval method of choice.
+    pub fn detection_proportion_by(&self, method: IntervalMethod) -> Proportion {
+        method.interval(self.counts.detection(), self.counts.total())
     }
 
     /// Mean number of activated errors per experiment.
@@ -205,7 +238,27 @@ impl Campaign {
         spec: &CampaignSpec,
         store: Option<&CheckpointStore>,
     ) -> CampaignResult {
-        crate::sweep::run_single(code, golden, spec, store)
+        crate::sweep::run_single(code, golden, spec, store, None)
+    }
+
+    /// Run one campaign with adaptive precision-targeted sampling: keep
+    /// adding deterministic rounds of experiments until the SDC and Detection
+    /// interval half-widths meet `precision.target_half_width_pct` (or the
+    /// `max_experiments` budget runs out).  `spec.experiments` is ignored;
+    /// the realized count is in the result's `spec.experiments` /
+    /// [`CampaignResult::adaptive`].
+    ///
+    /// Deterministic like the fixed-n path: the result is byte-identical for
+    /// every thread count, and equal to a fixed-n campaign of exactly the
+    /// realized length.
+    pub fn run_adaptive(
+        code: &CompiledModule,
+        golden: &GoldenRun,
+        spec: &CampaignSpec,
+        store: Option<&CheckpointStore>,
+        precision: &Precision,
+    ) -> CampaignResult {
+        crate::sweep::run_single(code, golden, spec, store, Some(*precision))
     }
 
     /// Run one campaign per grid point as a single [`Sweep`].  The module is

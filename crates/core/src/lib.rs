@@ -24,6 +24,9 @@
 //! * [`sweep`] — whole-grid campaign matrices on one global, deterministic
 //!   work-stealing executor with per-workload shared artifacts (see
 //!   [`Sweep`]).
+//! * [`adaptive`] — precision-targeted sampling: sweep cells stop at a
+//!   target 95 % interval half-width instead of a fixed experiment count
+//!   (see [`Precision`]).
 //! * [`pruning`] — the three pruning layers answering RQ1–RQ5 (§IV).
 //! * [`space`] — error-space size computations (§II-D).
 //! * [`stats`] — binomial proportions with 95 % confidence intervals.
@@ -66,6 +69,7 @@
 //! assert_eq!(result.total(), 50);
 //! ```
 
+pub mod adaptive;
 pub mod campaign;
 pub mod cluster;
 pub mod experiment;
@@ -82,6 +86,7 @@ pub mod stats;
 pub mod sweep;
 pub mod technique;
 
+pub use adaptive::{AdaptiveStatus, Precision};
 pub use campaign::{Campaign, CampaignResult, CampaignSpec, CampaignWarning};
 pub use cluster::{CampaignPoint, ParameterGrid};
 pub use experiment::{Experiment, ExperimentResult, ExperimentSpec};
@@ -90,5 +95,6 @@ pub use golden::GoldenRun;
 pub use injector::{InjectionRecord, InjectorHook};
 pub use outcome::{classify, Outcome, OutcomeCounts};
 pub use replay::{Checkpoint, CheckpointConfig, CheckpointStore, ReplayCaptureError};
+pub use stats::IntervalMethod;
 pub use sweep::{Sweep, SweepCampaign, SweepCampaignResult, SweepConfig, SweepReport, SweepUnit};
 pub use technique::Technique;

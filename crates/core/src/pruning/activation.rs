@@ -115,6 +115,7 @@ mod tests {
             activation_histogram: hist,
             crash_activation_histogram: crash_hist,
             warnings: Vec::new(),
+            adaptive: None,
         }
     }
 

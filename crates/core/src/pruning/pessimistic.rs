@@ -165,6 +165,7 @@ mod tests {
             activation_histogram: vec![0; model.max_mbf as usize + 1],
             crash_activation_histogram: vec![0; model.max_mbf as usize + 1],
             warnings: Vec::new(),
+            adaptive: None,
         }
     }
 

@@ -7,6 +7,10 @@
 //! Because these numbers overflow `u64` for realistic workloads, they are
 //! reported in log10 form as well.
 
+/// Register width (`b`) this reproduction's estimates use: every workload
+/// register is an I64.
+pub const REGISTER_BITS: u32 = 64;
+
 /// Error-space sizes for one workload / technique.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ErrorSpace {
@@ -42,12 +46,17 @@ impl ErrorSpace {
         if base <= 1.0 || max_mbf < 2 {
             return 0.0;
         }
-        // log10 of a geometric sum dominated by its largest term.
+        // log10 of the closed-form geometric sum
+        //   sum_{k=2}^{m} base^k = base^m * (1 - base^{-(m-1)}) / (1 - 1/base),
+        // split so each factor stays in f64 range: the dominant term in log
+        // space plus both correction factors.  The `(1 - base^{-(m-1)})`
+        // numerator matters for tiny `d·b` (it cancels most of the
+        // denominator's boost when the sum has few terms) and vanishes for
+        // realistic spaces.
         let log_largest = (max_mbf as f64) * base.log10();
-        // Correction for the smaller terms: sum_{k=2}^{m} base^k
-        //   = base^m * (1 - base^{-(m-1)}) / (1 - 1/base)
-        let correction = (1.0 / (1.0 - 1.0 / base)).log10();
-        log_largest + correction
+        let numerator = (1.0 - base.powi(-(max_mbf as i32 - 1))).log10();
+        let denominator = (1.0 - 1.0 / base).log10();
+        log_largest + numerator - denominator
     }
 
     /// How many orders of magnitude the multi-bit space is larger than the
@@ -56,13 +65,18 @@ impl ErrorSpace {
         (self.multi_bit_log10(max_mbf) - self.single_bit_log10()).max(0.0)
     }
 
-    /// Fraction of the single-bit space covered by `experiments` samples.
+    /// Fraction of the single-bit space covered by `experiments` samples,
+    /// clamped to 1.0: sampling is with replacement, so more experiments
+    /// than space elements (possible for tiny inputs under an adaptive
+    /// `max_experiments`) cannot cover more than the whole space.  Campaigns
+    /// in that regime carry a
+    /// [`crate::CampaignWarning::SamplingSaturated`] warning.
     pub fn sampling_fraction(&self, experiments: u64) -> f64 {
         let size = self.single_bit_size();
         if size == 0 {
             0.0
         } else {
-            experiments as f64 / size as f64
+            (experiments as f64 / size as f64).min(1.0)
         }
     }
 }
@@ -104,5 +118,59 @@ mod tests {
         let s = ErrorSpace::new(100_000, 64);
         let f = s.sampling_fraction(10_000);
         assert!((f - 10_000.0 / 6_400_000.0).abs() < 1e-12);
+    }
+
+    /// Regression: the fraction used to exceed 1.0 when the budget outgrew
+    /// the space (`experiments > d·b`), which is possible for tiny inputs
+    /// under an adaptive `max_experiments`.
+    #[test]
+    fn sampling_fraction_clamps_at_the_whole_space() {
+        let s = ErrorSpace::new(10, 8); // d·b = 80
+        assert_eq!(s.sampling_fraction(80), 1.0);
+        assert_eq!(s.sampling_fraction(81), 1.0);
+        assert_eq!(s.sampling_fraction(1_000_000), 1.0);
+        assert!((s.sampling_fraction(40) - 0.5).abs() < 1e-12);
+    }
+
+    /// Regression for the dropped `(1 − base^{−(m−1)})` factor: pin the
+    /// formula against the exact `Σ_{k=2}^{m} base^k`, computed in u128, for
+    /// every small space `d·b ≤ 64` and every `m ≤ 8`.  The old code
+    /// overstated tiny spaces — e.g. `base = 2, m = 2` gave
+    /// `log10(4 · 2) = log10(8)` instead of `log10(4)`.
+    #[test]
+    fn multi_bit_log10_matches_exact_sum_for_small_spaces() {
+        for candidates in 1u64..=16 {
+            for bits in [1u32, 2, 4] {
+                let s = ErrorSpace::new(candidates, bits);
+                let base = s.single_bit_size();
+                if base <= 1 || base > 64 {
+                    continue;
+                }
+                for m in 2u32..=8 {
+                    let exact: u128 = (2..=m).map(|k| base.pow(k)).sum();
+                    let expected = (exact as f64).log10();
+                    let got = s.multi_bit_log10(m);
+                    assert!(
+                        (got - expected).abs() < 1e-9,
+                        "d·b = {base}, m = {m}: got {got}, exact {expected}"
+                    );
+                }
+            }
+        }
+        // Spot-check the smallest interesting case end to end.
+        let s = ErrorSpace::new(2, 1); // base = 2
+        assert!((s.multi_bit_log10(2) - 4f64.log10()).abs() < 1e-12);
+        assert!((s.multi_bit_log10(3) - 12f64.log10()).abs() < 1e-12);
+    }
+
+    /// For realistic spaces the dropped factor is negligible — the fixed
+    /// formula still matches the old `(d·b)^m`-dominated estimate.
+    #[test]
+    fn multi_bit_log10_is_unchanged_for_realistic_spaces() {
+        let s = ErrorSpace::new(1_000_000, 64);
+        let m = 10;
+        let base = s.single_bit_size() as f64;
+        let old = (m as f64) * base.log10() + (1.0 / (1.0 - 1.0 / base)).log10();
+        assert!((s.multi_bit_log10(m) - old).abs() < 1e-9);
     }
 }

@@ -46,6 +46,46 @@ impl Proportion {
     }
 }
 
+/// Which binomial confidence interval to compute.
+///
+/// The Wald interval is what the paper's error bars use, but it is
+/// *degenerate* at the extremes: at `successes ∈ {0, trials}` its half-width
+/// is exactly 0 for any sample size, so it must never be used as a stopping
+/// rule (see [`crate::adaptive`]).  The Wilson score interval stays
+/// informative at the extremes and is the default for adaptive stopping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntervalMethod {
+    /// Normal approximation, [`wald_interval`].
+    Wald,
+    /// Wilson score interval, [`wilson_interval`] (the default).
+    #[default]
+    Wilson,
+}
+
+impl IntervalMethod {
+    /// Compute the interval of this method.
+    pub fn interval(self, successes: u64, trials: u64) -> Proportion {
+        match self {
+            IntervalMethod::Wald => wald_interval(successes, trials),
+            IntervalMethod::Wilson => wilson_interval(successes, trials),
+        }
+    }
+
+    /// Lower-case name used in knobs and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            IntervalMethod::Wald => "wald",
+            IntervalMethod::Wilson => "wilson",
+        }
+    }
+}
+
+impl std::fmt::Display for IntervalMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Normal-approximation ("Wald") interval: `p ± z * sqrt(p (1-p) / n)`,
 /// clamped to `[0, 1]`.
 pub fn wald_interval(successes: u64, trials: u64) -> Proportion {
@@ -205,6 +245,38 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The Wald interval is degenerate at the extremes — half-width exactly 0
+    /// at `successes ∈ {0, trials}` for ANY sample size — while Wilson stays
+    /// informative.  This asymmetry is why adaptive stopping defaults to
+    /// Wilson (a zero-width "interval" would satisfy any precision target).
+    #[test]
+    fn wald_is_degenerate_at_extremes_wilson_is_not() {
+        for trials in [1u64, 10, 100, 10_000] {
+            for successes in [0, trials] {
+                assert_eq!(
+                    IntervalMethod::Wald
+                        .interval(successes, trials)
+                        .half_width(),
+                    0.0,
+                    "Wald at ({successes}, {trials})"
+                );
+                assert!(
+                    IntervalMethod::Wilson
+                        .interval(successes, trials)
+                        .half_width()
+                        > 0.0,
+                    "Wilson at ({successes}, {trials})"
+                );
+            }
+        }
+        assert_eq!(IntervalMethod::default(), IntervalMethod::Wilson);
+        assert_eq!(IntervalMethod::Wald.to_string(), "wald");
+        assert_eq!(
+            IntervalMethod::Wilson.interval(3, 10),
+            wilson_interval(3, 10)
+        );
     }
 
     /// More trials at the same proportion never widen the Wald interval —

@@ -34,6 +34,23 @@
 //! byte-equality against the serial runner over the default grid on all 15
 //! workloads, invariant across thread counts) and by `sweep_bench --check`.
 //!
+//! ## Adaptive precision-targeted sampling
+//!
+//! With [`SweepConfig::precision`] set, each campaign runs in deterministic
+//! **rounds** instead of a fixed experiment count: round boundaries are fixed
+//! experiment-index prefixes (see [`Precision::round_ends`]), batches never
+//! straddle a round boundary, and when a round's last batch lands the worker
+//! that completed it merges the counts of *all* completed batches (a pure
+//! index-order fold) and evaluates the stopping rule
+//! ([`Precision::satisfied`]).  Cells that meet the target release no further
+//! batches — their worker capacity drains to unfinished campaigns through the
+//! normal stealing scan — while unfinished cells release their next round.
+//! Because the stop decision sees only merged whole-round state, the realized
+//! experiment count (and therefore every count, histogram and record) is the
+//! same for every thread count, batch size and steal schedule, and equals a
+//! fixed-n campaign of exactly the realized length
+//! (`tests/adaptive_equivalence.rs`).
+//!
 //! ## Shared artifacts
 //!
 //! A [`SweepUnit`] carries *borrowed* per-workload artifacts — the lowered
@@ -48,12 +65,14 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 
+use crate::adaptive::Precision;
 use crate::campaign::{CampaignResult, CampaignSpec, CampaignWarning};
 use crate::experiment::{Experiment, ExperimentSpec};
 use crate::golden::GoldenRun;
 use crate::injector::InjectionRecord;
 use crate::outcome::{Outcome, OutcomeCounts};
 use crate::replay::CheckpointStore;
+use crate::space::{ErrorSpace, REGISTER_BITS};
 use mbfi_ir::CompiledModule;
 
 /// Per-workload artifacts shared by every campaign of a sweep: the module is
@@ -85,22 +104,33 @@ pub struct SweepCampaign {
     pub spec: CampaignSpec,
 }
 
-/// Knobs of the sweep executor.  None of them affect results — only how the
-/// work is spread over threads.
+/// Knobs of the sweep executor.  `threads` and `batch_size` never affect
+/// results — only how the work is spread over threads.  `precision` selects
+/// a different (but still fully deterministic) sampling mode; see the module
+/// docs.
 ///
-/// The default (`threads: 0, batch_size: 0, keep_records: false`) means
-/// "all cores, auto-sized batches, aggregate results only".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// The default (`threads: 0, batch_size: 0, keep_records: false,
+/// precision: None`) means "all cores, auto-sized batches, aggregate results
+/// only, fixed-n sampling".
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SweepConfig {
     /// Worker threads (0 = all available parallelism).
     pub threads: usize,
     /// Experiments per stealable batch (0 = auto: total experiments spread
-    /// over 8 batches per worker, clamped to `[1, 64]`).
+    /// over 8 batches per worker, clamped to `[1, 64]`; adaptive campaigns
+    /// auto-size from the round step instead so the batch cut never depends
+    /// on the thread count).
     pub batch_size: usize,
     /// Keep every experiment's [`InjectionRecord`]s in the result
     /// ([`SweepCampaignResult::records`]), indexed by experiment.  Off by
     /// default: a 10k-experiment grid would hold millions of records.
     pub keep_records: bool,
+    /// Adaptive precision-targeted sampling: `Some` runs every campaign of
+    /// the sweep in rounds until its SDC and Detection interval half-widths
+    /// meet the target (each cell's budget is then
+    /// [`Precision::max_experiments`]; `CampaignSpec::experiments` is
+    /// ignored).  `None` (the default) keeps classic fixed-n sampling.
+    pub precision: Option<Precision>,
 }
 
 /// Result of one campaign of a sweep.
@@ -177,16 +207,25 @@ impl Sweep {
         } else {
             config.threads
         };
+        // The fixed-n auto batch size spreads the whole grid over 8 batches
+        // per worker.  It may depend on the thread count, which is safe for
+        // fixed-n campaigns (the batch cut never changes results) but NOT for
+        // adaptive ones (rounds are made of whole batches) — adaptive plans
+        // auto-size from the round step instead, inside [`Plan::new`].
         let total_experiments: usize = campaigns.iter().map(|c| c.spec.experiments).sum();
-        let batch = if config.batch_size == 0 {
-            total_experiments.div_ceil(threads.max(1) * 8).clamp(1, 64)
-        } else {
-            config.batch_size
-        };
+        let auto_batch = total_experiments.div_ceil(threads.max(1) * 8).clamp(1, 64);
 
         let plans: Vec<Plan> = campaigns
             .iter()
-            .map(|c| Plan::new(c, &units[c.unit], batch))
+            .map(|c| {
+                Plan::new(
+                    c,
+                    &units[c.unit],
+                    config.batch_size,
+                    auto_batch,
+                    config.precision,
+                )
+            })
             .collect();
 
         // Warnings are known before any experiment runs; print each distinct
@@ -219,12 +258,20 @@ impl Sweep {
         let total_batches: usize = plans.iter().map(Plan::batches).sum();
         let threads = threads.clamp(1, total_batches);
         let keep_records = config.keep_records;
+        // Campaigns still running.  Adaptive ("gated") workers spin
+        // (yielding) rather than exit while this is non-zero, because an
+        // adaptive campaign with every released batch claimed may release
+        // more work when its round completes.  Fixed-n sweeps release
+        // everything up front, so an idle worker exits immediately as before.
+        let live_plans = AtomicUsize::new(live);
+        let gated = config.precision.is_some();
         let (tx, rx) = mpsc::channel::<(usize, SweepCampaignResult)>();
         std::thread::scope(|scope| {
             for t in 0..threads {
                 let tx = tx.clone();
                 let plans = &plans;
-                scope.spawn(move || worker(t, plans, units, keep_records, &tx));
+                let live_plans = &live_plans;
+                scope.spawn(move || worker(t, plans, units, keep_records, gated, live_plans, &tx));
             }
             drop(tx);
             for _ in 0..live {
@@ -239,9 +286,11 @@ impl Sweep {
 }
 
 /// One campaign's execution plan: the validated spec, the experiment
-/// execution order, and the batch deque (an atomic cursor — batches are
-/// taken from the front in index order; which *worker* takes each batch is
-/// the only scheduling freedom, and results do not depend on it).
+/// execution order, the batch deque (an atomic cursor — batches are taken
+/// from the front in index order; which *worker* takes each batch is the
+/// only scheduling freedom, and results do not depend on it) and, for
+/// adaptive campaigns, the round structure gating how many batches are
+/// released.
 ///
 /// Experiment specs are *not* retained: each is a pure function of
 /// `(campaign seed, experiment index)` and is re-sampled (a few RNG draws)
@@ -254,11 +303,23 @@ struct Plan {
     /// Execution order as original experiment indices, sorted by injection
     /// depth when the unit has a checkpoint store so the experiments of one
     /// batch restore neighbouring checkpoints; `None` = identity order.
+    /// Adaptive campaigns sort within each round (never across a round
+    /// boundary) so the executed *set* stays a pure index prefix.
     order: Option<Vec<u32>>,
-    batch: usize,
+    /// Per-batch experiment spans `[start, end)`; batches never straddle a
+    /// round boundary.
+    spans: Vec<(u32, u32)>,
+    /// Cumulative batch count at each round boundary; fixed-n campaigns have
+    /// exactly one "round" covering everything.
+    round_batch_ends: Vec<usize>,
+    /// The normalized precision spec; `None` = fixed-n.
+    precision: Option<Precision>,
     max_hist: usize,
     cursor: AtomicUsize,
-    remaining: AtomicUsize,
+    /// Batches released so far; only ever advanced (to the next entry of
+    /// `round_batch_ends`) by the unique worker that completes a round.
+    released: AtomicUsize,
+    completed: AtomicUsize,
     slots: Vec<Mutex<Option<BatchOut>>>,
 }
 
@@ -271,20 +332,84 @@ struct BatchOut {
 }
 
 impl Plan {
-    fn new(campaign: &SweepCampaign, unit: &SweepUnit<'_>, batch: usize) -> Plan {
-        let (spec, warnings) = campaign.spec.validate();
+    fn new(
+        campaign: &SweepCampaign,
+        unit: &SweepUnit<'_>,
+        batch_size: usize,
+        auto_batch: usize,
+        precision: Option<Precision>,
+    ) -> Plan {
+        let (mut spec, mut warnings) = campaign.spec.validate();
+        let precision = precision.map(|p| p.normalized());
+        // Round boundaries in experiments.  Fixed-n: one round = the whole
+        // budget.  Adaptive: the budget is `max_experiments` and the spec's
+        // own experiment count is ignored.
+        let round_ends: Vec<usize> = match &precision {
+            Some(p) => p.round_ends(),
+            None => vec![spec.experiments],
+        };
+        let budget = *round_ends.last().expect("round_ends is never empty");
+        spec.experiments = budget;
+        // A budget beyond the single bit-flip error space means sampling with
+        // replacement cannot help further — possible for tiny inputs under an
+        // adaptive `max_experiments`.  Surface it once per campaign.
+        if spec.model.is_single() {
+            let space = ErrorSpace::new(unit.golden.candidates(spec.technique), REGISTER_BITS)
+                .single_bit_size();
+            if space > 0 && budget as u128 > space {
+                warnings.push(CampaignWarning::SamplingSaturated {
+                    budget: budget as u64,
+                    space: space.min(u128::from(u64::MAX)) as u64,
+                });
+            }
+        }
+        let batch = if batch_size != 0 {
+            batch_size
+        } else {
+            match &precision {
+                // Independent of the thread count by construction: the batch
+                // cut decides round membership, so it must be a pure function
+                // of the precision spec.
+                Some(p) => p.round_step().div_ceil(4).clamp(1, 64),
+                None => auto_batch,
+            }
+        };
         // With a store, order experiments by injection depth (the sampled
-        // specs are transient here — only the ordering survives).
+        // specs are transient here — only the ordering survives).  Adaptive
+        // campaigns sort each round's index range separately so that the set
+        // of executed experiments after r rounds is exactly `[0,
+        // round_ends[r-1])` regardless of the store.
         let order = unit.store.is_some().then(|| {
-            let mut keyed: Vec<(u32, u64)> = ExperimentSpec::sample_campaign(&spec, unit.golden)
+            // `spec.experiments` already holds the full budget (set above).
+            let keyed: Vec<u64> = ExperimentSpec::sample_campaign(&spec, unit.golden)
                 .into_iter()
-                .enumerate()
-                .map(|(i, s)| (i as u32, s.first_target))
+                .map(|s| s.first_target)
                 .collect();
-            keyed.sort_by_key(|&(_, first_target)| first_target);
-            keyed.into_iter().map(|(i, _)| i).collect()
+            let mut order: Vec<u32> = (0..budget as u32).collect();
+            let mut start = 0usize;
+            for &end in &round_ends {
+                order[start..end].sort_by_key(|&i| keyed[i as usize]);
+                start = end;
+            }
+            order
         });
-        let batches = spec.experiments.div_ceil(batch);
+        // Cut each round into batches; a batch never straddles a round
+        // boundary, so the released prefix is always a whole number of
+        // rounds' worth of experiments.
+        let mut spans: Vec<(u32, u32)> = Vec::new();
+        let mut round_batch_ends = Vec::with_capacity(round_ends.len());
+        let mut start = 0usize;
+        for &end in &round_ends {
+            let mut s = start;
+            while s < end {
+                let e = (s + batch).min(end);
+                spans.push((s as u32, e as u32));
+                s = e;
+            }
+            round_batch_ends.push(spans.len());
+            start = end;
+        }
+        let batches = spans.len();
         let mut slots = Vec::with_capacity(batches);
         slots.resize_with(batches, || Mutex::new(None));
         Plan {
@@ -292,10 +417,13 @@ impl Plan {
             spec,
             warnings,
             order,
-            batch,
+            spans,
+            released: AtomicUsize::new(*round_batch_ends.first().unwrap_or(&0)),
+            round_batch_ends,
+            precision,
             max_hist: spec.model.max_mbf as usize + 1,
             cursor: AtomicUsize::new(0),
-            remaining: AtomicUsize::new(batches),
+            completed: AtomicUsize::new(0),
             slots,
         }
     }
@@ -304,13 +432,24 @@ impl Plan {
         self.slots.len()
     }
 
-    /// Take the next batch index off the front of this campaign's deque.
+    /// Take the next *released* batch index off the front of this campaign's
+    /// deque.  `None` can mean "finished" or "waiting for the current round
+    /// to complete" — callers cannot tell and do not need to.
     fn take_batch(&self) -> Option<usize> {
-        if self.cursor.load(Ordering::Relaxed) >= self.batches() {
-            return None;
+        loop {
+            let released = self.released.load(Ordering::Acquire);
+            let cur = self.cursor.load(Ordering::Relaxed);
+            if cur >= released {
+                return None;
+            }
+            if self
+                .cursor
+                .compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(cur);
+            }
         }
-        let b = self.cursor.fetch_add(1, Ordering::Relaxed);
-        (b < self.batches()).then_some(b)
     }
 
     fn empty_result(&self) -> SweepCampaignResult {
@@ -321,24 +460,44 @@ impl Plan {
                 activation_histogram: vec![0; self.max_hist],
                 crash_activation_histogram: vec![0; self.max_hist],
                 warnings: self.warnings.clone(),
+                adaptive: None,
             },
             records: Vec::new(),
         }
     }
 
-    /// Fold the completed batches, in batch-index order, into the final
-    /// result.  Counts and histograms are commutative sums; records go back
-    /// to their original experiment index.
-    fn finalize(&self, keep_records: bool) -> SweepCampaignResult {
+    /// Merged outcome counts of the first `batches` batch slots, in index
+    /// order (all of them are complete when this is called).
+    fn merged_counts(&self, batches: usize) -> OutcomeCounts {
+        let mut counts = OutcomeCounts::default();
+        for slot in &self.slots[..batches] {
+            let guard = slot.lock().expect("sweep batch slot poisoned");
+            let out = guard
+                .as_ref()
+                .expect("sweep round evaluated with a missing batch");
+            counts += out.counts;
+        }
+        counts
+    }
+
+    /// Fold the first `batches` completed batches, in batch-index order, into
+    /// the final result.  Counts and histograms are commutative sums; records
+    /// go back to their original experiment index.  `rounds` is the number of
+    /// completed rounds (for the adaptive status).
+    fn finalize(&self, keep_records: bool, batches: usize, rounds: u32) -> SweepCampaignResult {
+        let realized = batches
+            .checked_sub(1)
+            .map(|last| self.spans[last].1 as usize)
+            .unwrap_or(0);
         let mut counts = OutcomeCounts::default();
         let mut activation = vec![0u64; self.max_hist];
         let mut crash_activation = vec![0u64; self.max_hist];
         let mut records: Vec<Vec<InjectionRecord>> = if keep_records {
-            vec![Vec::new(); self.spec.experiments]
+            vec![Vec::new(); realized]
         } else {
             Vec::new()
         };
-        for slot in &self.slots {
+        for slot in &self.slots[..batches] {
             let out = slot
                 .lock()
                 .expect("sweep batch slot poisoned")
@@ -355,9 +514,16 @@ impl Plan {
                 records[orig as usize] = recs;
             }
         }
+        // The result's spec records what actually ran: for adaptive
+        // campaigns, the realized experiment count.
+        let spec = CampaignSpec {
+            experiments: realized,
+            ..self.spec
+        };
         SweepCampaignResult {
             result: CampaignResult {
-                spec: self.spec,
+                spec,
+                adaptive: self.precision.as_ref().map(|p| p.status(&counts, rounds)),
                 counts,
                 activation_histogram: activation,
                 crash_activation_histogram: crash_activation,
@@ -369,13 +535,19 @@ impl Plan {
 }
 
 /// Worker `t`'s loop: drain the home campaign `t % n`, then steal whole
-/// batches from the other campaigns (round-robin scan from home) until every
-/// deque is empty.
+/// batches from the other campaigns (round-robin scan from home).  In a
+/// gated (adaptive) sweep, a worker that finds nothing to do yields and
+/// rescans while any campaign is still live — an adaptive campaign whose
+/// released batches are all claimed will release its next round (or finish)
+/// when the in-flight ones land.  In a fixed-n sweep every batch is released
+/// up front, so an empty scan means the worker is done.
 fn worker(
     t: usize,
     plans: &[Plan],
     units: &[SweepUnit<'_>],
     keep_records: bool,
+    gated: bool,
+    live_plans: &AtomicUsize,
     tx: &mpsc::Sender<(usize, SweepCampaignResult)>,
 ) {
     let n = plans.len();
@@ -383,19 +555,42 @@ fn worker(
         return;
     }
     let home = t % n;
+    let mut idle_scans = 0u32;
     loop {
         let mut progressed = false;
         for offset in 0..n {
             let index = (home + offset) % n;
             let plan = &plans[index];
             if let Some(b) = plan.take_batch() {
-                run_batch(plan, index, b, &units[plan.unit], keep_records, tx);
+                run_batch(
+                    plan,
+                    index,
+                    b,
+                    &units[plan.unit],
+                    keep_records,
+                    live_plans,
+                    tx,
+                );
                 progressed = true;
                 break;
             }
         }
-        if !progressed {
-            return;
+        if progressed {
+            idle_scans = 0;
+        } else {
+            if !gated || live_plans.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            // Escalating backoff: a round boundary usually clears within one
+            // batch runtime, so spin politely first, then stop hammering the
+            // plan atomics if a long batch (e.g. a hang detection) holds the
+            // round open.
+            idle_scans += 1;
+            if idle_scans < 64 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
         }
     }
 }
@@ -406,10 +601,10 @@ fn run_batch(
     b: usize,
     unit: &SweepUnit<'_>,
     keep_records: bool,
+    live_plans: &AtomicUsize,
     tx: &mpsc::Sender<(usize, SweepCampaignResult)>,
 ) {
-    let start = b * plan.batch;
-    let end = ((b + 1) * plan.batch).min(plan.spec.experiments);
+    let (start, end) = plan.spans[b];
     let mut out = BatchOut {
         counts: OutcomeCounts::default(),
         activation: vec![0; plan.max_hist],
@@ -418,8 +613,8 @@ fn run_batch(
     };
     for k in start..end {
         let orig = match &plan.order {
-            Some(order) => order[k],
-            None => k as u32,
+            Some(order) => order[k as usize],
+            None => k,
         };
         let spec = ExperimentSpec::sample(
             plan.spec.technique,
@@ -441,9 +636,30 @@ fn run_batch(
         }
     }
     *plan.slots[b].lock().expect("sweep batch slot poisoned") = Some(out);
-    // The worker that stores a campaign's last batch folds and emits it.
-    if plan.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-        let _ = tx.send((index, plan.finalize(keep_records)));
+    // Exactly one worker observes each round boundary: `fetch_add` hands out
+    // unique completion counts, and `released` only moves when the boundary
+    // worker advances it below.
+    let done = plan.completed.fetch_add(1, Ordering::AcqRel) + 1;
+    if done != plan.released.load(Ordering::Acquire) {
+        return;
+    }
+    let round = plan
+        .round_batch_ends
+        .iter()
+        .position(|&e| e == done)
+        .expect("released always equals a round boundary");
+    let finished = round + 1 == plan.round_batch_ends.len()
+        || plan
+            .precision
+            .as_ref()
+            .expect("fixed-n campaigns have exactly one round")
+            .satisfied(&plan.merged_counts(done));
+    if finished {
+        let _ = tx.send((index, plan.finalize(keep_records, done, round as u32 + 1)));
+        live_plans.fetch_sub(1, Ordering::AcqRel);
+    } else {
+        plan.released
+            .store(plan.round_batch_ends[round + 1], Ordering::Release);
     }
 }
 
@@ -453,6 +669,7 @@ pub(crate) fn run_single(
     golden: &GoldenRun,
     spec: &CampaignSpec,
     store: Option<&CheckpointStore>,
+    precision: Option<Precision>,
 ) -> CampaignResult {
     let units = [SweepUnit {
         code,
@@ -465,6 +682,7 @@ pub(crate) fn run_single(
     }];
     let config = SweepConfig {
         threads: spec.threads,
+        precision,
         ..SweepConfig::default()
     };
     let mut out = None;
@@ -602,6 +820,7 @@ mod tests {
                 threads: 1,
                 batch_size: 1,
                 keep_records: true,
+                precision: None,
             },
         );
         for threads in [2, 4, 8] {
@@ -613,6 +832,7 @@ mod tests {
                         threads,
                         batch_size,
                         keep_records: true,
+                        precision: None,
                     },
                 );
                 assert_eq!(
@@ -646,6 +866,7 @@ mod tests {
                 threads: 4,
                 batch_size: 4,
                 keep_records: true,
+                precision: None,
             },
         );
         let got = &report.results[0];
@@ -698,6 +919,201 @@ mod tests {
         assert!(report.results[1].result.warnings.is_empty());
         assert_eq!(report.results[2].result.warnings, vec![expected]);
         assert_eq!(report.results[0].result.spec.hang_factor, 2);
+    }
+
+    /// A straight-line register-only workload: no loops (no hangs), no
+    /// memory (no traps), and the only output is a printed *immediate* (not
+    /// a register, so not an injection candidate).  Every candidate feeds a
+    /// dead arithmetic chain, so every injection outcome is Benign — the
+    /// extreme first round of the Wald-degeneracy regression below.
+    fn all_benign_workload() -> Module {
+        let mut mb = ModuleBuilder::new("benign");
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(main);
+            let mut v = f.add(Type::I64, 1i64, 2i64);
+            for k in 0..6i64 {
+                v = f.mul(Type::I64, v, k + 3);
+                v = f.add(Type::I64, v, k);
+            }
+            f.print_i64(7i64);
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        mb.finish()
+    }
+
+    #[test]
+    fn adaptive_sweep_is_invariant_across_threads_and_batch_sizes() {
+        use crate::adaptive::Precision;
+        let f = fixture(64, true);
+        let units = [SweepUnit {
+            code: &f.code,
+            golden: &f.golden,
+            store: f.store.as_ref(),
+        }];
+        let campaigns: Vec<SweepCampaign> = grid_specs(0)
+            .into_iter()
+            .map(|spec| SweepCampaign { unit: 0, spec })
+            .collect();
+        let precision = Some(Precision {
+            target_half_width_pct: 12.0,
+            min_experiments: 10,
+            max_experiments: 60,
+            ..Precision::default()
+        });
+        let reference = Sweep::run(
+            &units,
+            &campaigns,
+            &SweepConfig {
+                threads: 1,
+                batch_size: 1,
+                keep_records: true,
+                precision,
+            },
+        );
+        for r in &reference.results {
+            let status = r.result.adaptive.expect("adaptive sweeps report status");
+            assert_eq!(status.experiments(), r.result.total());
+            assert_eq!(r.result.spec.experiments as u64, r.result.total());
+            assert!(r.result.total() >= 10 && r.result.total() <= 60);
+            assert!(status.reached_target || r.result.total() == 60);
+            assert_eq!(r.records.len(), r.result.total() as usize);
+        }
+        // Scheduling freedom — thread count, batch size, steal schedule —
+        // must not move any stop decision.
+        for threads in [2usize, 4, 8] {
+            for batch_size in [0usize, 1, 3, 64] {
+                let other = Sweep::run(
+                    &units,
+                    &campaigns,
+                    &SweepConfig {
+                        threads,
+                        batch_size,
+                        keep_records: true,
+                        precision,
+                    },
+                );
+                assert_eq!(
+                    reference, other,
+                    "adaptive sweep changed with threads={threads} batch={batch_size}"
+                );
+            }
+        }
+    }
+
+    /// An adaptive cell's result equals a fixed-n campaign of exactly the
+    /// realized length — the executed set is a pure experiment-index prefix,
+    /// with or without a checkpoint store.
+    #[test]
+    fn adaptive_results_equal_fixed_n_of_realized_length() {
+        use crate::adaptive::Precision;
+        let f = fixture(96, true);
+        let units = [SweepUnit {
+            code: &f.code,
+            golden: &f.golden,
+            store: f.store.as_ref(),
+        }];
+        let spec = CampaignSpec {
+            technique: Technique::InjectOnRead,
+            model: FaultModel::multi_bit(3, WinSize::Fixed(2)),
+            experiments: 0, // ignored in adaptive mode
+            seed: 0xADA7,
+            hang_factor: 8,
+            threads: 1,
+        };
+        let report = Sweep::run(
+            &units,
+            &[SweepCampaign { unit: 0, spec }],
+            &SweepConfig {
+                threads: 4,
+                precision: Some(Precision {
+                    target_half_width_pct: 15.0,
+                    min_experiments: 12,
+                    max_experiments: 80,
+                    ..Precision::default()
+                }),
+                ..SweepConfig::default()
+            },
+        );
+        let adaptive = &report.results[0].result;
+        let realized = adaptive.total() as usize;
+        let fixed = Campaign::run_compiled(
+            &f.code,
+            &f.golden,
+            &CampaignSpec {
+                experiments: realized,
+                ..spec
+            },
+        );
+        assert_eq!(adaptive.counts, fixed.counts);
+        assert_eq!(adaptive.activation_histogram, fixed.activation_histogram);
+        assert_eq!(
+            adaptive.crash_activation_histogram,
+            fixed.crash_activation_histogram
+        );
+    }
+
+    /// Regression for the Wald degeneracy: on an all-benign workload the
+    /// first round has 0 SDC and 0 Detection successes, so the Wald
+    /// half-widths are exactly 0 and stopping fires right at
+    /// `min_experiments` for ANY target.  The Wilson default keeps sampling
+    /// until n genuinely supports the target.
+    #[test]
+    fn extreme_first_round_does_not_stop_a_wilson_cell() {
+        use crate::adaptive::Precision;
+        use crate::stats::IntervalMethod;
+        let module = all_benign_workload();
+        let code = CompiledModule::lower(&module);
+        let golden = GoldenRun::capture_compiled(&code).unwrap();
+        let units = [SweepUnit {
+            code: &code,
+            golden: &golden,
+            store: None,
+        }];
+        let spec = CampaignSpec {
+            technique: Technique::InjectOnRead,
+            model: FaultModel::single_bit(),
+            experiments: 0,
+            seed: 7,
+            hang_factor: 8,
+            threads: 1,
+        };
+        let run = |interval| {
+            let report = Sweep::run(
+                &units,
+                &[SweepCampaign { unit: 0, spec }],
+                &SweepConfig {
+                    precision: Some(Precision {
+                        target_half_width_pct: 1.0,
+                        min_experiments: 20,
+                        max_experiments: 400,
+                        interval,
+                    }),
+                    ..SweepConfig::default()
+                },
+            );
+            report.results[0].result.clone()
+        };
+        let wald = run(IntervalMethod::Wald);
+        assert_eq!(wald.counts.benign, wald.counts.total());
+        assert_eq!(
+            wald.counts.total(),
+            20,
+            "degenerate Wald interval stops at the first possible point"
+        );
+        let wilson = run(IntervalMethod::Wilson);
+        // Wilson at 0/n reaches a 1-point half-width around n ≈ 189 — far
+        // past the lucky first round, and before the 400 budget.
+        assert!(
+            wilson.counts.total() > 100,
+            "Wilson must not stop on the extreme first round (stopped at {})",
+            wilson.counts.total()
+        );
+        assert!(wilson.counts.total() < 400);
+        let status = wilson.adaptive.unwrap();
+        assert!(status.reached_target);
+        assert!(status.realized_half_width_pct() <= 1.0);
     }
 
     #[test]

@@ -158,4 +158,75 @@ fn error_space_sizes_reflect_candidate_counts() {
     assert!(space.single_bit_size() > 0);
     assert!(space.multi_bit_log10(10) > space.single_bit_log10());
     assert!(space.sampling_fraction(10_000) < 1.0);
+    // The fraction clamps at full coverage even for a budget beyond the
+    // space (possible for tiny inputs under an adaptive max_experiments).
+    assert_eq!(space.sampling_fraction(u64::MAX), 1.0);
+}
+
+/// End to end: an adaptive campaign whose budget outgrows the single-bit
+/// error space of a tiny module carries a `SamplingSaturated` warning, and
+/// its result reports the realized precision.
+#[test]
+fn adaptive_campaign_warns_when_the_budget_outgrows_the_space() {
+    use mbfi::ir::{CompiledModule, ModuleBuilder, Type};
+    use mbfi_core::{CampaignWarning, Precision};
+
+    // A tiny straight-line module: few candidates, so a modest adaptive
+    // budget exceeds d·b.
+    let mut mb = ModuleBuilder::new("tiny");
+    let main = mb.declare("main", &[], None);
+    {
+        let mut f = mb.define(main);
+        let a = f.add(Type::I64, 40i64, 2i64);
+        let b = f.mul(Type::I64, a, 3i64);
+        f.print_i64(b);
+        f.ret_void();
+    }
+    mb.set_entry(main);
+    let module = mb.finish();
+    let code = CompiledModule::lower(&module);
+    let golden = GoldenRun::capture(&module).unwrap();
+    let candidates = golden.candidates(Technique::InjectOnRead);
+    let space = candidates * 64;
+    assert!(space < 600, "test module must stay tiny (space = {space})");
+
+    let spec = CampaignSpec {
+        technique: Technique::InjectOnRead,
+        model: FaultModel::single_bit(),
+        experiments: 0, // ignored in adaptive mode
+        seed: 42,
+        hang_factor: 8,
+        threads: 2,
+    };
+    let precision = Precision {
+        target_half_width_pct: 0.0001, // unreachably tight: run to the cap
+        min_experiments: 16,
+        max_experiments: space as usize + 40,
+        ..Precision::default()
+    };
+    let r = Campaign::run_adaptive(&code, &golden, &spec, None, &precision);
+    assert_eq!(r.total(), space + 40, "the cell runs its whole budget");
+    assert_eq!(
+        r.warnings,
+        vec![CampaignWarning::SamplingSaturated {
+            budget: space + 40,
+            space,
+        }]
+    );
+    let status = r.adaptive.expect("adaptive campaigns report their status");
+    assert!(!status.reached_target);
+    assert!(status.realized_half_width_pct() > 0.0001);
+
+    // The same cell with a budget inside the space carries no warning.
+    let r = Campaign::run_adaptive(
+        &code,
+        &golden,
+        &spec,
+        None,
+        &Precision {
+            max_experiments: space as usize / 2,
+            ..precision
+        },
+    );
+    assert!(r.warnings.is_empty(), "warnings: {:?}", r.warnings);
 }

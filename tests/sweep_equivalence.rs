@@ -167,6 +167,7 @@ fn sweep_records_match_per_experiment_execution() {
             threads: 8,
             batch_size: 3,
             keep_records: true,
+            precision: None,
         },
     );
     for (cell, swept) in campaigns.iter().zip(&report.results) {
