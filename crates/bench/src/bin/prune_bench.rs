@@ -1,0 +1,393 @@
+//! Measures bit-level static pruning ([`BitLevelPruner`]) against unpruned
+//! fixed-n campaigns and writes `BENCH_prune.json`.
+//!
+//! For every workload the binary reports the statically-pruned fraction of
+//! the (instruction, register, bit) fault-site space — both in-width and
+//! under the paper's 64-bit register model — next to the predicted-vs-
+//! measured agreement: a pruned campaign synthesizes the provably-dead share
+//! of its experiments and must produce a [`CampaignResult`] byte-identical
+//! to the unpruned [`Campaign::run_compiled`] run with the same spec.
+//!
+//! Flags and knobs:
+//!
+//! * `--check` — self-verifying mode over **all** workloads: (a) sample
+//!   `MBFI_PRUNE_SITES` claimed-dead sites per technique per workload
+//!   (default 35 × 2 × 15 = 1050 ≥ 1k) and inject every one — each run must
+//!   classify Benign with output bytes identical to golden; (b) compare the
+//!   pruned campaign byte-for-byte against the unpruned one at thread counts
+//!   {1, 4, 8}; (c) re-run the pruned campaign on an independent seed and
+//!   require its SDC / Detection 95 % intervals to overlap the unpruned
+//!   ones; (d) require a non-zero model-64 pruned fraction on every
+//!   workload.  Exits non-zero on any violation.
+//! * `--out-dir <path>` — where `BENCH_prune.json` goes (default: CWD).
+//! * `MBFI_PRUNE_SITES` — dead sites sampled per technique per workload in
+//!   `--check` (default 35).
+//! * `MBFI_BENCH_SAMPLES` — timing samples per side (default 1; one untimed
+//!   warm-up pass runs first and the median sample is reported).
+//! * plus the harness knobs (`MBFI_WORKLOADS`, `MBFI_EXPERIMENTS`, ...).
+//!
+//! [`BitLevelPruner`]: mbfi_core::BitLevelPruner
+//! [`CampaignResult`]: mbfi_core::CampaignResult
+//! [`Campaign::run_compiled`]: mbfi_core::Campaign::run_compiled
+
+use mbfi_bench::artifacts::OutDir;
+use mbfi_bench::harness::{prepare, HarnessConfig, WorkloadData};
+use mbfi_bench::timing::{env_usize, median_wall_ns};
+use mbfi_core::report::Json;
+use mbfi_core::stats::{wilson_interval, Proportion};
+use mbfi_core::{
+    BitLevelPruner, Campaign, CampaignResult, CampaignSpec, FaultModel, OutcomeCounts, Technique,
+};
+use mbfi_ir::bitflow::BitSpace;
+
+/// Seed perturbation for the independent-seed agreement campaign.
+const ALT_SEED_XOR: u64 = 0x5EED_A17E_0B17_F11B;
+
+/// Combined (read + write) model-64 dead fraction — the per-workload
+/// "statically pruned fraction" headline number.
+fn pruned_fraction_model64(space: &BitSpace) -> f64 {
+    let sites = space.read_sites + space.write_sites;
+    if sites == 0 {
+        return 0.0;
+    }
+    let dead_read = space.read_dead_bits + space.read_sites * 64 - space.read_site_bits;
+    let dead_write = space.write_dead_bits + space.write_sites * 64 - space.write_site_bits;
+    (dead_read + dead_write) as f64 / (sites * 64) as f64
+}
+
+/// Do two 95 % intervals overlap?
+fn overlaps(a: &Proportion, b: &Proportion) -> bool {
+    a.lower <= b.upper && b.lower <= a.upper
+}
+
+/// Sum the skipped/executed split back together for the bookkeeping check.
+fn counts_sum(a: &OutcomeCounts, b: &OutcomeCounts) -> OutcomeCounts {
+    OutcomeCounts {
+        benign: a.benign + b.benign,
+        hw_exception: a.hw_exception + b.hw_exception,
+        hang: a.hang + b.hang,
+        no_output: a.no_output + b.no_output,
+        sdc: a.sdc + b.sdc,
+    }
+}
+
+/// Compare a pruned result against the unpruned reference modulo the
+/// `spec.threads` echo (the knob is recorded, the payload must match).
+fn results_match(pruned: &CampaignResult, unpruned: &CampaignResult) -> bool {
+    let mut normalized = pruned.clone();
+    normalized.spec.threads = unpruned.spec.threads;
+    normalized == *unpruned
+}
+
+fn check(cfg: &HarnessConfig, sites_per: usize) -> ! {
+    let data = prepare(cfg);
+    let mut violations = 0usize;
+    let mut total_sites = 0u64;
+    let mut total_skipped = 0u64;
+    let mut total_experiments = 0u64;
+    for d in &data {
+        let pruner = BitLevelPruner::analyze(&d.code);
+        let space = pruner.space();
+        let fraction = pruned_fraction_model64(&space);
+        if fraction <= 0.0 {
+            eprintln!(
+                "VIOLATION: {}: model-64 pruned fraction is zero (analysis proved nothing)",
+                d.name
+            );
+            violations += 1;
+        }
+        let counts = pruner.pc_execution_counts(&d.code, &d.golden);
+        for (t, technique) in Technique::ALL.into_iter().enumerate() {
+            // (a) Every sampled claimed-dead site must run byte-identical
+            // to golden and classify Benign.
+            let site_seed = cfg
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(t as u64);
+            let sites = pruner.sample_dead_sites(&counts, technique, sites_per, site_seed);
+            if sites.len() < sites_per {
+                eprintln!(
+                    "VIOLATION: {} {technique}: sampled {} dead sites, wanted {sites_per} \
+                     (no provably-dead bits on executed code?)",
+                    d.name,
+                    sites.len()
+                );
+                violations += 1;
+            }
+            for site in &sites {
+                if let Err(err) = pruner.check_dead_site(&d.code, &d.golden, site) {
+                    eprintln!("VIOLATION: {} {technique}: {err}", d.name);
+                    violations += 1;
+                }
+            }
+            total_sites += sites.len() as u64;
+
+            // (b) Pruned == unpruned, byte-for-byte, at every thread count.
+            let base = CampaignSpec {
+                threads: 1,
+                ..cfg.campaign_spec(technique, FaultModel::single_bit())
+            };
+            let unpruned = Campaign::run_compiled(&d.code, &d.golden, &base);
+            let mut skipped_here = 0u64;
+            for threads in [1usize, 4, 8] {
+                let spec = CampaignSpec { threads, ..base };
+                let pruned = pruner.run_campaign_pruned(&d.code, &d.golden, &spec);
+                if !results_match(&pruned.result, &unpruned) {
+                    eprintln!(
+                        "VIOLATION: {} {technique} threads={threads}: pruned campaign \
+                         diverged from the unpruned result",
+                        d.name
+                    );
+                    violations += 1;
+                }
+                let split = counts_sum(&pruned.skipped_counts, &pruned.executed_counts);
+                if split != pruned.result.counts
+                    || pruned.skipped != pruned.skipped_counts.total()
+                    || pruned.executed() != pruned.executed_counts.total()
+                {
+                    eprintln!(
+                        "VIOLATION: {} {technique} threads={threads}: skipped/executed \
+                         split does not add up to the campaign counts",
+                        d.name
+                    );
+                    violations += 1;
+                }
+                skipped_here = pruned.skipped;
+            }
+            total_skipped += skipped_here;
+            total_experiments += unpruned.total();
+
+            // (c) Independent-seed agreement: the pruned estimator must land
+            // inside the unpruned campaign's statistical noise.
+            let alt = CampaignSpec {
+                seed: base.seed ^ ALT_SEED_XOR,
+                ..base
+            };
+            let pruned_alt = pruner.run_campaign_pruned(&d.code, &d.golden, &alt);
+            let n_ref = unpruned.total();
+            let n_alt = pruned_alt.result.total();
+            let pairs = [
+                ("SDC", unpruned.counts.sdc, pruned_alt.result.counts.sdc),
+                (
+                    "Detection",
+                    unpruned.counts.detection(),
+                    pruned_alt.result.counts.detection(),
+                ),
+            ];
+            for (label, reference, measured) in pairs {
+                // Wilson, not Wald: a zero-success cell's Wald interval
+                // degenerates to [0, 0] and would reject any nonzero
+                // independent-seed estimate.
+                let a = wilson_interval(reference, n_ref);
+                let b = wilson_interval(measured, n_alt);
+                if !overlaps(&a, &b) {
+                    eprintln!(
+                        "VIOLATION: {} {technique}: pruned {label} {:.1}% (n={n_alt}) outside \
+                         the unpruned 95% interval [{:.1}%, {:.1}%]",
+                        d.name,
+                        b.estimate * 100.0,
+                        a.lower * 100.0,
+                        a.upper * 100.0,
+                    );
+                    violations += 1;
+                }
+            }
+        }
+    }
+    let floor = 1000.min(sites_per * 2 * data.len()) as u64;
+    if total_sites < floor {
+        eprintln!("VIOLATION: only {total_sites} dead sites injected, wanted >= {floor}");
+        violations += 1;
+    }
+    println!(
+        "{} workloads: {total_sites} claimed-dead sites injected byte-identical to golden; \
+         pruned campaigns byte-identical to unpruned at threads {{1,4,8}} \
+         ({total_skipped}/{total_experiments} experiments skipped); independent-seed \
+         SDC/Detection within 95% intervals",
+        data.len()
+    );
+    if violations > 0 {
+        eprintln!("prune_bench --check: {violations} violations");
+        std::process::exit(1);
+    }
+    println!("prune_bench --check: the static pruner is sound on every workload");
+    std::process::exit(0);
+}
+
+/// One technique's timed pruned-vs-unpruned comparison on one workload.
+struct TechniqueReport {
+    technique: Technique,
+    skipped: u64,
+    experiments: u64,
+    skipped_fraction: f64,
+    unpruned_ns: u64,
+    pruned_ns: u64,
+    sdc_pct: f64,
+    detection_pct: f64,
+    matched: bool,
+}
+
+fn time_technique(
+    d: &WorkloadData,
+    pruner: &BitLevelPruner,
+    spec: &CampaignSpec,
+    samples: usize,
+) -> TechniqueReport {
+    let mut unpruned = None;
+    let unpruned_ns = median_wall_ns(samples, || {
+        unpruned = Some(Campaign::run_compiled(&d.code, &d.golden, spec));
+    });
+    let mut pruned = None;
+    let pruned_ns = median_wall_ns(samples, || {
+        pruned = Some(pruner.run_campaign_pruned(&d.code, &d.golden, spec));
+    });
+    let unpruned = unpruned.expect("unpruned campaign ran");
+    let pruned = pruned.expect("pruned campaign ran");
+    TechniqueReport {
+        technique: spec.technique,
+        skipped: pruned.skipped,
+        experiments: unpruned.total(),
+        skipped_fraction: pruned.skipped_fraction(),
+        unpruned_ns,
+        pruned_ns,
+        sdc_pct: unpruned.counts.sdc_pct(),
+        detection_pct: unpruned.counts.detection_pct(),
+        matched: results_match(&pruned.result, &unpruned),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check_mode = args.iter().any(|a| a == "--check");
+    let out = OutDir::from_args();
+
+    let cfg = HarnessConfig::from_env();
+    let sites_per = env_usize("MBFI_PRUNE_SITES", 35);
+    let samples = env_usize("MBFI_BENCH_SAMPLES", 1);
+    eprintln!(
+        "prune_bench: {} workloads, {} experiments per campaign, {} mode",
+        cfg.workloads().len(),
+        cfg.experiments,
+        if check_mode { "check" } else { "timing" }
+    );
+
+    if check_mode {
+        check(&cfg, sites_per);
+    }
+
+    let data = prepare(&cfg);
+    let mut per_workload = Vec::new();
+    let mut fractions = Vec::new();
+    let mut total_unpruned_ns = 0u64;
+    let mut total_pruned_ns = 0u64;
+    let mut total_skipped = 0u64;
+    let mut total_experiments = 0u64;
+    let mut mismatches = 0usize;
+    for d in &data {
+        let pruner = BitLevelPruner::analyze(&d.code);
+        let space = pruner.space();
+        let fraction = pruned_fraction_model64(&space);
+        fractions.push(fraction);
+
+        let mut entry = Json::object();
+        entry.set("name", d.name.clone());
+        entry.set("read_sites", space.read_sites);
+        entry.set("write_sites", space.write_sites);
+        entry.set("read_dead_fraction", space.read_dead_fraction());
+        entry.set("write_dead_fraction", space.write_dead_fraction());
+        entry.set(
+            "read_dead_fraction_model64",
+            space.read_dead_fraction_model64(),
+        );
+        entry.set(
+            "write_dead_fraction_model64",
+            space.write_dead_fraction_model64(),
+        );
+        entry.set("pruned_fraction_model64", fraction);
+        for technique in Technique::ALL {
+            let spec = cfg.campaign_spec(technique, FaultModel::single_bit());
+            let r = time_technique(d, &pruner, &spec, samples);
+            if !r.matched {
+                eprintln!(
+                    "VIOLATION: {} {technique}: pruned campaign diverged from unpruned",
+                    d.name
+                );
+                mismatches += 1;
+            }
+            total_unpruned_ns += r.unpruned_ns;
+            total_pruned_ns += r.pruned_ns;
+            total_skipped += r.skipped;
+            total_experiments += r.experiments;
+            let mut tech = Json::object();
+            tech.set("skipped", r.skipped);
+            tech.set("experiments", r.experiments);
+            tech.set("skipped_fraction", r.skipped_fraction);
+            tech.set("wall_ns_unpruned", r.unpruned_ns);
+            tech.set("wall_ns_pruned", r.pruned_ns);
+            tech.set("speedup", r.unpruned_ns as f64 / r.pruned_ns.max(1) as f64);
+            tech.set("sdc_pct", r.sdc_pct);
+            tech.set("detection_pct", r.detection_pct);
+            tech.set("matches_unpruned", r.matched);
+            entry.set(
+                match r.technique {
+                    Technique::InjectOnRead => "read",
+                    Technique::InjectOnWrite => "write",
+                },
+                tech,
+            );
+            println!(
+                "{:<14} {technique}: {:>5.1}% statically pruned, {}/{} experiments skipped, \
+                 {:.2}x wall-clock",
+                d.name,
+                fraction * 100.0,
+                r.skipped,
+                r.experiments,
+                r.unpruned_ns as f64 / r.pruned_ns.max(1) as f64,
+            );
+        }
+        per_workload.push(entry);
+    }
+    let geomean = if fractions.is_empty() || fractions.iter().any(|f| *f <= 0.0) {
+        0.0
+    } else {
+        (fractions.iter().map(|f| f.ln()).sum::<f64>() / fractions.len() as f64).exp()
+    };
+    println!(
+        "geomean statically-pruned fraction (64-bit model): {:.1}% over {} workloads; \
+         {total_skipped}/{total_experiments} campaign experiments skipped, {:.2}x wall-clock",
+        geomean * 100.0,
+        data.len(),
+        total_unpruned_ns as f64 / total_pruned_ns.max(1) as f64,
+    );
+
+    let mut root = Json::object();
+    root.set("suite", "prune");
+    root.set(
+        "workloads",
+        data.iter().map(|d| d.name.clone()).collect::<Vec<_>>(),
+    );
+    root.set("experiments_per_campaign", cfg.experiments);
+    root.set("samples", samples);
+    root.set("per_workload", Json::Arr(per_workload));
+    root.set("geomean_pruned_fraction_model64", geomean);
+    let mut totals = Json::object();
+    totals.set("experiments", total_experiments);
+    totals.set("skipped", total_skipped);
+    totals.set(
+        "skipped_fraction",
+        total_skipped as f64 / total_experiments.max(1) as f64,
+    );
+    totals.set("wall_ns_unpruned", total_unpruned_ns);
+    totals.set("wall_ns_pruned", total_pruned_ns);
+    totals.set(
+        "speedup",
+        total_unpruned_ns as f64 / total_pruned_ns.max(1) as f64,
+    );
+    totals.set("all_match_unpruned", mismatches == 0);
+    root.set("totals", totals);
+    out.write("BENCH_prune.json", &root.render());
+    if mismatches > 0 {
+        eprintln!("prune_bench: {mismatches} pruned campaigns diverged");
+        std::process::exit(1);
+    }
+}

@@ -261,6 +261,19 @@ impl Campaign {
         crate::sweep::run_single(code, golden, spec, store, Some(*precision))
     }
 
+    /// Run a fixed-n campaign with bit-level static pruning: experiments
+    /// whose sampled injection point is provably dead (see
+    /// [`crate::pruning::BitLevelPruner`]) are resolved statically instead
+    /// of executed.  The result field is byte-identical to
+    /// [`Campaign::run_compiled`] with the same spec.
+    pub fn run_compiled_pruned(
+        code: &CompiledModule,
+        golden: &GoldenRun,
+        spec: &CampaignSpec,
+    ) -> crate::pruning::PrunedCampaign {
+        crate::pruning::BitLevelPruner::analyze(code).run_campaign_pruned(code, golden, spec)
+    }
+
     /// Run one campaign per grid point as a single [`Sweep`].  The module is
     /// lowered once and shared by every campaign, and all points run on one
     /// work-stealing worker pool instead of one pool per campaign.

@@ -94,6 +94,7 @@ pub use fault_model::{FaultModel, WinSize};
 pub use golden::GoldenRun;
 pub use injector::{InjectionRecord, InjectorHook};
 pub use outcome::{classify, Outcome, OutcomeCounts};
+pub use pruning::{BitLevelPruner, DeadSite, PrunedCampaign};
 pub use replay::{Checkpoint, CheckpointConfig, CheckpointStore, ReplayCaptureError};
 pub use stats::IntervalMethod;
 pub use sweep::{Sweep, SweepCampaign, SweepCampaignResult, SweepConfig, SweepReport, SweepUnit};

@@ -344,6 +344,22 @@ impl CastOp {
             _ => return None,
         })
     }
+
+    /// Every cast operator (for exhaustive transfer-function tests).
+    pub const ALL: [CastOp; 12] = [
+        CastOp::Trunc,
+        CastOp::ZExt,
+        CastOp::SExt,
+        CastOp::FpToSi,
+        CastOp::FpToUi,
+        CastOp::SiToFp,
+        CastOp::UiToFp,
+        CastOp::FpTrunc,
+        CastOp::FpExt,
+        CastOp::PtrToInt,
+        CastOp::IntToPtr,
+        CastOp::Bitcast,
+    ];
 }
 
 /// Built-in runtime routines available to IR programs.

@@ -1,0 +1,92 @@
+//! The soundness contract of the bit-level static pruner, as a test suite:
+//! for **every** registry workload, (a) injecting any (instruction,
+//! register, bit) site the [`BitLevelPruner`] claims dead produces a Benign
+//! run whose output bytes are identical to the golden run, and (b) a pruned
+//! campaign — experiments with provable results synthesized instead of
+//! executed — is byte-identical to the unpruned [`Campaign::run_compiled`]
+//! result with the same spec, at every thread count.
+//!
+//! [`BitLevelPruner`]: mbfi::core::BitLevelPruner
+//! [`Campaign::run_compiled`]: mbfi::core::Campaign::run_compiled
+
+use mbfi::core::{BitLevelPruner, Campaign, CampaignSpec, FaultModel, GoldenRun, Technique};
+use mbfi::ir::CompiledModule;
+use mbfi::workloads::{all_workloads, InputSize};
+
+/// Claimed-dead sites injected per technique per workload.
+const SITES_PER_TECHNIQUE: usize = 8;
+/// Experiments per pruned-vs-unpruned campaign pair.
+const EXPERIMENTS: usize = 30;
+
+#[test]
+fn statically_dead_sites_run_benign_and_byte_identical_on_every_workload() {
+    for w in all_workloads() {
+        let module = w.build_module(InputSize::Tiny);
+        let code = CompiledModule::lower(&module);
+        let golden = GoldenRun::capture_compiled(&code)
+            .unwrap_or_else(|e| panic!("golden run of {} failed: {e}", w.name()));
+        let pruner = BitLevelPruner::analyze(&code);
+        let counts = pruner.pc_execution_counts(&code, &golden);
+
+        for technique in Technique::ALL {
+            let seed = 0xDEAD ^ golden.dynamic_instrs ^ technique.is_write() as u64;
+            let sites = pruner.sample_dead_sites(&counts, technique, SITES_PER_TECHNIQUE, seed);
+            assert!(
+                !sites.is_empty(),
+                "{} {technique}: the analysis proved no dead bits on executed code",
+                w.name()
+            );
+            for site in &sites {
+                pruner
+                    .check_dead_site(&code, &golden, site)
+                    .unwrap_or_else(|e| panic!("{} {technique}: {e}", w.name()));
+            }
+        }
+    }
+}
+
+#[test]
+fn pruned_campaigns_are_byte_identical_to_unpruned_at_every_thread_count() {
+    for w in all_workloads() {
+        let module = w.build_module(InputSize::Tiny);
+        let code = CompiledModule::lower(&module);
+        let golden = GoldenRun::capture_compiled(&code)
+            .unwrap_or_else(|e| panic!("golden run of {} failed: {e}", w.name()));
+        let pruner = BitLevelPruner::analyze(&code);
+
+        for technique in Technique::ALL {
+            let base = CampaignSpec {
+                technique,
+                model: FaultModel::single_bit(),
+                experiments: EXPERIMENTS,
+                seed: 0xB17F ^ golden.dynamic_instrs,
+                threads: 1,
+                ..CampaignSpec::default()
+            };
+            let unpruned = Campaign::run_compiled(&code, &golden, &base);
+            for threads in [1usize, 3] {
+                let spec = CampaignSpec { threads, ..base };
+                let pruned = pruner.run_campaign_pruned(&code, &golden, &spec);
+                // `spec.threads` echoes the knob; every payload byte must
+                // match the unpruned reference.
+                let mut normalized = pruned.result.clone();
+                normalized.spec.threads = base.threads;
+                assert_eq!(
+                    normalized,
+                    unpruned,
+                    "{} {technique} threads={threads}: pruned campaign diverged",
+                    w.name()
+                );
+                // The skipped/executed bookkeeping must partition the total.
+                assert_eq!(
+                    pruned.skipped + pruned.executed(),
+                    unpruned.total(),
+                    "{} {technique}: skipped/executed split does not partition",
+                    w.name()
+                );
+                assert_eq!(pruned.skipped, pruned.skipped_counts.total());
+                assert_eq!(pruned.executed(), pruned.executed_counts.total());
+            }
+        }
+    }
+}

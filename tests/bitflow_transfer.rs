@@ -1,0 +1,215 @@
+//! Exhaustive property checks for the bit-level transfer functions.
+//!
+//! For every [`BinOp`] and [`CastOp`], across randomized operands and live
+//! masks: flipping any operand bit the transfer function calls *dead* (i.e.
+//! outside the returned demand mask) must never change the operator's
+//! concrete result within the live destination bits, and must never change
+//! whether the operator traps.  This is the per-operator core of the pruner's
+//! soundness contract (dead ⇒ byte-identical outcome); the evaluation oracle
+//! is the real interpreter semantics in `mbfi_vm::ops`.
+
+use mbfi::ir::bitflow::{binop_demands, cast_demand, cast_result_mask};
+use mbfi::ir::{BinOp, CastOp, Type};
+use mbfi::vm::ops::{eval_binary, eval_cast};
+use mbfi::vm::Value;
+
+/// Deterministic SplitMix64 for seeding the randomized operand sets.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Edge-case payloads plus seeded random ones.
+fn payloads(seed: u64, random: usize) -> Vec<u64> {
+    let mut v = vec![0, 1, u64::MAX, 1u64 << 63, 0x5555_5555_5555_5555];
+    let mut rng = SplitMix64(seed);
+    v.extend((0..random).map(|_| rng.next()));
+    v
+}
+
+/// A spread of live-destination masks for one instruction type.
+fn live_masks(ty: Type, seed: u64) -> Vec<u64> {
+    let m = ty.bit_mask();
+    let mut rng = SplitMix64(seed);
+    let r1 = rng.next();
+    let r2 = rng.next();
+    let single = 1u64 << (rng.next() % 64);
+    vec![0, 1, m, r1 & m, r2, single]
+}
+
+const INT_TYPES: [Type; 6] = [
+    Type::I1,
+    Type::I8,
+    Type::I16,
+    Type::I32,
+    Type::I64,
+    Type::Ptr,
+];
+
+/// Assert that flipping `bit` of the chosen operand leaves trap behaviour
+/// and the live result bits unchanged.
+#[allow(clippy::too_many_arguments)]
+fn assert_binop_flip_dead(
+    op: BinOp,
+    ty: Type,
+    a: Value,
+    b: Value,
+    live: u64,
+    flip_lhs: bool,
+    bit: u32,
+) {
+    let (a2, b2) = if flip_lhs {
+        (Value::new(a.ty, a.bits ^ (1u64 << bit)), b)
+    } else {
+        (a, Value::new(b.ty, b.bits ^ (1u64 << bit)))
+    };
+    let base = eval_binary(op, ty, a, b);
+    let alt = eval_binary(op, ty, a2, b2);
+    let side = if flip_lhs { "lhs" } else { "rhs" };
+    match (base, alt) {
+        (Ok(x), Ok(y)) => assert_eq!(
+            x.bits & live,
+            y.bits & live,
+            "{op:?} {ty:?}: dead {side} bit {bit} changed live result \
+             (a={:#x} b={:#x} live={live:#x})",
+            a.bits,
+            b.bits,
+        ),
+        (Err(x), Err(y)) => assert_eq!(
+            x, y,
+            "{op:?} {ty:?}: dead {side} bit {bit} changed the trap kind"
+        ),
+        (base, alt) => panic!(
+            "{op:?} {ty:?}: dead {side} bit {bit} changed trap behaviour \
+             (a={:#x} b={:#x}: {base:?} vs {alt:?})",
+            a.bits, b.bits,
+        ),
+    }
+}
+
+#[test]
+fn binop_demands_are_sound_for_variable_operands() {
+    let values = payloads(0xB17F_0001, 7);
+    for op in BinOp::ALL {
+        if op.is_float() {
+            // Float demand is fully live (all 64 payload bits reach
+            // `as_f64`): there are no dead bits to check.
+            let (la, lb) = binop_demands(op, Type::F64, None, None, 1);
+            assert_eq!((la, lb), (u64::MAX, u64::MAX));
+            continue;
+        }
+        for ty in INT_TYPES {
+            for (i, &ab) in values.iter().enumerate() {
+                let bb = values[(i * 7 + 3) % values.len()];
+                let (a, b) = (Value::new(Type::I64, ab), Value::new(Type::I64, bb));
+                for live in live_masks(ty, 0xD1CE + i as u64) {
+                    let (la, lb) = binop_demands(op, ty, None, None, live);
+                    for bit in 0..64u32 {
+                        if la & (1u64 << bit) == 0 {
+                            assert_binop_flip_dead(op, ty, a, b, live, true, bit);
+                        }
+                        if lb & (1u64 << bit) == 0 {
+                            assert_binop_flip_dead(op, ty, a, b, live, false, bit);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn binop_demands_are_sound_with_a_constant_operand() {
+    let values = payloads(0xB17F_0002, 5);
+    for op in BinOp::ALL {
+        if op.is_float() {
+            continue;
+        }
+        for ty in INT_TYPES {
+            let m = ty.bit_mask();
+            for (i, &ab) in values.iter().enumerate() {
+                let c = values[(i * 5 + 2) % values.len()] & m;
+                let a = Value::new(Type::I64, ab);
+                let cv = Value::new(Type::I64, c);
+                for live in live_masks(ty, 0xC0DE + i as u64) {
+                    // Constant on the right: only the variable lhs is an
+                    // injectable operand, so only its dead bits are checked.
+                    let (la, _) = binop_demands(op, ty, None, Some(c), live);
+                    for bit in 0..64u32 {
+                        if la & (1u64 << bit) == 0 {
+                            assert_binop_flip_dead(op, ty, a, cv, live, true, bit);
+                        }
+                    }
+                    // Constant on the left (matters for and/or refinement).
+                    let (_, lb) = binop_demands(op, ty, Some(c), None, live);
+                    for bit in 0..64u32 {
+                        if lb & (1u64 << bit) == 0 {
+                            assert_binop_flip_dead(op, ty, cv, a, live, false, bit);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cast_demands_are_sound_for_every_operator_and_type_pair() {
+    let values = payloads(0xB17F_0003, 7);
+    for op in CastOp::ALL {
+        for from_ty in Type::ALL {
+            for to_ty in Type::ALL {
+                let result_mask = cast_result_mask(op, to_ty);
+                for (i, &vb) in values.iter().enumerate() {
+                    let v = Value::new(Type::I64, vb);
+                    for live in live_masks(to_ty, 0xCA57 + i as u64) {
+                        let demand = cast_demand(op, from_ty, to_ty, live);
+                        let base = eval_cast(op, from_ty, to_ty, v);
+                        let observe = live & result_mask;
+                        for bit in 0..64u32 {
+                            if demand & (1u64 << bit) != 0 {
+                                continue;
+                            }
+                            let v2 = Value::new(Type::I64, vb ^ (1u64 << bit));
+                            let alt = eval_cast(op, from_ty, to_ty, v2);
+                            assert_eq!(
+                                base.bits & observe,
+                                alt.bits & observe,
+                                "{op:?} {from_ty:?}->{to_ty:?}: dead bit {bit} changed \
+                                 live result (v={vb:#x} live={live:#x})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fully_live_destinations_demand_every_result_influencing_bit() {
+    // Sanity inversion: with every destination bit live, flipping a bit the
+    // transfer function *does* demand must be able to change the result for
+    // at least one operand pair (no operator is accidentally all-dead).
+    for op in [BinOp::Add, BinOp::And, BinOp::Xor, BinOp::Shl] {
+        for ty in [Type::I8, Type::I32, Type::I64] {
+            let m = ty.bit_mask();
+            let (la, lb) = binop_demands(op, ty, None, None, m);
+            assert_ne!(la, 0, "{op:?} {ty:?}: lhs demand collapsed to zero");
+            if !matches!(op, BinOp::Shl) {
+                assert_ne!(lb, 0, "{op:?} {ty:?}: rhs demand collapsed to zero");
+            }
+        }
+    }
+    for op in [CastOp::Trunc, CastOp::ZExt, CastOp::SExt, CastOp::Bitcast] {
+        let d = cast_demand(op, Type::I32, Type::I64, u64::MAX);
+        assert_ne!(d, 0, "{op:?}: source demand collapsed to zero");
+    }
+}
