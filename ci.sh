@@ -22,6 +22,22 @@ cargo test -q --offline
 echo "==> cargo clippy --all-targets --offline -- -D warnings"
 cargo clippy --all-targets --offline -- -D warnings
 
+# Telemetry smoke: a tiny full-telemetry grid run writes a JSONL event
+# stream, and `mbfi-monitor --headless` replays it — its verify() step
+# exits non-zero unless the accumulated per-cell totals exactly equal the
+# authoritative cell_finished / sweep_finished tallies (i.e. the monitor
+# agrees with the SweepReport).
+echo "==> telemetry smoke: fig1 (MBFI_TELEMETRY=full) | mbfi-monitor --headless"
+TELEM_DIR="$(mktemp -d)"
+trap 'rm -rf "$TELEM_DIR"' EXIT
+MBFI_TELEMETRY=full MBFI_TELEMETRY_OUT="$TELEM_DIR/events.jsonl" \
+    MBFI_EXPERIMENTS=10 MBFI_WORKLOADS=qsort cargo run --release --offline -q \
+    -p mbfi-bench --bin fig1 -- --out-dir "$TELEM_DIR"
+cargo run --release --offline -q -p mbfi-bench --bin mbfi-monitor -- \
+    --headless "$TELEM_DIR/events.jsonl" | tee "$TELEM_DIR/monitor.txt"
+grep -q "verify: ok" "$TELEM_DIR/monitor.txt"
+grep -q "20 experiments" "$TELEM_DIR/monitor.txt"
+
 if [[ "${1:-}" == "bench" ]]; then
     # Smoke-run the plain-Rust bench harnesses; each writes BENCH_<suite>.json.
     export MBFI_BENCH_SAMPLES="${MBFI_BENCH_SAMPLES:-3}"
@@ -85,6 +101,18 @@ if [[ "${1:-}" == "bench" ]]; then
     echo "==> cargo run --release -p mbfi-bench --bin prune_bench"
     MBFI_EXPERIMENTS=20 cargo run --release --offline -q -p mbfi-bench \
         --bin prune_bench -- --out-dir "$MBFI_BENCH_OUT"
+
+    # Telemetry plane: first the self-verifying mode (telemetered sweeps
+    # byte-identical to telemetry-off at thread counts 1, 4 and 8; hub
+    # snapshot and replayed JSONL monitor totals equal to the SweepReport),
+    # then a small timing run that writes BENCH_telemetry.json with the
+    # off/counters/full overhead comparison.
+    echo "==> cargo run --release -p mbfi-bench --bin telemetry_bench -- --check"
+    cargo run --release --offline -q -p mbfi-bench \
+        --bin telemetry_bench -- --check
+    echo "==> cargo run --release -p mbfi-bench --bin telemetry_bench"
+    cargo run --release --offline -q -p mbfi-bench \
+        --bin telemetry_bench -- --out-dir "$MBFI_BENCH_OUT"
 fi
 
 echo "==> OK"

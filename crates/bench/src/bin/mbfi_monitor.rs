@@ -1,0 +1,149 @@
+//! `mbfi-monitor` — live terminal dashboard (and headless verifier) for the
+//! telemetry JSONL stream a `MBFI_TELEMETRY=full` sweep writes.
+//!
+//! ```text
+//! mbfi-monitor <events.jsonl>             # one dashboard frame from a file
+//! mbfi-monitor --follow <events.jsonl>    # tail the file, redrawing in place
+//! mbfi-monitor --headless <events.jsonl>  # plain report + consistency check
+//! some-sweep | mbfi-monitor --headless -  # read the stream from stdin
+//! ```
+//!
+//! `--headless` prints the accumulated report without ANSI control codes and
+//! then cross-checks the stream (see `MonitorState::verify`): per-cell totals
+//! accumulated from `batch_done` events must exactly equal the authoritative
+//! `cell_finished` tallies, the grand total must equal `sweep_finished`, and
+//! the sequence-number set must be gap-free.  Any violation is printed and
+//! the process exits non-zero — this is the CI assertion that the monitor
+//! agrees with the `SweepReport`.
+
+use std::io::{BufRead, BufReader, Read, Seek, SeekFrom, Write};
+use std::time::Duration;
+
+use mbfi_bench::monitor::{render_dashboard, render_headless};
+use mbfi_core::MonitorState;
+
+struct Options {
+    path: String,
+    headless: bool,
+    follow: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: mbfi-monitor [--headless] [--follow] <events.jsonl | ->");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut headless = false;
+    let mut follow = false;
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--headless" => headless = true,
+            "--follow" => follow = true,
+            "--help" | "-h" => usage(),
+            other if path.is_none() => path = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
+    if follow && headless {
+        eprintln!("mbfi-monitor: --follow and --headless are mutually exclusive");
+        std::process::exit(2);
+    }
+    if follow && path == "-" {
+        eprintln!("mbfi-monitor: --follow needs a file path, not stdin");
+        std::process::exit(2);
+    }
+    Options {
+        path,
+        headless,
+        follow,
+    }
+}
+
+/// Apply every line of `reader`; decode errors are accumulated in the state
+/// (and fail `verify()` later) rather than aborting the stream.
+fn apply_all(state: &mut MonitorState, reader: impl BufRead) {
+    for line in reader.lines() {
+        match line {
+            Ok(line) => {
+                let _ = state.apply_line(&line);
+            }
+            Err(e) => {
+                state.errors.push(format!("read error: {e}"));
+                break;
+            }
+        }
+    }
+}
+
+fn load(path: &str) -> MonitorState {
+    let mut state = MonitorState::new();
+    if path == "-" {
+        apply_all(&mut state, std::io::stdin().lock());
+    } else {
+        match std::fs::File::open(path) {
+            Ok(f) => apply_all(&mut state, BufReader::new(f)),
+            Err(e) => {
+                eprintln!("mbfi-monitor: cannot open {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    state
+}
+
+/// Tail `path`, redrawing the dashboard whenever new bytes land, until the
+/// stream reports `sweep_finished`.
+fn follow(path: &str) {
+    let mut state = MonitorState::new();
+    let mut offset: u64 = 0;
+    let mut buffer = String::new();
+    loop {
+        if let Ok(mut f) = std::fs::File::open(path) {
+            if f.seek(SeekFrom::Start(offset)).is_ok() {
+                let mut chunk = String::new();
+                if f.read_to_string(&mut chunk).is_ok() && !chunk.is_empty() {
+                    offset += chunk.len() as u64;
+                    buffer.push_str(&chunk);
+                    // Only complete lines are applied; a partial tail stays
+                    // buffered for the next poll.
+                    while let Some(nl) = buffer.find('\n') {
+                        let line: String = buffer.drain(..=nl).collect();
+                        let _ = state.apply_line(&line);
+                    }
+                    print!("{}", render_dashboard(&state));
+                    let _ = std::io::stdout().flush();
+                }
+            }
+        }
+        if state.finished {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    if opts.follow {
+        follow(&opts.path);
+        return;
+    }
+    let state = load(&opts.path);
+    if opts.headless {
+        print!("{}", render_headless(&state));
+        let problems = state.verify();
+        if problems.is_empty() {
+            println!("verify: ok ({} events)", state.events);
+        } else {
+            for p in &problems {
+                eprintln!("verify: {p}");
+            }
+            std::process::exit(1);
+        }
+    } else {
+        print!("{}", render_dashboard(&state));
+    }
+}

@@ -1,0 +1,250 @@
+//! Measures the telemetry plane's overhead and writes `BENCH_telemetry.json`.
+//!
+//! The same sweep runs three times: telemetry **off** ([`mbfi_core::NoopSink`]
+//! — every instrumentation site monomorphizes away), at the **counters**
+//! level (atomic registry bumps, per-batch timing only) and at the **full**
+//! level (per-experiment latency histogram plus the structured JSONL event
+//! stream).  The JSON reports experiments/sec per mode and the relative
+//! overhead of each level; the design target is ≤ 2 % for `counters`.
+//!
+//! Flags and knobs:
+//!
+//! * `--check` — self-verifying mode: at sweep thread counts {1, 4, 8},
+//!   assert that the telemetered sweep ([`TelemetryLevel::Counters`] and
+//!   [`TelemetryLevel::Full`]) returns a report byte-identical to the
+//!   untelemetered one, that the hub snapshot's per-cell totals exactly
+//!   equal the final `SweepReport`, and that replaying the drained JSONL
+//!   stream through [`MonitorState`] verifies cleanly with the same totals
+//!   (the `mbfi-monitor --headless` contract).  Exits non-zero on any
+//!   violation.
+//! * `--out-dir <path>` — where `BENCH_telemetry.json` goes (default: CWD).
+//! * `MBFI_WORKLOADS` — workload filter (default `qsort,histo`).
+//! * `MBFI_EXPERIMENTS` — experiments per campaign (default 60; `--check`
+//!   default 10).
+//! * `MBFI_BENCH_SAMPLES` — timing samples per mode (default 3; one untimed
+//!   warm-up pass runs first and the median sample is reported).
+//! * plus the harness knobs (`MBFI_THREADS`, `MBFI_SWEEP_BATCH`, ...).
+
+use mbfi_bench::artifacts::OutDir;
+use mbfi_bench::harness::{self, HarnessConfig, WorkloadData};
+use mbfi_bench::timing::{env_usize, median_wall_ns};
+use mbfi_core::report::Json;
+use mbfi_core::{
+    FaultModel, Metric, MonitorState, Sweep, SweepCampaign, SweepConfig, SweepReport, SweepUnit,
+    Technique, TelemetryHub, TelemetryLevel, WinSize,
+};
+
+/// Per workload: both techniques, a single-bit and a windowed multi-bit
+/// model — enough cells that stealing, batching and the event stream all
+/// exercise, while staying quick.
+fn build_cells(cfg: &HarnessConfig, workloads: usize) -> Vec<SweepCampaign> {
+    let mut cells = Vec::new();
+    for unit in 0..workloads {
+        for technique in Technique::ALL {
+            for model in [
+                FaultModel::single_bit(),
+                FaultModel::multi_bit(3, WinSize::Fixed(100)),
+            ] {
+                cells.push(SweepCampaign {
+                    unit,
+                    spec: cfg.campaign_spec(technique, model),
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Compare a telemetered report and its hub against the untelemetered
+/// baseline; returns the number of violations found (0 = clean).
+fn check_level(
+    base: &SweepReport,
+    units: &[SweepUnit<'_>],
+    cells: &[SweepCampaign],
+    config: &SweepConfig,
+    level: TelemetryLevel,
+    threads: usize,
+) -> usize {
+    let mut failures = 0;
+    let hub = TelemetryHub::new(level);
+    let report = Sweep::run_with(units, cells, config, &hub);
+    if &report != base {
+        failures += 1;
+        eprintln!(
+            "DIVERGENCE: telemetry={} threads={threads}: report differs from telemetry-off",
+            level.label()
+        );
+    }
+
+    let total: u64 = report.results.iter().map(|r| r.result.total()).sum();
+    let snapshot = hub.snapshot();
+    if snapshot.counter(Metric::ExperimentsRun) != total {
+        failures += 1;
+        eprintln!(
+            "MISMATCH: telemetry={} threads={threads}: counter {} != report total {total}",
+            level.label(),
+            snapshot.counter(Metric::ExperimentsRun)
+        );
+    }
+    for (i, r) in report.results.iter().enumerate() {
+        let cell = &snapshot.cells[i];
+        if cell.done != r.result.total() || cell.counts != r.result.counts || !cell.finished {
+            failures += 1;
+            eprintln!(
+                "MISMATCH: telemetry={} threads={threads} cell {i}: snapshot {}/{:?} \
+                 (finished={}) != report {}/{:?}",
+                level.label(),
+                cell.done,
+                cell.counts,
+                cell.finished,
+                r.result.total(),
+                r.result.counts
+            );
+        }
+    }
+
+    if level == TelemetryLevel::Full {
+        // The mbfi-monitor contract: the drained JSONL stream must replay
+        // into a clean, complete MonitorState whose per-cell totals equal
+        // the authoritative report.
+        let jsonl = hub.drain_jsonl();
+        let mut state = MonitorState::new();
+        for line in jsonl.lines() {
+            let _ = state.apply_line(line);
+        }
+        for problem in state.verify() {
+            failures += 1;
+            eprintln!("MONITOR: threads={threads}: {problem}");
+        }
+        if !state.finished {
+            failures += 1;
+            eprintln!("MONITOR: threads={threads}: stream never reported sweep_finished");
+        }
+        for (i, r) in report.results.iter().enumerate() {
+            let reported = state.cells.get(i).and_then(|c| c.reported);
+            if reported != Some((r.result.total(), r.result.counts)) {
+                failures += 1;
+                eprintln!(
+                    "MONITOR: threads={threads} cell {i}: stream reports {reported:?} \
+                     but the SweepReport says ({}, {:?})",
+                    r.result.total(),
+                    r.result.counts
+                );
+            }
+        }
+    }
+    failures
+}
+
+fn check(cfg: &HarnessConfig, data: &[WorkloadData]) -> ! {
+    let units: Vec<SweepUnit<'_>> = data.iter().map(WorkloadData::sweep_unit).collect();
+    let cells = build_cells(cfg, data.len());
+    let mut failures = 0;
+    for threads in [1usize, 4, 8] {
+        let config = SweepConfig {
+            threads,
+            ..cfg.sweep_config()
+        };
+        let base = Sweep::run(&units, &cells, &config);
+        for level in [TelemetryLevel::Counters, TelemetryLevel::Full] {
+            failures += check_level(&base, &units, &cells, &config, level, threads);
+        }
+        println!(
+            "threads={threads}: {} cells byte-identical at counters and full, \
+             snapshot and monitor totals verified",
+            cells.len()
+        );
+    }
+    if failures > 0 {
+        eprintln!("telemetry_bench --check: {failures} violations");
+        std::process::exit(1);
+    }
+    println!(
+        "telemetry_bench --check: telemetry is invariant-preserving across thread counts \
+         1/4/8 and levels counters/full"
+    );
+    std::process::exit(0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check_mode = args.iter().any(|a| a == "--check");
+    let out = OutDir::from_args();
+
+    let mut cfg = HarnessConfig::from_env();
+    if cfg.precision.take().is_some() {
+        eprintln!("telemetry_bench: ignoring MBFI_PRECISION (this bench compares fixed-n runs)");
+    }
+    let experiments_given =
+        std::env::var("MBFI_EXPERIMENTS").is_ok_and(|v| v.trim().parse::<usize>().is_ok());
+    if !experiments_given {
+        cfg.experiments = if check_mode { 10 } else { 60 };
+    }
+    if cfg.workload_filter.is_none() {
+        cfg.workload_filter = Some(vec!["qsort".into(), "histo".into()]);
+    }
+    let samples = env_usize("MBFI_BENCH_SAMPLES", 3);
+    eprintln!(
+        "telemetry_bench: {} workloads, {} experiments/campaign, {} mode",
+        cfg.workloads().len(),
+        cfg.experiments,
+        if check_mode { "check" } else { "timing" }
+    );
+
+    let data = harness::prepare(&cfg);
+    if check_mode {
+        check(&cfg, &data);
+    }
+
+    let units: Vec<SweepUnit<'_>> = data.iter().map(WorkloadData::sweep_unit).collect();
+    let cells = build_cells(&cfg, data.len());
+    let config = cfg.sweep_config();
+    let experiments = (cells.len() * cfg.experiments) as u64;
+
+    let mut modes: Vec<(&str, u64)> = Vec::new();
+    let off_ns = median_wall_ns(samples, || {
+        Sweep::run(&units, &cells, &config);
+    });
+    modes.push(("off", off_ns));
+    for level in [TelemetryLevel::Counters, TelemetryLevel::Full] {
+        let ns = median_wall_ns(samples, || {
+            let hub = TelemetryHub::new(level);
+            Sweep::run_with(&units, &cells, &config, &hub);
+            // Draining (not parsing) the stream is part of full-mode cost.
+            let _ = hub.drain_jsonl();
+        });
+        modes.push((level.label(), ns));
+    }
+
+    let mut root = Json::object();
+    root.set("suite", "telemetry");
+    root.set(
+        "workloads",
+        cfg.workloads()
+            .iter()
+            .map(|w| w.name().to_string())
+            .collect::<Vec<_>>(),
+    );
+    root.set("cells", cells.len());
+    root.set("experiments_per_campaign", cfg.experiments);
+    root.set("experiments", experiments);
+    root.set("samples", samples);
+    let mut arr: Vec<Json> = Vec::new();
+    for &(label, ns) in &modes {
+        let eps = experiments as f64 * 1e9 / ns.max(1) as f64;
+        let overhead_pct = (ns as f64 / off_ns.max(1) as f64 - 1.0) * 100.0;
+        println!(
+            "telemetry={label:<8} {:.3} s, {eps:.0} exp/s ({overhead_pct:+.2}% vs off)",
+            ns as f64 / 1e9
+        );
+        let mut mode = Json::object();
+        mode.set("level", label);
+        mode.set("wall_ns", ns);
+        mode.set("experiments_per_sec", eps);
+        mode.set("overhead_pct", overhead_pct);
+        arr.push(mode);
+    }
+    root.set("modes", Json::Arr(arr));
+    root.set("counters_overhead_target_pct", 2.0);
+    out.write("BENCH_telemetry.json", &root.render());
+}

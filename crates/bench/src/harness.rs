@@ -27,7 +27,8 @@ use mbfi_core::report::{FigureData, Series, TextTable};
 use mbfi_core::space::{ErrorSpace, REGISTER_BITS};
 use mbfi_core::{
     Campaign, CampaignResult, CampaignSpec, CampaignWarning, FaultModel, GoldenRun, IntervalMethod,
-    Outcome, Precision, Sweep, SweepCampaign, SweepConfig, SweepUnit, Technique, WinSize,
+    Metric, Outcome, Precision, Sweep, SweepCampaign, SweepConfig, SweepUnit, Technique,
+    TelemetryHub, TelemetryLevel, TelemetrySink, TelemetrySnapshot, WinSize,
 };
 use mbfi_ir::{CompiledModule, Module};
 use mbfi_workloads::{all_workloads, InputSize, Workload};
@@ -71,6 +72,13 @@ pub struct HarnessConfig {
     /// byte-reproducible at a known fixed n — runs every cell at
     /// `experiments`.
     pub precision: Option<Precision>,
+    /// Telemetry recording level for grid sweeps (`Off` by default; results
+    /// are byte-identical at every level — telemetry only observes).
+    pub telemetry: TelemetryLevel,
+    /// Where [`TelemetryLevel::Full`] grid runs write their JSONL event
+    /// stream (tail it with `mbfi-monitor`, or verify it with
+    /// `mbfi-monitor --headless`).
+    pub telemetry_out: String,
 }
 
 impl Default for HarnessConfig {
@@ -88,6 +96,8 @@ impl Default for HarnessConfig {
             replay_budget_bytes: CheckpointConfig::default().max_bytes,
             sweep_batch: 0,
             precision: None,
+            telemetry: TelemetryLevel::Off,
+            telemetry_out: "telemetry.jsonl".to_string(),
         }
     }
 }
@@ -119,6 +129,11 @@ impl HarnessConfig {
     ///   before `<min>` experiments, never beyond `<max>`; unspecified
     ///   fields keep the [`Precision`] defaults).  E.g.
     ///   `MBFI_PRECISION=2.5` or `MBFI_PRECISION=2,100,5000,wilson`.
+    /// * `MBFI_TELEMETRY` — `off` (default), `counters` for the near-zero-
+    ///   cost metrics registry, or `full` for metrics plus the structured
+    ///   JSONL event stream.  Results are byte-identical at every level.
+    /// * `MBFI_TELEMETRY_OUT` — path for the `full`-level JSONL event stream
+    ///   (default `telemetry.jsonl` in the working directory)
     ///
     /// A set-but-malformed value falls back to the default with a one-line
     /// warning on stderr naming the variable and the value kept.
@@ -195,6 +210,21 @@ impl HarnessConfig {
                     "warning: MBFI_PRECISION={v:?} is not \"off\" or \
                      \"<pct>[,<min>[,<max>[,wald|wilson]]]\"; falling back to fixed-n sampling"
                 ),
+            }
+        }
+        if let Ok(v) = std::env::var("MBFI_TELEMETRY") {
+            match TelemetryLevel::parse(&v) {
+                Some(level) => cfg.telemetry = level,
+                None => eprintln!(
+                    "warning: MBFI_TELEMETRY={v:?} is not off/counters/full; \
+                     falling back to {}",
+                    cfg.telemetry.label()
+                ),
+            }
+        }
+        if let Ok(v) = std::env::var("MBFI_TELEMETRY_OUT") {
+            if !v.trim().is_empty() {
+                cfg.telemetry_out = v;
             }
         }
         cfg
@@ -359,6 +389,8 @@ impl WorkloadData {
 pub struct SweepCache {
     entries: HashMap<(String, InputSize), usize>,
     data: Vec<WorkloadData>,
+    hits: u64,
+    misses: u64,
 }
 
 impl SweepCache {
@@ -377,8 +409,10 @@ impl SweepCache {
     ) -> usize {
         let key = (workload.name().to_string(), size);
         if let Some(&index) = self.entries.get(&key) {
+            self.hits += 1;
             return index;
         }
+        self.misses += 1;
         let module = workload.build_module(size);
         let code = CompiledModule::lower(&module);
         let golden = GoldenRun::capture_compiled(&code)
@@ -413,6 +447,12 @@ impl SweepCache {
         &self.data
     }
 
+    /// `(hits, misses)` of [`SweepCache::get_or_build`] so far: hits are
+    /// requests that reused an already-built `(workload, size)` entry.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
     /// Consume the cache, keeping the artifacts.
     pub fn into_data(self) -> Vec<WorkloadData> {
         self.data
@@ -443,6 +483,7 @@ pub struct CampaignGrid<'a> {
     data: Vec<WorkloadData>,
     cells: Vec<SweepCampaign>,
     index: HashMap<(usize, Technique, FaultModel), usize>,
+    requested: u64,
 }
 
 impl<'a> CampaignGrid<'a> {
@@ -458,6 +499,7 @@ impl<'a> CampaignGrid<'a> {
             data,
             cells: Vec::new(),
             index: HashMap::new(),
+            requested: 0,
         }
     }
 
@@ -473,6 +515,7 @@ impl<'a> CampaignGrid<'a> {
 
     /// Request one campaign cell (deduplicating).
     pub fn request(&mut self, workload: usize, technique: Technique, model: FaultModel) {
+        self.requested += 1;
         let key = (workload, technique, model);
         if self.index.contains_key(&key) {
             return;
@@ -539,23 +582,67 @@ impl<'a> CampaignGrid<'a> {
     }
 
     /// Submit every requested cell as one sweep and collect the results.
+    ///
+    /// With [`HarnessConfig::telemetry`] above `off`, the sweep runs through
+    /// a [`TelemetryHub`]: the final snapshot rides along in
+    /// [`GridRun::telemetry`], a one-line summary goes to stderr, and at the
+    /// `full` level the JSONL event stream is written to
+    /// [`HarnessConfig::telemetry_out`].  Results are byte-identical to a
+    /// telemetry-off run at every level.
     pub fn run(self) -> GridRun {
         let CampaignGrid {
             cfg,
             data,
             cells,
             index,
+            requested,
         } = self;
         let config = cfg.sweep_config();
-        let report = {
-            let units: Vec<SweepUnit<'_>> = data.iter().map(WorkloadData::sweep_unit).collect();
-            Sweep::run(&units, &cells, &config)
+        let units: Vec<SweepUnit<'_>> = data.iter().map(WorkloadData::sweep_unit).collect();
+        let (report, telemetry) = if cfg.telemetry > TelemetryLevel::Off {
+            let hub = TelemetryHub::new(cfg.telemetry);
+            let report = Sweep::run_with(&units, &cells, &config, &hub);
+            // Cell-request dedup is the grid's artifact cache: every request
+            // beyond the first for a `(workload, technique, model)` key
+            // reused an executed cell.
+            hub.add(Metric::CacheHits, requested - cells.len() as u64);
+            hub.add(Metric::CacheMisses, cells.len() as u64);
+            if cfg.telemetry == TelemetryLevel::Full {
+                let jsonl = hub.drain_jsonl();
+                match std::fs::write(&cfg.telemetry_out, &jsonl) {
+                    Ok(()) => eprintln!(
+                        "telemetry: wrote {} events to {}",
+                        jsonl.lines().count(),
+                        cfg.telemetry_out
+                    ),
+                    Err(e) => {
+                        eprintln!("warning: cannot write {}: {e}", cfg.telemetry_out)
+                    }
+                }
+            }
+            let snapshot = hub.snapshot();
+            eprintln!(
+                "telemetry: {} experiments in {} batches ({} stolen), \
+                 {:.0} exp/s, {} parks, cache {}/{} hit/miss",
+                snapshot.counter(Metric::ExperimentsRun),
+                snapshot.counter(Metric::BatchesRun),
+                snapshot.counter(Metric::BatchesStolen),
+                snapshot.exps_per_sec(),
+                snapshot.counter(Metric::WorkerParks),
+                snapshot.counter(Metric::CacheHits),
+                snapshot.counter(Metric::CacheMisses),
+            );
+            (report, Some(snapshot))
+        } else {
+            (Sweep::run(&units, &cells, &config), None)
         };
+        drop(units);
         GridRun {
             data,
             results: report.results.into_iter().map(|r| r.result).collect(),
             warnings: report.warnings,
             index,
+            telemetry,
         }
     }
 }
@@ -567,6 +654,9 @@ pub struct GridRun {
     pub data: Vec<WorkloadData>,
     /// Distinct validation warnings across the whole sweep.
     pub warnings: Vec<CampaignWarning>,
+    /// Final telemetry snapshot when the grid ran with
+    /// [`HarnessConfig::telemetry`] above `off` (`None` otherwise).
+    pub telemetry: Option<TelemetrySnapshot>,
     results: Vec<CampaignResult>,
     index: HashMap<(usize, Technique, FaultModel), usize>,
 }
@@ -1095,6 +1185,7 @@ mod tests {
         let d = cache.get_or_build(&cfg, histo.as_ref(), InputSize::Tiny);
         assert_ne!(a, d);
         assert_eq!(cache.data().len(), 3);
+        assert_eq!(cache.stats(), (1, 3), "one reuse, three builds");
         assert!(cache.data()[a].store.is_none(), "replay off: no store");
 
         let replay_cfg = HarnessConfig::default();
@@ -1227,8 +1318,12 @@ mod tests {
         std::env::set_var("MBFI_REPLAY", "off");
         std::env::set_var("MBFI_SWEEP_BATCH", "9");
         std::env::set_var("MBFI_PRECISION", "2.5,80,4000,wald");
+        std::env::set_var("MBFI_TELEMETRY", "full");
+        std::env::set_var("MBFI_TELEMETRY_OUT", "events.jsonl");
         let cfg = HarnessConfig::from_env();
         assert_eq!(cfg.experiments, 7);
+        assert_eq!(cfg.telemetry, TelemetryLevel::Full);
+        assert_eq!(cfg.telemetry_out, "events.jsonl");
         assert_eq!(cfg.size, InputSize::Small);
         assert!(cfg.full_grid);
         assert_eq!(cfg.workloads().len(), 2);
@@ -1252,12 +1347,15 @@ mod tests {
         std::env::remove_var("MBFI_REPLAY");
         std::env::remove_var("MBFI_SWEEP_BATCH");
         std::env::remove_var("MBFI_PRECISION");
+        std::env::remove_var("MBFI_TELEMETRY");
+        std::env::remove_var("MBFI_TELEMETRY_OUT");
 
         // Malformed values fall back to the defaults (with a stderr warning,
         // not capturable here) instead of being silently dropped mid-parse.
         std::env::set_var("MBFI_HANG_FACTOR", "twenty");
         std::env::set_var("MBFI_REPLAY_BUDGET_MB", "-3");
         std::env::set_var("MBFI_PRECISION", "tight");
+        std::env::set_var("MBFI_TELEMETRY", "verbose");
         let cfg = HarnessConfig::from_env();
         assert_eq!(cfg.hang_factor, HarnessConfig::default().hang_factor);
         assert_eq!(
@@ -1265,9 +1363,12 @@ mod tests {
             HarnessConfig::default().replay_budget_bytes
         );
         assert_eq!(cfg.precision, None);
+        assert_eq!(cfg.telemetry, TelemetryLevel::Off);
+        assert_eq!(cfg.telemetry_out, "telemetry.jsonl");
         std::env::remove_var("MBFI_HANG_FACTOR");
         std::env::remove_var("MBFI_REPLAY_BUDGET_MB");
         std::env::remove_var("MBFI_PRECISION");
+        std::env::remove_var("MBFI_TELEMETRY");
         assert_eq!(env_parsed("MBFI_NOT_SET_EVER", 42usize), 42);
     }
 

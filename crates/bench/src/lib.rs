@@ -18,6 +18,8 @@
 //! | `replay_bench` | Full re-execution vs checkpointed golden-run replay (`BENCH_replay.json`; `--check` verifies byte-equivalence) |
 //! | `sweep_bench` | Whole-grid sweep vs per-campaign serial grid walk (`BENCH_sweep.json`; `--check` verifies per-cell byte-equivalence) |
 //! | `adaptive_bench` | Adaptive precision-targeted sampling vs fixed-n at equal realized precision (`BENCH_adaptive.json`; `--check` verifies thread-count invariance and per-cell targets) |
+//! | `telemetry_bench` | Telemetry overhead at off/counters/full (`BENCH_telemetry.json`; `--check` verifies byte-identical reports and monitor/snapshot totals) |
+//! | `mbfi-monitor` | Live dashboard (or `--headless` CI verifier) for the JSONL event stream a `MBFI_TELEMETRY=full` run writes |
 //!
 //! Campaign cells are requested on a [`harness::CampaignGrid`], deduplicated,
 //! and executed as **one** `mbfi_core::Sweep` per binary; shared per-workload
@@ -33,8 +35,10 @@
 
 pub mod artifacts;
 pub mod harness;
+pub mod monitor;
 pub mod timing;
 
 pub use artifacts::{Artefact, OutDir};
 pub use harness::{CampaignGrid, GridRun, HarnessConfig, SweepCache, WorkloadData};
+pub use monitor::{render_dashboard, render_headless};
 pub use timing::{median_wall_ns, BenchSuite, Measurement};

@@ -135,6 +135,16 @@ impl Precision {
         self.interval.interval(counts.detection(), counts.total())
     }
 
+    /// The two monitored half-widths, `(SDC, Detection)`, in percentage
+    /// points — the pair every adaptive `RoundDone` telemetry event and the
+    /// live monitor report for a cell.
+    pub fn half_widths(&self, counts: &OutcomeCounts) -> (f64, f64) {
+        (
+            self.sdc_interval(counts).half_width_pct(),
+            self.detection_interval(counts).half_width_pct(),
+        )
+    }
+
     /// Whether both monitored half-widths meet the target.
     pub fn target_met(&self, counts: &OutcomeCounts) -> bool {
         self.sdc_interval(counts).half_width_pct() <= self.target_half_width_pct

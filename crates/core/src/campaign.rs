@@ -10,6 +10,7 @@ use crate::replay::CheckpointStore;
 use crate::stats::{wald_interval, IntervalMethod, Proportion};
 use crate::sweep::{Sweep, SweepCampaign, SweepConfig, SweepUnit};
 use crate::technique::Technique;
+use crate::telemetry::TelemetrySink;
 use mbfi_ir::{CompiledModule, Module};
 
 /// Configuration of one campaign.
@@ -239,6 +240,22 @@ impl Campaign {
         store: Option<&CheckpointStore>,
     ) -> CampaignResult {
         crate::sweep::run_single(code, golden, spec, store, None)
+    }
+
+    /// [`Campaign::run_compiled_with_store`] with a telemetry sink (e.g. a
+    /// [`crate::telemetry::TelemetryHub`]) observing the run: experiment and
+    /// batch counters, checkpoint-replay savings, per-cell outcome tallies
+    /// and — at [`crate::telemetry::TelemetryLevel::Full`] — the structured
+    /// event stream.  Telemetry is strictly an observer: the result is
+    /// byte-identical to the untelemetered run for any sink and level.
+    pub fn run_compiled_telemetry<S: TelemetrySink>(
+        code: &CompiledModule,
+        golden: &GoldenRun,
+        spec: &CampaignSpec,
+        store: Option<&CheckpointStore>,
+        telemetry: &S,
+    ) -> CampaignResult {
+        crate::sweep::run_single_with(code, golden, spec, store, None, telemetry)
     }
 
     /// Run one campaign with adaptive precision-targeted sampling: keep

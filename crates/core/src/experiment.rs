@@ -7,6 +7,7 @@ use crate::outcome::{classify, Outcome};
 use crate::replay::CheckpointStore;
 use crate::rng::{Rng, SmallRng};
 use crate::technique::Technique;
+use crate::telemetry::{Metric, TelemetryLevel, TelemetrySink};
 use mbfi_ir::{CompiledModule, Module};
 use mbfi_vm::{Vm, WalkerVm};
 
@@ -141,6 +142,15 @@ impl Experiment {
 
     /// Execute one experiment on a pre-lowered module — the hot path every
     /// campaign worker runs.
+    ///
+    /// Deliberately **not** generic over a telemetry sink: the VM
+    /// interpreter loop inlines into this function, and duplicating it per
+    /// sink monomorphization measurably de-optimizes the copy the telemetry
+    /// path runs (~35% on small workloads).  Keeping one non-generic body
+    /// means every caller — telemetered or not — executes the same machine
+    /// code, which is also what makes the byte-invariance contract easy to
+    /// trust.  See [`Experiment::run_compiled_with`] for the observing
+    /// wrapper.
     pub fn run_compiled(
         code: &CompiledModule,
         golden: &GoldenRun,
@@ -162,6 +172,33 @@ impl Experiment {
         }
         let result = vm.run(&mut hook);
         Self::finish(golden, spec, result, hook)
+    }
+
+    /// [`Experiment::run_compiled`] with a telemetry sink: when the
+    /// experiment fast-forwards from a checkpoint, the restore and the
+    /// dynamic instructions it skipped are published as
+    /// [`Metric::CheckpointRestores`] / [`Metric::ReplayInstrsSkipped`].
+    /// Telemetry never influences the result (the sink only observes), and
+    /// the whole block compiles away for [`NoopSink`].
+    ///
+    /// The checkpoint lookup is repeated here rather than threading the sink
+    /// through [`Experiment::run_compiled`]: the lookup is a binary search —
+    /// trivial next to an experiment — and keeping the execution body
+    /// non-generic keeps it off the monomorphization lottery (see there).
+    pub fn run_compiled_with<S: TelemetrySink>(
+        code: &CompiledModule,
+        golden: &GoldenRun,
+        spec: &ExperimentSpec,
+        store: Option<&CheckpointStore>,
+        telemetry: &S,
+    ) -> ExperimentResult {
+        if S::ENABLED && telemetry.level() > TelemetryLevel::Off {
+            if let Some(cp) = store.and_then(|s| s.nearest_for(spec.technique, spec.first_target)) {
+                telemetry.add(Metric::CheckpointRestores, 1);
+                telemetry.add(Metric::ReplayInstrsSkipped, cp.snapshot().dyn_count());
+            }
+        }
+        Self::run_compiled(code, golden, spec, store)
     }
 
     /// Execute one experiment on the legacy tree walker.

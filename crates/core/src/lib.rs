@@ -85,6 +85,7 @@ pub mod space;
 pub mod stats;
 pub mod sweep;
 pub mod technique;
+pub mod telemetry;
 
 pub use adaptive::{AdaptiveStatus, Precision};
 pub use campaign::{Campaign, CampaignResult, CampaignSpec, CampaignWarning};
@@ -99,3 +100,7 @@ pub use replay::{Checkpoint, CheckpointConfig, CheckpointStore, ReplayCaptureErr
 pub use stats::IntervalMethod;
 pub use sweep::{Sweep, SweepCampaign, SweepCampaignResult, SweepConfig, SweepReport, SweepUnit};
 pub use technique::Technique;
+pub use telemetry::{
+    CellInfo, EventKind, Metric, MonitorState, NoopSink, TelemetryEvent, TelemetryHub,
+    TelemetryLevel, TelemetrySink, TelemetrySnapshot,
+};

@@ -36,6 +36,7 @@ use crate::outcome::{classify, Outcome, OutcomeCounts};
 use crate::rng::{Rng, SmallRng};
 use crate::space::{ErrorSpace, REGISTER_BITS};
 use crate::technique::Technique;
+use crate::telemetry::{Metric, NoopSink, TelemetrySink};
 use mbfi_ir::bitflow::{BitFlow, BitSpace};
 use mbfi_ir::{CInstr, CompiledModule, Reg};
 use mbfi_vm::{ExecHook, InstrContext, RunResult, Value, Vm};
@@ -399,6 +400,21 @@ impl BitLevelPruner {
         golden: &GoldenRun,
         spec: &CampaignSpec,
     ) -> PrunedCampaign {
+        self.run_campaign_pruned_with(code, golden, spec, &NoopSink)
+    }
+
+    /// [`BitLevelPruner::run_campaign_pruned`] with a telemetry sink: the
+    /// statically-resolved and live experiment splits are published as
+    /// [`Metric::PruneSkippedExperiments`] / [`Metric::PruneExecutedExperiments`]
+    /// once the campaign folds.  The sink only observes — the returned
+    /// [`PrunedCampaign`] is identical for any sink.
+    pub fn run_campaign_pruned_with<S: TelemetrySink>(
+        &self,
+        code: &CompiledModule,
+        golden: &GoldenRun,
+        spec: &CampaignSpec,
+        telemetry: &S,
+    ) -> PrunedCampaign {
         let (vspec, mut warnings) = spec.validate();
         let budget = vspec.experiments;
         // Mirror the sweep planner's saturation warning so the result spec
@@ -485,6 +501,11 @@ impl BitLevelPruner {
             if r.outcome == Outcome::DetectedHwException {
                 crash_activation[slot] += 1;
             }
+        }
+
+        if S::ENABLED {
+            telemetry.add(Metric::PruneSkippedExperiments, skipped);
+            telemetry.add(Metric::PruneExecutedExperiments, live.len() as u64);
         }
 
         PrunedCampaign {

@@ -319,6 +319,16 @@ impl CheckpointStore {
     pub fn checkpoints(&self) -> &[Checkpoint] {
         &self.checkpoints
     }
+
+    /// Publish this store's footprint into the telemetry registry
+    /// ([`Metric::CheckpointStoreBytes`] / checkpoint count).  The sweep
+    /// executor calls this once per registered unit at sweep start, so a
+    /// snapshot relates replay savings to what the checkpoints cost to hold.
+    pub fn publish_telemetry<S: crate::telemetry::TelemetrySink>(&self, telemetry: &S) {
+        use crate::telemetry::Metric;
+        telemetry.add(Metric::CheckpointStoreBytes, self.stored_bytes() as u64);
+        telemetry.add(Metric::CheckpointStoreCheckpoints, self.len() as u64);
+    }
 }
 
 #[cfg(test)]

@@ -9,12 +9,18 @@
 use std::fmt::Write as _;
 
 pub mod json {
-    //! A minimal hand-rolled JSON writer.
+    //! A minimal hand-rolled JSON writer **and reader**.
     //!
     //! Values are built as a [`Json`] tree and rendered with [`Json::render`].
     //! Only what report emission needs is implemented: objects keep their
     //! insertion order, floats are emitted with enough precision to
     //! round-trip, and non-finite floats become `null` (JSON has no NaN).
+    //!
+    //! [`Json::parse`] is the matching minimal reader: it accepts exactly the
+    //! grammar the writer produces (plus insignificant whitespace), so any
+    //! rendered value round-trips.  The telemetry JSONL stream and
+    //! `mbfi-monitor --headless` are built on this pair — no serde, fully
+    //! offline.
 
     use std::fmt::Write as _;
 
@@ -107,6 +113,309 @@ pub mod json {
         }
     }
 
+    /// Error from [`Json::parse`]: byte offset of the failure plus a short
+    /// message.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct JsonParseError {
+        /// Byte offset into the input where parsing failed.
+        pub offset: usize,
+        /// Human-readable description of the failure.
+        pub message: String,
+    }
+
+    impl std::fmt::Display for JsonParseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(
+                f,
+                "json parse error at byte {}: {}",
+                self.offset, self.message
+            )
+        }
+    }
+
+    impl Json {
+        /// Parse a JSON document (one value, optionally surrounded by
+        /// whitespace).  Integral numbers without fraction/exponent parse as
+        /// [`Json::UInt`] when non-negative and [`Json::Int`] when negative;
+        /// anything with a `.`, `e` or `E` parses as [`Json::Num`].
+        pub fn parse(input: &str) -> Result<Json, JsonParseError> {
+            let mut p = Parser {
+                bytes: input.as_bytes(),
+                pos: 0,
+            };
+            p.skip_ws();
+            let value = p.value()?;
+            p.skip_ws();
+            if p.pos != p.bytes.len() {
+                return Err(p.error("trailing characters after value"));
+            }
+            Ok(value)
+        }
+
+        /// Object field lookup (`None` on non-objects and missing keys).
+        pub fn get(&self, key: &str) -> Option<&Json> {
+            match self {
+                Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// Unsigned integer view (`Int`/`UInt` only; negatives are `None`).
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Json::UInt(v) => Some(*v),
+                Json::Int(v) => u64::try_from(*v).ok(),
+                _ => None,
+            }
+        }
+
+        /// Float view of any numeric value.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Json::Num(v) => Some(*v),
+                Json::Int(v) => Some(*v as f64),
+                Json::UInt(v) => Some(*v as f64),
+                _ => None,
+            }
+        }
+
+        /// String view.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Json::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// Bool view.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Json::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        /// Array view.
+        pub fn as_array(&self) -> Option<&[Json]> {
+            match self {
+                Json::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn error(&self, message: &str) -> JsonParseError {
+            JsonParseError {
+                offset: self.pos,
+                message: message.to_string(),
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn eat(&mut self, lit: &str) -> bool {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                true
+            } else {
+                false
+            }
+        }
+
+        fn value(&mut self) -> Result<Json, JsonParseError> {
+            match self.peek() {
+                None => Err(self.error("unexpected end of input")),
+                Some(b'n') if self.eat("null") => Ok(Json::Null),
+                Some(b't') if self.eat("true") => Ok(Json::Bool(true)),
+                Some(b'f') if self.eat("false") => Ok(Json::Bool(false)),
+                Some(b'"') => self.string().map(Json::Str),
+                Some(b'[') => self.array(),
+                Some(b'{') => self.object(),
+                Some(b'-' | b'0'..=b'9') => self.number(),
+                Some(_) => Err(self.error("unexpected character")),
+            }
+        }
+
+        fn array(&mut self) -> Result<Json, JsonParseError> {
+            self.pos += 1; // consume '['
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(self.error("expected ',' or ']' in array")),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Json, JsonParseError> {
+            self.pos += 1; // consume '{'
+            let mut entries = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Json::Obj(entries));
+            }
+            loop {
+                self.skip_ws();
+                if self.peek() != Some(b'"') {
+                    return Err(self.error("expected string key in object"));
+                }
+                let key = self.string()?;
+                self.skip_ws();
+                if self.peek() != Some(b':') {
+                    return Err(self.error("expected ':' after object key"));
+                }
+                self.pos += 1;
+                self.skip_ws();
+                let value = self.value()?;
+                entries.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Json::Obj(entries));
+                    }
+                    _ => return Err(self.error("expected ',' or '}' in object")),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, JsonParseError> {
+            self.pos += 1; // consume opening quote
+            let mut out = String::new();
+            loop {
+                let start = self.pos;
+                // Fast path: copy a run of plain bytes verbatim.
+                while let Some(b) = self.peek() {
+                    if b == b'"' || b == b'\\' || b < 0x20 {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.error("invalid utf-8 in string"))?,
+                );
+                match self.peek() {
+                    None => return Err(self.error("unterminated string")),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        let esc = self.peek().ok_or_else(|| self.error("bad escape"))?;
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'u' => {
+                                let hi = self.hex4()?;
+                                let c = if (0xD800..0xDC00).contains(&hi) {
+                                    // Surrogate pair: expect \uXXXX low half.
+                                    if !self.eat("\\u") {
+                                        return Err(self.error("lone high surrogate"));
+                                    }
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.error("invalid low surrogate"));
+                                    }
+                                    let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(c)
+                                } else {
+                                    char::from_u32(hi)
+                                };
+                                out.push(c.ok_or_else(|| self.error("invalid \\u escape"))?);
+                            }
+                            _ => return Err(self.error("unknown escape character")),
+                        }
+                    }
+                    Some(_) => return Err(self.error("raw control character in string")),
+                }
+            }
+        }
+
+        fn hex4(&mut self) -> Result<u32, JsonParseError> {
+            let end = self.pos + 4;
+            if end > self.bytes.len() {
+                return Err(self.error("truncated \\u escape"));
+            }
+            let s = std::str::from_utf8(&self.bytes[self.pos..end])
+                .map_err(|_| self.error("bad \\u escape"))?;
+            let v = u32::from_str_radix(s, 16).map_err(|_| self.error("bad \\u escape"))?;
+            self.pos = end;
+            Ok(v)
+        }
+
+        fn number(&mut self) -> Result<Json, JsonParseError> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            let mut float = false;
+            while let Some(b) = self.peek() {
+                match b {
+                    b'0'..=b'9' => self.pos += 1,
+                    b'.' | b'e' | b'E' | b'+' | b'-' => {
+                        float = true;
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| self.error("bad number"))?;
+            if !float {
+                // Mirror the builder's `From` impls: unsigned values are
+                // `UInt`, so a rendered document parses back variant-for-
+                // variant (negatives are the only `Int`s the writer emits
+                // from its integer conversions).
+                if let Ok(v) = text.parse::<u64>() {
+                    return Ok(Json::UInt(v));
+                }
+                if let Ok(v) = text.parse::<i64>() {
+                    return Ok(Json::Int(v));
+                }
+            }
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| self.error("bad number"))
+        }
+    }
+
     fn write_escaped(out: &mut String, s: &str) {
         out.push('"');
         for c in s.chars() {
@@ -180,7 +489,7 @@ pub mod json {
     }
 }
 
-pub use json::Json;
+pub use json::{Json, JsonParseError};
 
 /// A simple aligned text table.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -445,6 +754,84 @@ mod tests {
         assert_eq!(Json::from(" ").render(), "\" \"");
         assert_eq!(Json::from("\u{7f}").render(), "\"\u{7f}\"");
         assert_eq!(Json::from("\"\\").render(), "\"\\\"\\\\\"");
+    }
+
+    /// Writer→parser round trip over every value kind, including the string
+    /// escapes the writer can produce and non-ASCII text.
+    #[test]
+    fn json_parse_round_trips_rendered_values() {
+        let mut obj = Json::object();
+        obj.set("name", "qu\"ote\\and\nnewline\ttab\rcr");
+        obj.set("control", "a\u{1}b\u{1f}c");
+        obj.set("non_ascii", "héllo → wörld ∑ 日本語 🦀");
+        obj.set("int", -3i64);
+        obj.set("uint", u64::MAX);
+        obj.set("pi", 3.25f64);
+        obj.set("tiny", 1.0e-10f64);
+        obj.set("flag", true);
+        obj.set("list", vec![1u64, 2, 3]);
+        obj.set("nil", Json::Null);
+        obj.set("nested", {
+            let mut n = Json::object();
+            n.set("empty_arr", Json::Arr(vec![]));
+            n.set("empty_obj", Json::object());
+            n
+        });
+        let rendered = obj.render();
+        let parsed = Json::parse(&rendered).expect("rendered JSON must parse");
+        assert_eq!(parsed, obj, "parse(render(v)) == v");
+        // And the re-render is byte-identical (canonical form is stable).
+        assert_eq!(parsed.render(), rendered);
+    }
+
+    #[test]
+    fn json_parse_accepts_whitespace_and_escapes() {
+        let v =
+            Json::parse(" { \"a\" : [ 1 , -2.5 , \"\\u0041\\u00e9\" ] , \"b\" : null } ").unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[0].as_u64(), Some(1));
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[1].as_f64(),
+            Some(-2.5)
+        );
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2].as_str(),
+            Some("Aé")
+        );
+        assert_eq!(v.get("b"), Some(&Json::Null));
+        // Surrogate pair: U+1F980 (crab) as \ud83e\udd80.
+        let crab = Json::parse("\"\\ud83e\\udd80\"").unwrap();
+        assert_eq!(crab.as_str(), Some("🦀"));
+        // Integers beyond i64 become UInt; floats keep their value.
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::UInt(u64::MAX)
+        );
+        assert_eq!(Json::parse("-9").unwrap(), Json::Int(-9));
+        assert_eq!(Json::parse("2.5e3").unwrap(), Json::Num(2500.0));
+    }
+
+    #[test]
+    fn json_parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "nul",
+            "[1] trailing",
+            "\"bad \\q escape\"",
+            "\"\\ud83e\"", // lone high surrogate
+            "\"raw\u{1}control\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
+        // Errors carry a byte offset pointing into the input.
+        let err = Json::parse("[1, }").unwrap_err();
+        assert!(err.offset <= 5);
+        assert!(err.to_string().contains("byte"));
     }
 
     #[test]

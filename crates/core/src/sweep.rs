@@ -63,16 +63,18 @@
 //! single-campaign sweep, so there is exactly one execution engine.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::adaptive::Precision;
 use crate::campaign::{CampaignResult, CampaignSpec, CampaignWarning};
-use crate::experiment::{Experiment, ExperimentSpec};
+use crate::experiment::{Experiment, ExperimentResult, ExperimentSpec};
 use crate::golden::GoldenRun;
 use crate::injector::InjectionRecord;
 use crate::outcome::{Outcome, OutcomeCounts};
 use crate::replay::CheckpointStore;
 use crate::space::{ErrorSpace, REGISTER_BITS};
+use crate::telemetry::{CellInfo, EventKind, Metric, NoopSink, TelemetryLevel, TelemetrySink};
 use mbfi_ir::CompiledModule;
 
 /// Per-workload artifacts shared by every campaign of a sweep: the module is
@@ -167,10 +169,26 @@ impl Sweep {
         campaigns: &[SweepCampaign],
         config: &SweepConfig,
     ) -> SweepReport {
+        Self::run_with(units, campaigns, config, &NoopSink)
+    }
+
+    /// [`Sweep::run`] publishing live progress into a telemetry sink.
+    ///
+    /// Telemetry is strictly observational: the report is byte-identical to
+    /// [`Sweep::run`] for any sink, level and thread count
+    /// (`tests/telemetry_equivalence.rs`), and with [`NoopSink`] every
+    /// instrumentation site monomorphizes away.
+    pub fn run_with<S: TelemetrySink>(
+        units: &[SweepUnit<'_>],
+        campaigns: &[SweepCampaign],
+        config: &SweepConfig,
+        telemetry: &S,
+    ) -> SweepReport {
         let mut slots: Vec<Option<SweepCampaignResult>> = vec![None; campaigns.len()];
-        let warnings = Self::run_streamed(units, campaigns, config, |index, result| {
-            slots[index] = Some(result);
-        });
+        let warnings =
+            Self::run_streamed_with(units, campaigns, config, telemetry, |index, result| {
+                slots[index] = Some(result);
+            });
         SweepReport {
             results: slots
                 .into_iter()
@@ -189,6 +207,18 @@ impl Sweep {
         units: &[SweepUnit<'_>],
         campaigns: &[SweepCampaign],
         config: &SweepConfig,
+        sink: impl FnMut(usize, SweepCampaignResult),
+    ) -> Vec<CampaignWarning> {
+        Self::run_streamed_with(units, campaigns, config, &NoopSink, sink)
+    }
+
+    /// [`Sweep::run_streamed`] publishing live progress into a telemetry
+    /// sink (see [`Sweep::run_with`] for the observation-only contract).
+    pub fn run_streamed_with<S: TelemetrySink>(
+        units: &[SweepUnit<'_>],
+        campaigns: &[SweepCampaign],
+        config: &SweepConfig,
+        telemetry: &S,
         mut sink: impl FnMut(usize, SweepCampaignResult),
     ) -> Vec<CampaignWarning> {
         for c in campaigns {
@@ -241,47 +271,171 @@ impl Sweep {
             }
         }
 
+        let total_batches: usize = plans.iter().map(Plan::batches).sum();
+        let threads = threads.clamp(1, total_batches.max(1));
+        let sweep_start = Instant::now();
+
+        // Register cells and announce the sweep before any experiment runs,
+        // so a tailing monitor sees labels and budgets first.
+        if S::ENABLED && telemetry.level() > TelemetryLevel::Off {
+            let infos: Vec<CellInfo> = plans
+                .iter()
+                .map(|p| CellInfo {
+                    unit: p.unit,
+                    label: format!(
+                        "u{} {} {}",
+                        p.unit,
+                        p.spec.technique.short_name(),
+                        p.spec.model.label()
+                    ),
+                    planned: p.spec.experiments as u64,
+                })
+                .collect();
+            telemetry.begin_sweep(&infos, threads);
+            let planned: u64 = infos.iter().map(|c| c.planned).sum();
+            telemetry.emit(EventKind::SweepStarted {
+                cells: infos.len(),
+                threads,
+                planned,
+            });
+            for (cell, info) in infos.into_iter().enumerate() {
+                telemetry.emit(EventKind::CellPlanned { cell, info });
+            }
+            // Per-unit shared artifacts: the fault-free per-opcode profile
+            // and the checkpoint-store footprint.
+            for unit in units {
+                telemetry.profile(&unit.golden.profile);
+                if let Some(store) = unit.store {
+                    store.publish_telemetry(telemetry);
+                }
+            }
+        }
+
         // Campaigns without a single batch (0 experiments) cannot be
         // finalized by a worker; emit their empty results up front.
         let mut live = 0usize;
+        let mut total_done = 0u64;
         for (index, plan) in plans.iter().enumerate() {
             if plan.batches() == 0 {
+                if S::ENABLED {
+                    telemetry.add(Metric::CellsFinished, 1);
+                    telemetry.cell_status(index, 0, f64::NAN, f64::NAN, true);
+                    telemetry.emit(EventKind::CellFinished {
+                        cell: index,
+                        experiments: 0,
+                        counts: OutcomeCounts::default(),
+                        rounds: 0,
+                    });
+                }
                 sink(index, plan.empty_result());
             } else {
                 live += 1;
             }
         }
-        if live == 0 {
-            return warnings;
+        if live > 0 {
+            let keep_records = config.keep_records;
+            // Campaigns still running.  Adaptive ("gated") workers park on
+            // the sweep condvar rather than exit while this is non-zero,
+            // because an adaptive campaign with every released batch claimed
+            // may release more work when its round completes.  Fixed-n
+            // sweeps release everything up front, so an idle worker exits
+            // immediately as before.
+            let live_plans = AtomicUsize::new(live);
+            let gated = config.precision.is_some();
+            let parking = Parking::new();
+            let (tx, rx) = mpsc::channel::<(usize, SweepCampaignResult)>();
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let tx = tx.clone();
+                    let plans = &plans;
+                    let live_plans = &live_plans;
+                    let parking = &parking;
+                    scope.spawn(move || {
+                        worker(
+                            t,
+                            plans,
+                            units,
+                            keep_records,
+                            gated,
+                            live_plans,
+                            parking,
+                            telemetry,
+                            &tx,
+                        )
+                    });
+                }
+                drop(tx);
+                for _ in 0..live {
+                    let (index, result) = rx
+                        .recv()
+                        .expect("sweep worker pool exited before every campaign finished");
+                    if S::ENABLED {
+                        total_done += result.result.total();
+                    }
+                    sink(index, result);
+                }
+            });
         }
 
-        let total_batches: usize = plans.iter().map(Plan::batches).sum();
-        let threads = threads.clamp(1, total_batches);
-        let keep_records = config.keep_records;
-        // Campaigns still running.  Adaptive ("gated") workers spin
-        // (yielding) rather than exit while this is non-zero, because an
-        // adaptive campaign with every released batch claimed may release
-        // more work when its round completes.  Fixed-n sweeps release
-        // everything up front, so an idle worker exits immediately as before.
-        let live_plans = AtomicUsize::new(live);
-        let gated = config.precision.is_some();
-        let (tx, rx) = mpsc::channel::<(usize, SweepCampaignResult)>();
-        std::thread::scope(|scope| {
-            for t in 0..threads {
-                let tx = tx.clone();
-                let plans = &plans;
-                let live_plans = &live_plans;
-                scope.spawn(move || worker(t, plans, units, keep_records, gated, live_plans, &tx));
-            }
-            drop(tx);
-            for _ in 0..live {
-                let (index, result) = rx
-                    .recv()
-                    .expect("sweep worker pool exited before every campaign finished");
-                sink(index, result);
-            }
-        });
+        if S::ENABLED && telemetry.level() > TelemetryLevel::Off {
+            telemetry.emit(EventKind::SweepFinished {
+                cells: plans.len(),
+                experiments: total_done,
+                wall_ns: sweep_start.elapsed().as_nanos() as u64,
+            });
+        }
         warnings
+    }
+}
+
+/// The idle-worker rendezvous of a gated (adaptive) sweep: instead of
+/// spin-yielding while a round is in flight, a worker that finds no released
+/// batch **parks** on this condvar and is woken when any campaign releases a
+/// round or finishes.  The epoch counter closes the classic lost-wakeup race:
+/// a worker reads the epoch *before* its (empty) scan, so a release that
+/// lands between the scan and the park bumps the epoch and the park returns
+/// immediately.  A timeout backstops the protocol — a timed-out worker just
+/// rescans.
+struct Parking {
+    epoch: Mutex<u64>,
+    cond: Condvar,
+}
+
+/// Backstop for the (unexpected) case of a missed notification; also bounds
+/// how long workers linger after the last campaign finishes.
+const PARK_TIMEOUT: Duration = Duration::from_millis(50);
+
+impl Parking {
+    fn new() -> Parking {
+        Parking {
+            epoch: Mutex::new(0),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// The current epoch; read it *before* scanning for work.
+    fn epoch(&self) -> u64 {
+        *self.epoch.lock().expect("sweep parking lock poisoned")
+    }
+
+    /// Wake every parked worker (work may have been released).
+    fn bump(&self) {
+        *self.epoch.lock().expect("sweep parking lock poisoned") += 1;
+        self.cond.notify_all();
+    }
+
+    /// Sleep until the epoch moves past `seen` or the backstop timeout
+    /// elapses.  Returns whether a bump woke us (false = timeout).
+    fn park(&self, seen: u64) -> bool {
+        let guard = self.epoch.lock().expect("sweep parking lock poisoned");
+        if *guard != seen {
+            return true;
+        }
+        let (guard, _) = self
+            .cond
+            .wait_timeout(guard, PARK_TIMEOUT)
+            .expect("sweep parking lock poisoned");
+        *guard != seen
     }
 }
 
@@ -536,18 +690,22 @@ impl Plan {
 
 /// Worker `t`'s loop: drain the home campaign `t % n`, then steal whole
 /// batches from the other campaigns (round-robin scan from home).  In a
-/// gated (adaptive) sweep, a worker that finds nothing to do yields and
-/// rescans while any campaign is still live — an adaptive campaign whose
-/// released batches are all claimed will release its next round (or finish)
-/// when the in-flight ones land.  In a fixed-n sweep every batch is released
-/// up front, so an empty scan means the worker is done.
-fn worker(
+/// gated (adaptive) sweep, a worker that finds nothing to do **parks** on
+/// the sweep condvar while any campaign is still live — an adaptive campaign
+/// whose released batches are all claimed will release its next round (or
+/// finish) when the in-flight ones land, and the boundary worker wakes the
+/// pool.  In a fixed-n sweep every batch is released up front, so an empty
+/// scan means the worker is done.
+#[allow(clippy::too_many_arguments)]
+fn worker<S: TelemetrySink>(
     t: usize,
     plans: &[Plan],
     units: &[SweepUnit<'_>],
     keep_records: bool,
     gated: bool,
     live_plans: &AtomicUsize,
+    parking: &Parking,
+    telemetry: &S,
     tx: &mpsc::Sender<(usize, SweepCampaignResult)>,
 ) {
     let n = plans.len();
@@ -555,55 +713,54 @@ fn worker(
         return;
     }
     let home = t % n;
-    let mut idle_scans = 0u32;
     loop {
+        // Read the epoch *before* scanning: a round released between an
+        // empty scan and the park bumps it, so the park returns immediately.
+        let epoch = parking.epoch();
         let mut progressed = false;
         for offset in 0..n {
             let index = (home + offset) % n;
             let plan = &plans[index];
             if let Some(b) = plan.take_batch() {
                 run_batch(
+                    t,
                     plan,
                     index,
+                    index != home,
                     b,
                     &units[plan.unit],
                     keep_records,
                     live_plans,
+                    parking,
+                    telemetry,
                     tx,
                 );
                 progressed = true;
                 break;
             }
         }
-        if progressed {
-            idle_scans = 0;
-        } else {
+        if !progressed {
             if !gated || live_plans.load(Ordering::Acquire) == 0 {
                 return;
             }
-            // Escalating backoff: a round boundary usually clears within one
-            // batch runtime, so spin politely first, then stop hammering the
-            // plan atomics if a long batch (e.g. a hang detection) holds the
-            // round open.
-            idle_scans += 1;
-            if idle_scans < 64 {
-                std::thread::yield_now();
+            if S::ENABLED {
+                let idle_start = Instant::now();
+                let woken = parking.park(epoch);
+                telemetry.worker_idle(t, idle_start.elapsed().as_nanos() as u64, woken);
             } else {
-                std::thread::sleep(std::time::Duration::from_micros(100));
+                parking.park(epoch);
             }
         }
     }
 }
 
-fn run_batch(
-    plan: &Plan,
-    index: usize,
-    b: usize,
-    unit: &SweepUnit<'_>,
-    keep_records: bool,
-    live_plans: &AtomicUsize,
-    tx: &mpsc::Sender<(usize, SweepCampaignResult)>,
-) {
+/// The hot experiment loop of one batch, deliberately **not** generic over
+/// the telemetry sink: this function (and [`Experiment::run_compiled`]
+/// under it) compiles exactly once, so a telemetered sweep at `Off` or
+/// `Counters` executes the same machine code as an untelemetered one —
+/// counters are tallied in bulk afterwards via
+/// [`TelemetrySink::experiment_batch`].
+fn run_span(plan: &Plan, b: usize, unit: &SweepUnit<'_>, keep_records: bool) -> BatchOut {
     let (start, end) = plan.spans[b];
     let mut out = BatchOut {
         counts: OutcomeCounts::default(),
@@ -625,17 +782,119 @@ fn run_batch(
             plan.spec.hang_factor,
         );
         let result = Experiment::run_compiled(unit.code, unit.golden, &spec, unit.store);
-        out.counts.record(result.outcome);
-        let slot = (result.activated as usize).min(plan.max_hist - 1);
-        out.activation[slot] += 1;
-        if result.outcome == Outcome::DetectedHwException {
-            out.crash_activation[slot] += 1;
-        }
-        if keep_records {
-            out.records.push((orig, result.injections));
-        }
+        record_result(plan, &mut out, keep_records, orig, result);
     }
+    out
+}
+
+/// The Full-level variant of [`run_span`]: each experiment is individually
+/// timed into the latency histogram and reported through
+/// [`TelemetrySink::experiment`], and checkpoint-restore savings are
+/// published per experiment.  This per-experiment cost is exactly what the
+/// Counters level avoids.
+fn run_span_timed<S: TelemetrySink>(
+    plan: &Plan,
+    index: usize,
+    b: usize,
+    unit: &SweepUnit<'_>,
+    keep_records: bool,
+    telemetry: &S,
+) -> BatchOut {
+    let (start, end) = plan.spans[b];
+    let mut out = BatchOut {
+        counts: OutcomeCounts::default(),
+        activation: vec![0; plan.max_hist],
+        crash_activation: vec![0; plan.max_hist],
+        records: Vec::new(),
+    };
+    for k in start..end {
+        let orig = match &plan.order {
+            Some(order) => order[k as usize],
+            None => k,
+        };
+        let spec = ExperimentSpec::sample(
+            plan.spec.technique,
+            plan.spec.model,
+            unit.golden,
+            plan.spec.seed,
+            orig as u64,
+            plan.spec.hang_factor,
+        );
+        let t0 = Instant::now();
+        let result =
+            Experiment::run_compiled_with(unit.code, unit.golden, &spec, unit.store, telemetry);
+        let latency_ns = t0.elapsed().as_nanos() as u64;
+        telemetry.experiment(index, result.outcome, latency_ns.max(1));
+        record_result(plan, &mut out, keep_records, orig, result);
+    }
+    out
+}
+
+/// Fold one experiment's result into a batch partial (shared tail of
+/// [`run_span`] / [`run_span_timed`]).
+fn record_result(
+    plan: &Plan,
+    out: &mut BatchOut,
+    keep_records: bool,
+    orig: u32,
+    result: ExperimentResult,
+) {
+    out.counts.record(result.outcome);
+    let slot = (result.activated as usize).min(plan.max_hist - 1);
+    out.activation[slot] += 1;
+    if result.outcome == Outcome::DetectedHwException {
+        out.crash_activation[slot] += 1;
+    }
+    if keep_records {
+        out.records.push((orig, result.injections));
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_batch<S: TelemetrySink>(
+    t: usize,
+    plan: &Plan,
+    index: usize,
+    stolen: bool,
+    b: usize,
+    unit: &SweepUnit<'_>,
+    keep_records: bool,
+    live_plans: &AtomicUsize,
+    parking: &Parking,
+    telemetry: &S,
+    tx: &mpsc::Sender<(usize, SweepCampaignResult)>,
+) {
+    let (start, end) = plan.spans[b];
+    let batch_start = S::ENABLED.then(Instant::now);
+    // Per-experiment instrumentation (latency `Instant` pair, per-experiment
+    // sink calls) only at the Full level.  Everything below Full runs the
+    // shared non-generic hot loop and reports one bulk tally per batch: the
+    // experiment loop inlines the VM, and duplicating it per sink
+    // monomorphization measurably de-optimizes the telemetered copy.
+    let out = if S::ENABLED && telemetry.level() == TelemetryLevel::Full {
+        run_span_timed(plan, index, b, unit, keep_records, telemetry)
+    } else {
+        run_span(plan, b, unit, keep_records)
+    };
+    if S::ENABLED && telemetry.level() != TelemetryLevel::Full {
+        telemetry.experiment_batch(index, &out.counts);
+    }
+    let batch_counts = out.counts;
+    let batch_n = u64::from(end - start);
     *plan.slots[b].lock().expect("sweep batch slot poisoned") = Some(out);
+    if S::ENABLED {
+        let wall_ns = batch_start.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
+        telemetry.worker_batch(t, batch_n, wall_ns, stolen);
+        telemetry.emit(EventKind::BatchDone {
+            cell: index,
+            batch: b,
+            experiments: batch_n,
+            counts: batch_counts,
+            wall_ns,
+            worker: t,
+            stolen,
+        });
+    }
     // Exactly one worker observes each round boundary: `fetch_add` hands out
     // unique completion counts, and `released` only moves when the boundary
     // worker advances it below.
@@ -648,19 +907,62 @@ fn run_batch(
         .iter()
         .position(|&e| e == done)
         .expect("released always equals a round boundary");
-    let finished = round + 1 == plan.round_batch_ends.len()
+    let last_round = round + 1 == plan.round_batch_ends.len();
+    // The merged counts feed both the stop rule and the telemetry round
+    // report; compute them once, and only when someone needs them.
+    let merged =
+        (!last_round || (S::ENABLED && plan.precision.is_some())).then(|| plan.merged_counts(done));
+    let finished = last_round
         || plan
             .precision
             .as_ref()
             .expect("fixed-n campaigns have exactly one round")
-            .satisfied(&plan.merged_counts(done));
+            .satisfied(
+                merged
+                    .as_ref()
+                    .expect("merged counts computed for gated rounds"),
+            );
+    if S::ENABLED && plan.precision.is_some() {
+        if let (Some(merged), Some(precision)) = (merged.as_ref(), plan.precision.as_ref()) {
+            let (sdc_hw, det_hw) = precision.half_widths(merged);
+            telemetry.add(Metric::RoundsCompleted, 1);
+            telemetry.cell_status(index, round as u32 + 1, sdc_hw, det_hw, false);
+            telemetry.emit(EventKind::RoundDone {
+                cell: index,
+                round: round as u32 + 1,
+                experiments: merged.total(),
+                sdc_half_width_pct: sdc_hw,
+                detection_half_width_pct: det_hw,
+                stopped: finished,
+            });
+        }
+    }
     if finished {
-        let _ = tx.send((index, plan.finalize(keep_records, done, round as u32 + 1)));
+        let rounds = if plan.precision.is_some() {
+            round as u32 + 1
+        } else {
+            0
+        };
+        let result = plan.finalize(keep_records, done, round as u32 + 1);
+        if S::ENABLED {
+            telemetry.add(Metric::CellsFinished, 1);
+            telemetry.cell_status(index, rounds, f64::NAN, f64::NAN, true);
+            telemetry.emit(EventKind::CellFinished {
+                cell: index,
+                experiments: result.result.total(),
+                counts: result.result.counts,
+                rounds,
+            });
+        }
+        let _ = tx.send((index, result));
         live_plans.fetch_sub(1, Ordering::AcqRel);
     } else {
         plan.released
             .store(plan.round_batch_ends[round + 1], Ordering::Release);
     }
+    // Wake parked workers: either new batches were released or this campaign
+    // finished (and idle workers may now be able to exit).
+    parking.bump();
 }
 
 /// Convenience used by [`Campaign`]: run one campaign as a single-cell sweep.
@@ -670,6 +972,18 @@ pub(crate) fn run_single(
     spec: &CampaignSpec,
     store: Option<&CheckpointStore>,
     precision: Option<Precision>,
+) -> CampaignResult {
+    run_single_with(code, golden, spec, store, precision, &NoopSink)
+}
+
+/// [`run_single`] with a telemetry sink threaded through the executor.
+pub(crate) fn run_single_with<S: TelemetrySink>(
+    code: &CompiledModule,
+    golden: &GoldenRun,
+    spec: &CampaignSpec,
+    store: Option<&CheckpointStore>,
+    precision: Option<Precision>,
+    telemetry: &S,
 ) -> CampaignResult {
     let units = [SweepUnit {
         code,
@@ -686,7 +1000,7 @@ pub(crate) fn run_single(
         ..SweepConfig::default()
     };
     let mut out = None;
-    Sweep::run_streamed(&units, &campaigns, &config, |_, result| {
+    Sweep::run_streamed_with(&units, &campaigns, &config, telemetry, |_, result| {
         out = Some(result.result);
     });
     out.expect("single-campaign sweep produced no result")

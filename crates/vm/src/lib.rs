@@ -43,7 +43,7 @@ pub use interp::{RunOutcome, RunResult, Vm};
 pub use limits::Limits;
 pub use mbfi_ir::compiled::CompiledModule;
 pub use memory::{Memory, MemoryLayout};
-pub use profile::{CountingHook, ExecutionProfile, TraceHook};
+pub use profile::{CountingHook, ExecutionProfile, OpcodeProfile, TraceHook};
 pub use snapshot::VmSnapshot;
 pub use trap::Trap;
 pub use value::Value;

@@ -12,10 +12,41 @@
 //! These are the per-workload "total number of candidate instructions for
 //! fault injection" columns of Table II in the paper.  Injection targets are
 //! then drawn uniformly from the candidate ordinals.
+//!
+//! Profiles are **mergeable**: [`ExecutionProfile`] implements `+=`
+//! ([`std::ops::AddAssign`]), so per-worker or per-workload profiles collected
+//! independently aggregate into one campaign-wide profile without any shared
+//! state or locks during execution — each worker counts into its own profile
+//! and the results fold together afterwards (the telemetry plane uses this to
+//! surface one per-opcode dynamic-instruction histogram for a whole sweep).
 
 use crate::hooks::{ExecHook, InstrContext};
 use mbfi_ir::Opcode;
 use std::collections::BTreeMap;
+use std::ops::AddAssign;
+
+/// Per-opcode slice of an [`ExecutionProfile`]: how many dynamic instructions
+/// of this opcode executed, and how many of them were read/write injection
+/// candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpcodeProfile {
+    /// Dynamic instructions of this opcode.
+    pub count: u64,
+    /// Of those, instructions reading at least one register operand
+    /// (inject-on-read candidates).
+    pub read_candidates: u64,
+    /// Of those, instructions writing a destination register
+    /// (inject-on-write candidates).
+    pub write_candidates: u64,
+}
+
+impl AddAssign for OpcodeProfile {
+    fn add_assign(&mut self, rhs: OpcodeProfile) {
+        self.count += rhs.count;
+        self.read_candidates += rhs.read_candidates;
+        self.write_candidates += rhs.write_candidates;
+    }
+}
 
 /// Summary of a fault-free run.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -26,8 +57,8 @@ pub struct ExecutionProfile {
     pub read_candidates: u64,
     /// Dynamic instructions that write a destination register.
     pub write_candidates: u64,
-    /// Dynamic instruction count per opcode kind.
-    pub per_opcode: BTreeMap<String, u64>,
+    /// Per-opcode dynamic instruction and candidate counts.
+    pub per_opcode: BTreeMap<String, OpcodeProfile>,
 }
 
 impl ExecutionProfile {
@@ -37,6 +68,19 @@ impl ExecutionProfile {
             self.write_candidates
         } else {
             self.read_candidates
+        }
+    }
+}
+
+/// Merge another profile into this one (all counts are sums, so merging is
+/// commutative and associative — fold per-worker profiles in any order).
+impl AddAssign<&ExecutionProfile> for ExecutionProfile {
+    fn add_assign(&mut self, rhs: &ExecutionProfile) {
+        self.dynamic_instrs += rhs.dynamic_instrs;
+        self.read_candidates += rhs.read_candidates;
+        self.write_candidates += rhs.write_candidates;
+        for (opcode, stats) in &rhs.per_opcode {
+            *self.per_opcode.entry(opcode.clone()).or_default() += *stats;
         }
     }
 }
@@ -67,17 +111,18 @@ impl CountingHook {
 impl ExecHook for CountingHook {
     fn on_instr(&mut self, ctx: &InstrContext) {
         self.profile.dynamic_instrs += 1;
-        if ctx.reg_reads > 0 {
-            self.profile.read_candidates += 1;
-        }
-        if ctx.has_dest {
-            self.profile.write_candidates += 1;
-        }
-        *self
+        let reads = u64::from(ctx.reg_reads > 0);
+        let writes = u64::from(ctx.has_dest);
+        self.profile.read_candidates += reads;
+        self.profile.write_candidates += writes;
+        let entry = self
             .profile
             .per_opcode
             .entry(ctx.opcode.to_string())
-            .or_insert(0) += 1;
+            .or_default();
+        entry.count += 1;
+        entry.read_candidates += reads;
+        entry.write_candidates += writes;
     }
 }
 
@@ -157,8 +202,23 @@ mod tests {
         assert!(profile.write_candidates < profile.read_candidates);
         assert!(profile.per_opcode.contains_key("load"));
         assert!(profile.per_opcode.contains_key("store"));
-        let opcode_total: u64 = profile.per_opcode.values().sum();
+        let opcode_total: u64 = profile.per_opcode.values().map(|s| s.count).sum();
         assert_eq!(opcode_total, profile.dynamic_instrs);
+        // The per-opcode candidate counts partition the totals the same way.
+        let reads: u64 = profile.per_opcode.values().map(|s| s.read_candidates).sum();
+        let writes: u64 = profile
+            .per_opcode
+            .values()
+            .map(|s| s.write_candidates)
+            .sum();
+        assert_eq!(reads, profile.read_candidates);
+        assert_eq!(writes, profile.write_candidates);
+        // `load` always reads its address register and writes its destination.
+        let load = profile.per_opcode["load"];
+        assert_eq!(load.read_candidates, load.count);
+        assert_eq!(load.write_candidates, load.count);
+        // `store` never writes a destination register.
+        assert_eq!(profile.per_opcode["store"].write_candidates, 0);
     }
 
     #[test]
@@ -171,6 +231,47 @@ mod tests {
         };
         assert_eq!(p.candidates_for(false), 7);
         assert_eq!(p.candidates_for(true), 4);
+    }
+
+    /// `+=` folds profiles field by field: two single-threaded halves of a run
+    /// merge into exactly the whole-run profile, regardless of fold order.
+    #[test]
+    fn profiles_merge_with_add_assign() {
+        let m = sample_module();
+        let code = CompiledModule::lower(&m);
+        let mut hook = CountingHook::new();
+        Vm::new(&code, Limits::default()).run(&mut hook);
+        let whole = hook.into_profile();
+
+        // Split the per-opcode map into two disjoint "worker" profiles.
+        let mut a = ExecutionProfile::default();
+        let mut b = ExecutionProfile::default();
+        for (i, (opcode, stats)) in whole.per_opcode.iter().enumerate() {
+            let side = if i % 2 == 0 { &mut a } else { &mut b };
+            side.dynamic_instrs += stats.count;
+            side.read_candidates += stats.read_candidates;
+            side.write_candidates += stats.write_candidates;
+            side.per_opcode.insert(opcode.clone(), *stats);
+        }
+        let mut ab = a.clone();
+        ab += &b;
+        let mut ba = b.clone();
+        ba += &a;
+        assert_eq!(ab, whole, "disjoint halves merge back into the whole");
+        assert_eq!(ba, whole, "merging is commutative");
+
+        // Merging a profile into itself doubles every count.
+        let mut doubled = whole.clone();
+        doubled += &whole;
+        assert_eq!(doubled.dynamic_instrs, 2 * whole.dynamic_instrs);
+        assert_eq!(
+            doubled.per_opcode["load"].count,
+            2 * whole.per_opcode["load"].count
+        );
+        // Merging the empty profile is the identity.
+        let mut id = whole.clone();
+        id += &ExecutionProfile::default();
+        assert_eq!(id, whole);
     }
 
     #[test]

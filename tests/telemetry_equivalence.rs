@@ -1,0 +1,219 @@
+//! The telemetry plane's observer contract, as a test suite: attaching a
+//! [`TelemetryHub`] at any level to a sweep, a campaign or a pruned campaign
+//! must leave every result byte-identical to the untelemetered run across
+//! sweep thread counts (1, 4, 8); the hub's snapshot totals must exactly
+//! equal the authoritative `SweepReport`; and the drained JSONL event stream
+//! must replay through [`MonitorState`] — the `mbfi-monitor` pipeline — into
+//! a verified, complete picture with the same per-cell tallies.
+
+use mbfi_bench::harness::{self, HarnessConfig, WorkloadData};
+use mbfi_core::{
+    BitLevelPruner, Campaign, FaultModel, Metric, MonitorState, Precision, Sweep, SweepCampaign,
+    SweepConfig, SweepReport, SweepUnit, Technique, TelemetryHub, TelemetryLevel, WinSize,
+};
+
+const EXPERIMENTS: usize = 8;
+
+fn fixture() -> Vec<WorkloadData> {
+    let cfg = HarnessConfig {
+        experiments: EXPERIMENTS,
+        workload_filter: Some(vec!["qsort".into(), "CRC32".into()]),
+        ..HarnessConfig::default()
+    };
+    harness::prepare(&cfg)
+}
+
+/// Both techniques, a single-bit and a windowed multi-bit model per
+/// workload — enough cells to exercise batching, stealing and the stream.
+fn cells(units: usize) -> Vec<SweepCampaign> {
+    let cfg = HarnessConfig {
+        experiments: EXPERIMENTS,
+        ..HarnessConfig::default()
+    };
+    let mut out = Vec::new();
+    for unit in 0..units {
+        for technique in Technique::ALL {
+            for model in [
+                FaultModel::single_bit(),
+                FaultModel::multi_bit(3, WinSize::Fixed(100)),
+            ] {
+                out.push(SweepCampaign {
+                    unit,
+                    spec: cfg.campaign_spec(technique, model),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn config(threads: usize, precision: Option<Precision>) -> SweepConfig {
+    SweepConfig {
+        threads,
+        batch_size: 3,
+        keep_records: false,
+        precision,
+    }
+}
+
+fn report_total(report: &SweepReport) -> u64 {
+    report.results.iter().map(|r| r.result.total()).sum()
+}
+
+/// Telemetry at every level is invisible in the results: fixed-n and
+/// adaptive sweeps return byte-identical reports with and without a hub, at
+/// 1, 4 and 8 worker threads.
+#[test]
+fn telemetered_sweep_is_byte_identical_across_levels_and_threads() {
+    let data = fixture();
+    let units: Vec<SweepUnit<'_>> = data.iter().map(WorkloadData::sweep_unit).collect();
+    let cells = cells(units.len());
+    let precision = Precision {
+        target_half_width_pct: 25.0,
+        min_experiments: 4,
+        max_experiments: 12,
+        interval: mbfi_core::IntervalMethod::Wilson,
+    };
+    for precision in [None, Some(precision)] {
+        for threads in [1usize, 4, 8] {
+            let config = config(threads, precision);
+            let base = Sweep::run(&units, &cells, &config);
+            for level in [TelemetryLevel::Counters, TelemetryLevel::Full] {
+                let hub = TelemetryHub::new(level);
+                let report = Sweep::run_with(&units, &cells, &config, &hub);
+                assert_eq!(
+                    report,
+                    base,
+                    "telemetry={} threads={threads} adaptive={}: report diverged",
+                    level.label(),
+                    precision.is_some()
+                );
+            }
+        }
+    }
+}
+
+/// The hub's snapshot agrees with the authoritative report: the experiment
+/// counter, per-cell tallies, finished flags, worker accounting and — at
+/// Full — the latency histogram all reconcile.
+#[test]
+fn hub_snapshot_totals_equal_sweep_report() {
+    let data = fixture();
+    let units: Vec<SweepUnit<'_>> = data.iter().map(WorkloadData::sweep_unit).collect();
+    let cells = cells(units.len());
+    let config = config(4, None);
+    for level in [TelemetryLevel::Counters, TelemetryLevel::Full] {
+        let hub = TelemetryHub::new(level);
+        let report = Sweep::run_with(&units, &cells, &config, &hub);
+        let snapshot = hub.snapshot();
+        let total = report_total(&report);
+        assert_eq!(snapshot.counter(Metric::ExperimentsRun), total);
+        assert_eq!(snapshot.counter(Metric::CellsFinished), cells.len() as u64);
+        assert!(snapshot.counter(Metric::BatchesRun) > 0);
+        assert_eq!(snapshot.cells.len(), cells.len());
+        for (cell, r) in snapshot.cells.iter().zip(&report.results) {
+            assert_eq!(cell.done, r.result.total());
+            assert_eq!(cell.counts, r.result.counts);
+            assert!(cell.finished);
+        }
+        assert_eq!(snapshot.threads, config.threads);
+        let worker_total: u64 = snapshot.workers.iter().map(|w| w.experiments).sum();
+        assert_eq!(worker_total, total, "per-worker tallies cover every run");
+        // Experiment latency is a Full-level cost; Counters must not pay it.
+        match level {
+            TelemetryLevel::Full => assert_eq!(snapshot.latency.count, total),
+            _ => assert_eq!(snapshot.latency.count, 0),
+        }
+        // The merged fault-free profile is republished from the sweep units.
+        assert!(snapshot.profile.dynamic_instrs > 0);
+    }
+}
+
+/// The JSONL stream drained from a Full-level hub replays through
+/// [`MonitorState`] — exactly what `mbfi-monitor --headless` does — into a
+/// gap-free, verified state whose per-cell totals equal the `SweepReport`.
+#[test]
+fn drained_stream_replays_into_clean_monitor_state() {
+    let data = fixture();
+    let units: Vec<SweepUnit<'_>> = data.iter().map(WorkloadData::sweep_unit).collect();
+    let cells = cells(units.len());
+    let config = config(8, None);
+    let hub = TelemetryHub::new(TelemetryLevel::Full);
+    let report = Sweep::run_with(&units, &cells, &config, &hub);
+    let jsonl = hub.drain_jsonl();
+    assert!(jsonl.ends_with('\n'), "stream is one event per line");
+
+    let mut state = MonitorState::new();
+    for line in jsonl.lines() {
+        state
+            .apply_line(line)
+            .unwrap_or_else(|e| panic!("stream line failed to decode: {e}\n{line}"));
+    }
+    let problems = state.verify();
+    assert!(problems.is_empty(), "monitor verify failed: {problems:?}");
+    assert!(state.finished, "stream must end in sweep_finished");
+    assert_eq!(state.threads, config.threads);
+    assert_eq!(state.reported_total, Some(report_total(&report)));
+    let (total, counts) = state.totals();
+    assert_eq!(total, report_total(&report));
+    assert_eq!(state.cells.len(), report.results.len());
+    for (cell, r) in state.cells.iter().zip(&report.results) {
+        assert_eq!(cell.done, r.result.total());
+        assert_eq!(cell.counts, r.result.counts);
+        assert_eq!(cell.reported, Some((r.result.total(), r.result.counts)));
+        assert!(cell.finished);
+    }
+    let merged_sdc: u64 = report
+        .results
+        .iter()
+        .map(|r| r.result.counts.get(mbfi_core::Outcome::Sdc))
+        .sum();
+    assert_eq!(counts.get(mbfi_core::Outcome::Sdc), merged_sdc);
+
+    // The renderers consume the same state without panicking and agree on
+    // the headline numbers.
+    let headless = mbfi_bench::render_headless(&state);
+    assert!(headless.starts_with("done |"));
+    assert!(headless.contains(&format!("{total} experiments")));
+}
+
+/// The single-campaign and pruned-campaign telemetry entry points are
+/// observers too: identical results, and the pruning metrics account for
+/// every experiment.
+#[test]
+fn campaign_and_pruning_telemetry_observe_without_perturbing() {
+    let data = fixture();
+    let w = &data[0];
+    let cfg = HarnessConfig {
+        experiments: EXPERIMENTS,
+        ..HarnessConfig::default()
+    };
+    let spec = cfg.campaign_spec(Technique::InjectOnRead, FaultModel::single_bit());
+
+    let base = Campaign::run_compiled(&w.code, &w.golden, &spec);
+    let hub = TelemetryHub::new(TelemetryLevel::Full);
+    let observed = Campaign::run_compiled_telemetry(&w.code, &w.golden, &spec, None, &hub);
+    assert_eq!(observed, base, "campaign telemetry perturbed the result");
+    assert_eq!(
+        hub.snapshot().counter(Metric::ExperimentsRun),
+        base.counts.total()
+    );
+
+    let pruner = BitLevelPruner::analyze(&w.code);
+    let plain = pruner.run_campaign_pruned(&w.code, &w.golden, &spec);
+    let hub = TelemetryHub::new(TelemetryLevel::Counters);
+    let pruned = pruner.run_campaign_pruned_with(&w.code, &w.golden, &spec, &hub);
+    assert_eq!(pruned.result, plain.result);
+    assert_eq!(pruned.skipped, plain.skipped);
+    let snapshot = hub.snapshot();
+    assert_eq!(
+        snapshot.counter(Metric::PruneSkippedExperiments),
+        pruned.skipped
+    );
+    assert_eq!(
+        snapshot.counter(Metric::PruneSkippedExperiments)
+            + snapshot.counter(Metric::PruneExecutedExperiments),
+        pruned.result.counts.total(),
+        "pruning metrics must account for every experiment"
+    );
+}
