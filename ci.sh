@@ -102,6 +102,18 @@ if [[ "${1:-}" == "bench" ]]; then
     MBFI_EXPERIMENTS=20 cargo run --release --offline -q -p mbfi-bench \
         --bin prune_bench -- --out-dir "$MBFI_BENCH_OUT"
 
+    # Copy-on-write snapshot forking: first the self-verifying mode (dirty-
+    # chunk accounting cross-checks, plus CoW campaigns byte-identical to
+    # deep-copy-restore campaigns on all 15 workloads at thread counts 1, 4
+    # and 8), then a small timing run that writes BENCH_snapshot.json with
+    # the late-injection and uniform-grid exp/s ratios.
+    echo "==> cargo run --release -p mbfi-bench --bin snapshot_bench -- --check"
+    cargo run --release --offline -q -p mbfi-bench \
+        --bin snapshot_bench -- --check
+    echo "==> cargo run --release -p mbfi-bench --bin snapshot_bench"
+    MBFI_EXPERIMENTS=16 cargo run --release --offline -q -p mbfi-bench \
+        --bin snapshot_bench -- --out-dir "$MBFI_BENCH_OUT"
+
     # Telemetry plane: first the self-verifying mode (telemetered sweeps
     # byte-identical to telemetry-off at thread counts 1, 4 and 8; hub
     # snapshot and replayed JSONL monitor totals equal to the SweepReport),

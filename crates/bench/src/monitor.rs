@@ -62,13 +62,22 @@ fn mix(counts: &mbfi_core::OutcomeCounts) -> String {
 fn header_line(state: &MonitorState) -> String {
     let (total, counts) = state.totals();
     format!(
-        "{} | {} cells, {} threads | {} experiments | {:.0} exp/s | SDC {:.2}%{}",
+        "{} | {} cells, {} threads | {} experiments | {:.0} exp/s | SDC {:.2}%{}{}",
         if state.finished { "done" } else { "running" },
         state.cells.len(),
         state.threads,
         total,
         state.exps_per_sec(),
         counts.fraction(Outcome::Sdc) * 100.0,
+        if state.cow_chunks_copied == 0 && state.cow_restore_bytes_saved == 0 {
+            String::new()
+        } else {
+            format!(
+                " | cow {} chunks, {:.1} MiB saved",
+                state.cow_chunks_copied,
+                state.cow_restore_bytes_saved as f64 / (1024.0 * 1024.0),
+            )
+        },
         if state.errors.is_empty() {
             String::new()
         } else {
@@ -191,6 +200,19 @@ mod tests {
         assert!(report.contains('✓'), "finished cell is ticked");
         assert!(report.contains("legend:"));
         assert!(!report.contains('\x1b'), "headless output has no ANSI");
+    }
+
+    #[test]
+    fn cow_totals_surface_in_header_once_the_sweep_finishes() {
+        // No CoW activity recorded yet: the header stays compact.
+        assert!(!header_line(&state_from(STREAM)).contains("cow"));
+        let finished = format!(
+            "{STREAM}{}\n",
+            r#"{"seq": 6, "t_ns": 900, "kind": "sweep_finished", "cells": 2, "experiments": 15, "wall_ns": 890, "cow_chunks": 12, "cow_saved": 2097152}"#
+        );
+        let state = state_from(&finished);
+        let report = render_headless(&state);
+        assert!(report.contains("cow 12 chunks, 2.0 MiB saved"), "{report}");
     }
 
     #[test]

@@ -108,6 +108,15 @@ pub struct ExperimentResult {
     pub injections: Vec<InjectionRecord>,
 }
 
+/// Cost accounting of one experiment run, surfaced to telemetry only.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ExperimentCost {
+    /// Dynamic instructions skipped by a checkpoint restore, if one happened.
+    pub restored_dyn: Option<u64>,
+    /// Copy-on-write chunk traffic of the run.
+    pub cow: mbfi_vm::CowStats,
+}
+
 /// Runs single experiments.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Experiment;
@@ -157,6 +166,20 @@ impl Experiment {
         spec: &ExperimentSpec,
         store: Option<&CheckpointStore>,
     ) -> ExperimentResult {
+        Self::run_compiled_inner(code, golden, spec, store).0
+    }
+
+    /// The shared non-generic execution body: the result plus the run's cost
+    /// accounting (checkpoint restore, copy-on-write chunk traffic).  Costs
+    /// are deliberately *not* part of [`ExperimentResult`] — results must
+    /// stay byte-identical whether replay or CoW is on, and the cost side
+    /// obviously differs between the paths.
+    pub(crate) fn run_compiled_inner(
+        code: &CompiledModule,
+        golden: &GoldenRun,
+        spec: &ExperimentSpec,
+        store: Option<&CheckpointStore>,
+    ) -> (ExperimentResult, ExperimentCost) {
         let mut hook = InjectorHook::new(
             spec.technique,
             spec.model.max_mbf,
@@ -165,26 +188,32 @@ impl Experiment {
             spec.seed,
         );
         let limits = golden.faulty_run_limits(spec.hang_factor);
-        let mut vm = Vm::new(code, limits);
-        if let Some(cp) = store.and_then(|s| s.nearest_for(spec.technique, spec.first_target)) {
-            hook.resume_candidates(cp.candidates_for(spec.technique));
-            vm.resume_from(cp.snapshot());
-        }
-        let result = vm.run(&mut hook);
-        Self::finish(golden, spec, result, hook)
+        let mut cost = ExperimentCost::default();
+        let mut vm = match store.and_then(|s| s.nearest_for(spec.technique, spec.first_target)) {
+            Some(cp) => {
+                hook.resume_candidates(cp.candidates_for(spec.technique));
+                cost.restored_dyn = Some(cp.snapshot().dyn_count());
+                // Fork straight off the shared checkpoint: with CoW enabled
+                // this copies no memory at all up front.
+                Vm::from_snapshot(code, limits, cp.snapshot())
+            }
+            None => Vm::new(code, limits),
+        };
+        let result = vm.run_to_end(&mut hook);
+        cost.cow = vm.cow_stats();
+        (Self::finish(golden, spec, result, hook), cost)
     }
 
     /// [`Experiment::run_compiled`] with a telemetry sink: when the
     /// experiment fast-forwards from a checkpoint, the restore and the
     /// dynamic instructions it skipped are published as
-    /// [`Metric::CheckpointRestores`] / [`Metric::ReplayInstrsSkipped`].
-    /// Telemetry never influences the result (the sink only observes), and
-    /// the whole block compiles away for [`NoopSink`].
-    ///
-    /// The checkpoint lookup is repeated here rather than threading the sink
-    /// through [`Experiment::run_compiled`]: the lookup is a binary search —
-    /// trivial next to an experiment — and keeping the execution body
-    /// non-generic keeps it off the monomorphization lottery (see there).
+    /// [`Metric::CheckpointRestores`] / [`Metric::ReplayInstrsSkipped`], and
+    /// the run's copy-on-write traffic as [`Metric::CowChunksCopied`] /
+    /// [`Metric::CowRestoreBytesSaved`].  Telemetry never influences the
+    /// result (the sink only observes), the execution body stays the one
+    /// non-generic [`Experiment::run_compiled_inner`] so it is off the
+    /// monomorphization lottery, and the publishing block compiles away for
+    /// `NoopSink`.
     pub fn run_compiled_with<S: TelemetrySink>(
         code: &CompiledModule,
         golden: &GoldenRun,
@@ -192,13 +221,20 @@ impl Experiment {
         store: Option<&CheckpointStore>,
         telemetry: &S,
     ) -> ExperimentResult {
+        let (result, cost) = Self::run_compiled_inner(code, golden, spec, store);
         if S::ENABLED && telemetry.level() > TelemetryLevel::Off {
-            if let Some(cp) = store.and_then(|s| s.nearest_for(spec.technique, spec.first_target)) {
+            if let Some(skipped) = cost.restored_dyn {
                 telemetry.add(Metric::CheckpointRestores, 1);
-                telemetry.add(Metric::ReplayInstrsSkipped, cp.snapshot().dyn_count());
+                telemetry.add(Metric::ReplayInstrsSkipped, skipped);
+            }
+            if cost.cow.cow_chunks_copied > 0 {
+                telemetry.add(Metric::CowChunksCopied, cost.cow.cow_chunks_copied);
+            }
+            if cost.cow.restore_bytes_saved > 0 {
+                telemetry.add(Metric::CowRestoreBytesSaved, cost.cow.restore_bytes_saved);
             }
         }
-        Self::run_compiled(code, golden, spec, store)
+        result
     }
 
     /// Execute one experiment on the legacy tree walker.

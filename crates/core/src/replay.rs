@@ -32,12 +32,18 @@
 //!
 //! ## Memory budget
 //!
-//! Snapshots are whole memory images; a store refuses to grow beyond
-//! [`CheckpointConfig::max_bytes`] and simply stops adding checkpoints once
-//! the budget is reached ([`CheckpointStore::truncated`] reports this).
+//! Snapshots are chunk-table clones sharing 4 KiB copy-on-write chunks (see
+//! `mbfi_vm::memory`), so consecutive checkpoints share every chunk the run
+//! did not touch in between.  The budget accounting charges each checkpoint
+//! its *marginal* unique-chunk footprint — a chunk shared with an earlier
+//! checkpoint is free — and the store refuses to grow beyond
+//! [`CheckpointConfig::max_bytes`], simply not adding checkpoints once the
+//! budget is reached ([`CheckpointStore::truncated`] reports this).
 //! Experiments whose first injection lies beyond the last stored checkpoint
 //! fall back to the deepest one available — correctness never depends on the
-//! budget.
+//! budget.  The chunk `Arc`s are also the cross-thread sharing mechanism:
+//! sweep workers fork experiment VMs straight off the shared store with zero
+//! up-front copy.
 
 use crate::golden::GoldenRun;
 use crate::technique::Technique;
@@ -60,9 +66,10 @@ pub struct CheckpointConfig {
     /// Checkpoint every `interval` dynamic instructions (K).  Smaller values
     /// shrink the replayed tail but cost more capture time and memory.
     pub interval: u64,
-    /// Upper bound on the summed [`VmSnapshot::approx_bytes`] of stored
-    /// checkpoints.  Capture keeps the earliest checkpoints and stops adding
-    /// once the budget is exhausted.
+    /// Upper bound on the stored checkpoints' unique-chunk footprint (each
+    /// checkpoint charged its marginal bytes over those already stored; see
+    /// [`VmSnapshot::unique_bytes`]).  Capture keeps the earliest checkpoints
+    /// and stops adding once the budget is exhausted.
     pub max_bytes: usize,
 }
 
@@ -226,13 +233,19 @@ impl CheckpointStore {
             truncated: false,
         };
         let mut next_stop = config.interval;
+        // Chunks already charged to the store: a snapshot only pays for
+        // chunks no earlier checkpoint holds, so dense checkpointing of a
+        // mostly-idle image is nearly free.
+        let mut seen = mbfi_vm::ChunkSet::default();
         let result = loop {
             match vm.run_until(&mut hook, next_stop) {
                 None => {
                     if !store.truncated {
                         let snapshot = vm.snapshot();
-                        let bytes = snapshot.approx_bytes();
+                        let mut staged = seen.clone();
+                        let bytes = snapshot.unique_bytes(&mut staged);
                         if store.stored_bytes + bytes <= config.max_bytes {
+                            seen = staged;
                             let profile = hook.profile();
                             store.stored_bytes += bytes;
                             store.checkpoints.push(Checkpoint {
@@ -305,7 +318,8 @@ impl CheckpointStore {
         self.checkpoints.is_empty()
     }
 
-    /// Approximate bytes held by the stored snapshots.
+    /// Approximate unique-chunk footprint of the stored snapshots (shared
+    /// chunks counted once across the whole store).
     pub fn stored_bytes(&self) -> usize {
         self.stored_bytes
     }
@@ -424,32 +438,89 @@ mod tests {
         }
     }
 
+    /// A workload with a large cold region: 32 KiB of heap data written once
+    /// up front, then a read-only summing loop.  Checkpoints taken in the
+    /// second phase share all the data chunks, which is what the unique-chunk
+    /// budget accounting is supposed to exploit.
+    fn cold_data_workload() -> Module {
+        let mut mb = ModuleBuilder::new("cold");
+        let main = mb.declare("main", &[], None);
+        {
+            let mut f = mb.define(main);
+            let data = f.alloca(Type::I64, 4096i64);
+            f.counted_loop(Type::I64, 0i64, 4096i64, |f, i| {
+                f.store_elem(Type::I64, data, i, i);
+            });
+            let acc = f.slot(Type::I64);
+            f.store(Type::I64, 0i64, acc);
+            f.counted_loop(Type::I64, 0i64, 512i64, |f, i| {
+                let slot = f.urem(Type::I64, i, 4096i64);
+                let v = f.load_elem(Type::I64, data, slot);
+                let cur = f.load(Type::I64, acc);
+                let next = f.add(Type::I64, cur, v);
+                f.store(Type::I64, next, acc);
+            });
+            let total = f.load(Type::I64, acc);
+            f.print_i64(total);
+            f.ret_void();
+        }
+        mb.set_entry(main);
+        mb.finish()
+    }
+
     #[test]
     fn budget_truncates_capture_but_keeps_the_prefix() {
-        let m = workload(256);
+        let m = cold_data_workload();
         let golden = GoldenRun::capture(&m).unwrap();
         let full =
-            CheckpointStore::capture(&m, &golden, CheckpointConfig::with_interval(10)).unwrap();
+            CheckpointStore::capture(&m, &golden, CheckpointConfig::with_interval(100)).unwrap();
+        assert!(full.len() > 4);
+
+        // Unique-chunk accounting: the store's footprint is well below the
+        // sum of standalone snapshot footprints, because consecutive
+        // checkpoints share every chunk the run did not touch in between.
+        let standalone: usize = full
+            .checkpoints()
+            .iter()
+            .map(|c| c.snapshot().approx_bytes())
+            .sum();
+        assert!(full.stored_bytes() * 2 < standalone);
+
+        // A budget of six standalone images holds more than six checkpoints
+        // now that later ones are charged only marginal bytes.
         let one = full
             .checkpoints()
             .first()
             .unwrap()
             .snapshot()
             .approx_bytes();
+        let sized = CheckpointStore::capture(
+            &m,
+            &golden,
+            CheckpointConfig {
+                interval: 100,
+                max_bytes: one * 6,
+            },
+        )
+        .unwrap();
+        assert!(sized.len() > 6);
+        assert!(sized.stored_bytes() <= one * 6);
+
+        // A budget just below the full footprint truncates but keeps the
+        // already-stored prefix, identical to the full capture's prefix.
         let tight = CheckpointStore::capture(
             &m,
             &golden,
             CheckpointConfig {
-                interval: 10,
-                max_bytes: one * 3,
+                interval: 100,
+                max_bytes: full.stored_bytes() - 1,
             },
         )
         .unwrap();
         assert!(tight.truncated());
         assert!(tight.len() < full.len());
         assert!(!tight.is_empty());
-        assert!(tight.stored_bytes() <= one * 3);
-        // The stored prefix is identical to the full capture's prefix.
+        assert!(tight.stored_bytes() < full.stored_bytes());
         for (a, b) in tight.checkpoints().iter().zip(full.checkpoints()) {
             assert_eq!(a.dyn_index, b.dyn_index);
         }

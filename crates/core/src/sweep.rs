@@ -382,6 +382,8 @@ impl Sweep {
                 cells: plans.len(),
                 experiments: total_done,
                 wall_ns: sweep_start.elapsed().as_nanos() as u64,
+                cow_chunks_copied: telemetry.counter_value(Metric::CowChunksCopied),
+                cow_restore_bytes_saved: telemetry.counter_value(Metric::CowRestoreBytesSaved),
             });
         }
         warnings

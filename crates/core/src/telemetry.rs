@@ -127,11 +127,18 @@ pub enum Metric {
     PruneSkippedExperiments = 15,
     /// Experiments actually executed by a pruned campaign.
     PruneExecutedExperiments = 16,
+    /// 4 KiB chunks cloned because an experiment wrote to a chunk shared
+    /// with a snapshot (the dirty-page cost of copy-on-write forking).
+    /// Per-experiment, populated at [`TelemetryLevel::Full`] only.
+    CowChunksCopied = 17,
+    /// Bytes a deep-copy restore would have moved that copy-on-write
+    /// restores did not (zero when `MBFI_COW=off`).
+    CowRestoreBytesSaved = 18,
 }
 
 impl Metric {
     /// All metrics, in registry order (`m as usize` indexes this array).
-    pub const ALL: [Metric; 17] = [
+    pub const ALL: [Metric; 19] = [
         Metric::ExperimentsRun,
         Metric::BatchesRun,
         Metric::BatchesStolen,
@@ -149,6 +156,8 @@ impl Metric {
         Metric::ReplayInstrsSkipped,
         Metric::PruneSkippedExperiments,
         Metric::PruneExecutedExperiments,
+        Metric::CowChunksCopied,
+        Metric::CowRestoreBytesSaved,
     ];
 
     /// Snake-case registry name (stable; used in snapshots and bench JSON).
@@ -171,6 +180,8 @@ impl Metric {
             Metric::ReplayInstrsSkipped => "replay_instrs_skipped",
             Metric::PruneSkippedExperiments => "prune_skipped_experiments",
             Metric::PruneExecutedExperiments => "prune_executed_experiments",
+            Metric::CowChunksCopied => "cow_chunks_copied",
+            Metric::CowRestoreBytesSaved => "cow_restore_bytes_saved",
         }
     }
 }
@@ -270,6 +281,11 @@ pub enum EventKind {
         experiments: u64,
         /// Sweep wall clock, nanoseconds.
         wall_ns: u64,
+        /// Total [`Metric::CowChunksCopied`] at sweep end (0 when the level
+        /// never recorded per-experiment costs).
+        cow_chunks_copied: u64,
+        /// Total [`Metric::CowRestoreBytesSaved`] at sweep end.
+        cow_restore_bytes_saved: u64,
     },
 }
 
@@ -365,11 +381,15 @@ impl TelemetryEvent {
                 cells,
                 experiments,
                 wall_ns,
+                cow_chunks_copied,
+                cow_restore_bytes_saved,
             } => {
                 obj.set("kind", "sweep_finished");
                 obj.set("cells", *cells);
                 obj.set("experiments", *experiments);
                 obj.set("wall_ns", *wall_ns);
+                obj.set("cow_chunks", *cow_chunks_copied);
+                obj.set("cow_saved", *cow_restore_bytes_saved);
             }
         }
         obj
@@ -432,6 +452,9 @@ impl TelemetryEvent {
                 cells: v.get("cells")?.as_u64()? as usize,
                 experiments: v.get("experiments")?.as_u64()?,
                 wall_ns: v.get("wall_ns")?.as_u64()?,
+                // Absent in streams recorded before the CoW metrics existed.
+                cow_chunks_copied: v.get("cow_chunks").and_then(Json::as_u64).unwrap_or(0),
+                cow_restore_bytes_saved: v.get("cow_saved").and_then(Json::as_u64).unwrap_or(0),
             },
             _ => return None,
         };
@@ -495,6 +518,14 @@ pub trait TelemetrySink: Sync {
 
     /// Emit a structured event onto the stream (Full level only).
     fn emit(&self, _kind: EventKind) {}
+
+    /// Read back a registry counter's current value, for sinks that keep one
+    /// (the hub).  Event payloads that summarize counters at a boundary
+    /// (e.g. the CoW totals on [`EventKind::SweepFinished`]) are built from
+    /// this; sinks without a registry report zero.
+    fn counter_value(&self, _metric: Metric) -> u64 {
+        0
+    }
 
     /// Merge a fault-free execution profile (per-opcode dynamic-instruction
     /// histogram) into the sweep-wide profile.
@@ -801,6 +832,10 @@ impl TelemetrySink for TelemetryHub {
         self.counters[metric as usize].fetch_add(delta, Ordering::Relaxed);
     }
 
+    fn counter_value(&self, metric: Metric) -> u64 {
+        self.counter(metric)
+    }
+
     fn experiment(&self, cell: usize, outcome: Outcome, latency_ns: u64) {
         if self.level == TelemetryLevel::Off {
             return;
@@ -1085,6 +1120,10 @@ pub struct MonitorState {
     pub reported_total: Option<u64>,
     /// Sweep wall clock reported by `SweepFinished`, nanoseconds.
     pub reported_wall_ns: Option<u64>,
+    /// Copy-on-write chunks cloned, from `SweepFinished`.
+    pub cow_chunks_copied: u64,
+    /// Restore bytes saved by copy-on-write forking, from `SweepFinished`.
+    pub cow_restore_bytes_saved: u64,
     /// Events applied.
     pub events: u64,
     /// Malformed lines / decode failures encountered.
@@ -1195,11 +1234,15 @@ impl MonitorState {
             EventKind::SweepFinished {
                 experiments,
                 wall_ns,
+                cow_chunks_copied,
+                cow_restore_bytes_saved,
                 ..
             } => {
                 self.finished = true;
                 self.reported_total = Some(*experiments);
                 self.reported_wall_ns = Some(*wall_ns);
+                self.cow_chunks_copied = *cow_chunks_copied;
+                self.cow_restore_bytes_saved = *cow_restore_bytes_saved;
             }
         }
     }
@@ -1417,6 +1460,8 @@ mod tests {
             cells: 2,
             experiments: 4,
             wall_ns: 1,
+            cow_chunks_copied: 0,
+            cow_restore_bytes_saved: 0,
         });
         assert!(hub.drain_events().is_empty());
         // Snapshot renders to JSON without panicking and carries the label.
@@ -1442,6 +1487,8 @@ mod tests {
             cells: 1,
             experiments: 1,
             wall_ns: 1,
+            cow_chunks_copied: 0,
+            cow_restore_bytes_saved: 0,
         });
         let snap = hub.snapshot();
         assert_eq!(snap.counter(Metric::ExperimentsRun), 0);
@@ -1540,6 +1587,8 @@ mod tests {
             cells: 2,
             experiments: 30,
             wall_ns: 22_344,
+            cow_chunks_copied: 7,
+            cow_restore_bytes_saved: 28_672,
         });
         hub.drain_events()
     }
@@ -1636,6 +1685,8 @@ mod tests {
             cells: 0,
             experiments: 0,
             wall_ns: 0,
+            cow_chunks_copied: 0,
+            cow_restore_bytes_saved: 0,
         });
     }
 }

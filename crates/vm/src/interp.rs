@@ -212,6 +212,12 @@ impl<'c> Vm<'c> {
     /// Execute the module's entry function, routing register traffic through
     /// `hook`.
     pub fn run<H: ExecHook + ?Sized>(mut self, hook: &mut H) -> RunResult {
+        self.run_to_end(hook)
+    }
+
+    /// [`Vm::run`] without consuming the VM, so post-run state (e.g.
+    /// [`Vm::cow_stats`]) stays readable.
+    pub fn run_to_end<H: ExecHook + ?Sized>(&mut self, hook: &mut H) -> RunResult {
         self.run_until(hook, u64::MAX)
             .expect("a run can never pause at the u64::MAX boundary")
     }
@@ -338,7 +344,10 @@ impl<'c> Vm<'c> {
         assert!(!self.done, "Vm::snapshot called after the run ended");
         VmSnapshot {
             frames: self.stack.clone(),
-            mem: self.mem.clone(),
+            // A trimmed chunk-table clone: O(chunks) pointer bumps, with any
+            // high-water chunks above the current heap/stack tops dropped so
+            // they are not carried into every restore of this snapshot.
+            mem: self.mem.snapshot_image(),
             output: self.output.clone(),
             dyn_count: self.dyn_count,
         }
@@ -349,12 +358,42 @@ impl<'c> Vm<'c> {
     /// and dynamic-instruction counter.  The VM's own [`Limits`] are kept, so
     /// a replay can run under different (e.g. hang-detection) limits than the
     /// capture run.
+    ///
+    /// With CoW enabled (the default) the memory reset is O(dirty chunks):
+    /// only chunks that diverged from the snapshot are re-pointed.  For a
+    /// brand-new VM, [`Vm::from_snapshot`] is cheaper still.
     pub fn resume_from(&mut self, snapshot: &VmSnapshot) {
-        self.stack = snapshot.frames.clone();
-        self.mem = snapshot.mem.clone();
-        self.output = snapshot.output.clone();
+        self.stack.clone_from(&snapshot.frames);
+        self.mem.restore_from(&snapshot.mem);
+        self.output.clone_from(&snapshot.output);
         self.dyn_count = snapshot.dyn_count;
         self.done = false;
+    }
+
+    /// Create a VM already positioned at `snapshot`, forking the snapshot's
+    /// memory image directly: with CoW enabled this copies no chunk bytes at
+    /// all (every chunk is shared until first write), which is how thousands
+    /// of experiments fork from one shared checkpoint with zero up-front
+    /// copy.  The snapshot must come from the **same compiled module**.
+    pub fn from_snapshot(
+        code: &'c CompiledModule,
+        limits: Limits,
+        snapshot: &VmSnapshot,
+    ) -> Vm<'c> {
+        Vm {
+            code,
+            mem: snapshot.mem.fork(),
+            limits,
+            output: snapshot.output.clone(),
+            dyn_count: snapshot.dyn_count,
+            stack: snapshot.frames.clone(),
+            done: false,
+        }
+    }
+
+    /// Copy-on-write cost counters accumulated by this VM's memory.
+    pub fn cow_stats(&self) -> crate::memory::CowStats {
+        self.mem.cow_stats()
     }
 
     fn finish(&mut self, outcome: RunOutcome) -> RunResult {

@@ -1,4 +1,4 @@
-//! Segmented memory with trap semantics.
+//! Segmented memory with trap semantics, backed by copy-on-write chunks.
 //!
 //! The address space is divided into three disjoint segments — globals, heap
 //! and stack — separated by large unmapped gaps.  A corrupted pointer almost
@@ -7,9 +7,101 @@
 //! in the *Detection* outcome category than data-carrying registers (the
 //! mechanism behind the inject-on-read vs. inject-on-write asymmetry the
 //! paper reports in §IV-A).
+//!
+//! ## Copy-on-write chunk storage
+//!
+//! Each segment stores its bytes as fixed-size [`CHUNK_BYTES`] chunks behind
+//! `Arc`.  Cloning a `Memory` (what a snapshot does) clones the chunk
+//! *tables*, not the bytes, so a snapshot costs O(chunks) pointer bumps.  The
+//! first write to a chunk whose `Arc` is shared clones that one chunk
+//! (`Arc::make_mut` semantics); restoring from a snapshot re-points only the
+//! chunks that diverged (`Arc::ptr_eq` scan), making restore O(dirty chunks)
+//! instead of O(image bytes).  Aligned scalar loads/stores (≤ 8 bytes, with
+//! natural alignment) can never straddle a chunk boundary, so the hot
+//! interpreter paths stay single-chunk; bulk operations walk chunks.
+//!
+//! All-zero growth (heap bumps, stack pushes) maps a single shared zero
+//! chunk, so untouched arena pages are free and shared between every VM in
+//! the process.  The `MBFI_COW` knob (see [`set_cow_enabled`]) can force
+//! restores back onto the deep-copy path; results are byte-identical either
+//! way — only the cost changes.
 
 use crate::trap::Trap;
 use mbfi_ir::{Module, Type};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Size of one memory chunk.  4 KiB mirrors a hardware page: small enough
+/// that a typical experiment dirties only a handful, large enough that chunk
+/// tables stay short (an 8 MiB heap is 2048 entries).
+pub const CHUNK_BYTES: usize = 4096;
+const CHUNK_SHIFT: u32 = CHUNK_BYTES.trailing_zeros();
+const CHUNK_MASK: usize = CHUNK_BYTES - 1;
+
+type Chunk = [u8; CHUNK_BYTES];
+
+/// The process-wide shared all-zero chunk used for fresh growth.
+fn zero_chunk() -> Arc<Chunk> {
+    static ZERO: OnceLock<Arc<Chunk>> = OnceLock::new();
+    Arc::clone(ZERO.get_or_init(|| Arc::new([0u8; CHUNK_BYTES])))
+}
+
+/// Process-wide switch between O(dirty-chunk) copy-on-write restores (the
+/// default) and the historical deep-copy restore path.  Flipping it never
+/// changes results — `snapshot_bench --check` enforces byte equivalence —
+/// only the per-experiment cost.  Read once per restore, so toggling while
+/// VMs are mid-run is safe but only affects subsequent restores.
+static COW_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable copy-on-write snapshot restores (the `MBFI_COW` knob).
+pub fn set_cow_enabled(enabled: bool) {
+    COW_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether copy-on-write snapshot restores are enabled.
+pub fn cow_enabled() -> bool {
+    COW_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Copy-on-write cost counters, accumulated per [`Memory`].
+///
+/// `cow_chunks_copied` counts 4 KiB chunk clones triggered by writes to
+/// shared chunks (the true dirty-page cost of an experiment).
+/// `restore_chunks_repointed` counts divergent chunks re-pointed during
+/// restores (the O(dirty) restore work).  `restore_bytes_saved` counts bytes
+/// a full-clone restore would have copied that the CoW restore did not; it
+/// stays zero when CoW is disabled, which is what the accounting cross-checks
+/// in `snapshot_bench --check` pin.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CowStats {
+    /// Chunks cloned because a write hit a shared chunk.
+    pub cow_chunks_copied: u64,
+    /// Divergent chunks re-pointed to the snapshot's chunk during restores.
+    pub restore_chunks_repointed: u64,
+    /// Bytes a deep-copy restore would have copied that CoW restores skipped.
+    pub restore_bytes_saved: u64,
+}
+
+impl CowStats {
+    fn add(&mut self, other: &CowStats) {
+        self.cow_chunks_copied += other.cow_chunks_copied;
+        self.restore_chunks_repointed += other.restore_chunks_repointed;
+        self.restore_bytes_saved += other.restore_bytes_saved;
+    }
+}
+
+/// Set of chunk identities (by allocation address), used to account unique
+/// snapshot footprint across a whole checkpoint store: a chunk shared by ten
+/// snapshots is charged once.
+#[derive(Debug, Default, Clone)]
+pub struct ChunkSet(HashSet<usize>);
+
+impl ChunkSet {
+    fn insert(&mut self, chunk: &Arc<Chunk>) -> bool {
+        self.0.insert(Arc::as_ptr(chunk) as usize)
+    }
+}
 
 /// Layout constants for the virtual address space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,26 +130,203 @@ impl Default for MemoryLayout {
     }
 }
 
-/// One contiguous mapped region.
-#[derive(Debug, Clone)]
+/// One contiguous mapped region, stored as CHUNK_BYTES chunks behind `Arc`.
+///
+/// Invariant: `chunks.len() * CHUNK_BYTES >= len`, and every byte in
+/// `[len, chunks.len() * CHUNK_BYTES)` of the *heap* segment is zero (the
+/// bump allocator never shrinks).  The stack segment may carry stale bytes
+/// past `len` after a pop; regrowth re-zeroes them to preserve the
+/// "fresh memory reads as zero" semantics of the old `Vec::resize` storage.
+#[derive(Clone)]
 struct Segment {
     base: u64,
-    data: Vec<u8>,
+    /// Logical length in bytes; addresses in `[base, base + len)` are mapped.
+    len: usize,
+    chunks: Vec<Arc<Chunk>>,
+    stats: CowStats,
+}
+
+impl std::fmt::Debug for Segment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Segment")
+            .field("base", &self.base)
+            .field("len", &self.len)
+            .field("chunks", &self.chunks.len())
+            .finish()
+    }
 }
 
 impl Segment {
+    fn empty(base: u64) -> Segment {
+        Segment {
+            base,
+            len: 0,
+            chunks: Vec::new(),
+            stats: CowStats::default(),
+        }
+    }
+
+    fn from_bytes(base: u64, data: &[u8]) -> Segment {
+        let mut chunks = Vec::with_capacity(data.len().div_ceil(CHUNK_BYTES));
+        for piece in data.chunks(CHUNK_BYTES) {
+            if piece.iter().all(|&b| b == 0) {
+                chunks.push(zero_chunk());
+            } else {
+                let mut chunk = [0u8; CHUNK_BYTES];
+                chunk[..piece.len()].copy_from_slice(piece);
+                chunks.push(Arc::new(chunk));
+            }
+        }
+        Segment {
+            base,
+            len: data.len(),
+            chunks,
+            stats: CowStats::default(),
+        }
+    }
+
     fn contains(&self, addr: u64, len: u64) -> bool {
-        addr >= self.base && addr.saturating_add(len) <= self.base + self.data.len() as u64
+        addr >= self.base && addr.saturating_add(len) <= self.base + self.len as u64
     }
 
-    fn slice(&self, addr: u64, len: u64) -> &[u8] {
-        let off = (addr - self.base) as usize;
-        &self.data[off..off + len as usize]
+    /// Shared view of an aligned scalar: naturally-aligned ≤ 8-byte accesses
+    /// can never straddle a chunk boundary, so this is one index + one slice.
+    #[inline]
+    fn scalar(&self, off: usize, len: usize) -> &[u8] {
+        let co = off & CHUNK_MASK;
+        debug_assert!(co + len <= CHUNK_BYTES, "aligned scalar straddles chunk");
+        &self.chunks[off >> CHUNK_SHIFT][co..co + len]
     }
 
-    fn slice_mut(&mut self, addr: u64, len: u64) -> &mut [u8] {
-        let off = (addr - self.base) as usize;
-        &mut self.data[off..off + len as usize]
+    /// Exclusive access to chunk `ci`, cloning it first if it is shared.
+    #[inline]
+    fn chunk_mut(&mut self, ci: usize) -> &mut Chunk {
+        let slot = &mut self.chunks[ci];
+        if Arc::strong_count(slot) != 1 {
+            *slot = Arc::new(**slot);
+            self.stats.cow_chunks_copied += 1;
+        }
+        Arc::get_mut(&mut self.chunks[ci]).expect("chunk is uniquely owned after CoW clone")
+    }
+
+    #[inline]
+    fn scalar_mut(&mut self, off: usize, len: usize) -> &mut [u8] {
+        let co = off & CHUNK_MASK;
+        debug_assert!(co + len <= CHUNK_BYTES, "aligned scalar straddles chunk");
+        let chunk = self.chunk_mut(off >> CHUNK_SHIFT);
+        &mut chunk[co..co + len]
+    }
+
+    fn read_into(&self, off: usize, out: &mut [u8]) {
+        let mut pos = 0;
+        while pos < out.len() {
+            let at = off + pos;
+            let co = at & CHUNK_MASK;
+            let n = (CHUNK_BYTES - co).min(out.len() - pos);
+            out[pos..pos + n].copy_from_slice(&self.chunks[at >> CHUNK_SHIFT][co..co + n]);
+            pos += n;
+        }
+    }
+
+    fn write_from(&mut self, off: usize, data: &[u8]) {
+        let mut pos = 0;
+        while pos < data.len() {
+            let at = off + pos;
+            let co = at & CHUNK_MASK;
+            let n = (CHUNK_BYTES - co).min(data.len() - pos);
+            self.chunk_mut(at >> CHUNK_SHIFT)[co..co + n].copy_from_slice(&data[pos..pos + n]);
+            pos += n;
+        }
+    }
+
+    fn fill_range(&mut self, off: usize, len: usize, value: u8) {
+        let mut pos = 0;
+        while pos < len {
+            let at = off + pos;
+            let co = at & CHUNK_MASK;
+            let n = (CHUNK_BYTES - co).min(len - pos);
+            // Writing a value the range already holds everywhere would CoW a
+            // shared chunk for nothing; the common case is zero-fill over
+            // still-zero arena pages.
+            if self.chunks[at >> CHUNK_SHIFT][co..co + n]
+                .iter()
+                .any(|&b| b != value)
+            {
+                self.chunk_mut(at >> CHUNK_SHIFT)[co..co + n].fill(value);
+            }
+            pos += n;
+        }
+    }
+
+    /// Grow the mapped region to `new_len` bytes, reading as zero.  Bytes in
+    /// already-allocated chunks are re-zeroed only if stale (stack regrowth
+    /// after a pop); fresh coverage maps the shared zero chunk.
+    fn grow_zeroed(&mut self, new_len: usize) {
+        debug_assert!(new_len >= self.len);
+        let covered = self.chunks.len() * CHUNK_BYTES;
+        let reused_end = new_len.min(covered);
+        if self.len < reused_end {
+            let (start, len) = (self.len, reused_end - self.len);
+            self.fill_range(start, len, 0);
+        }
+        while self.chunks.len() * CHUNK_BYTES < new_len {
+            self.chunks.push(zero_chunk());
+        }
+        self.len = new_len;
+    }
+
+    /// Shrink the mapped region; chunks are retained for cheap regrowth
+    /// (mirroring `Vec::truncate` keeping its capacity).
+    fn shrink(&mut self, new_len: usize) {
+        debug_assert!(new_len <= self.len);
+        self.len = new_len;
+    }
+
+    /// Drop chunks past the logical length (high-water reset).  Used when
+    /// building snapshot images so a deep-stack excursion during capture does
+    /// not permanently inflate every later restore.
+    fn trim(&mut self) {
+        self.chunks.truncate(self.len.div_ceil(CHUNK_BYTES));
+    }
+
+    /// O(dirty) restore: re-point only the chunks that diverge from `other`.
+    fn restore_cow(&mut self, other: &Segment) {
+        debug_assert_eq!(self.base, other.base);
+        self.chunks.truncate(other.chunks.len());
+        let common = self.chunks.len();
+        for (mine, theirs) in self.chunks.iter_mut().zip(&other.chunks) {
+            if !Arc::ptr_eq(mine, theirs) {
+                *mine = Arc::clone(theirs);
+                self.stats.restore_chunks_repointed += 1;
+            }
+        }
+        for theirs in &other.chunks[common..] {
+            self.chunks.push(Arc::clone(theirs));
+            self.stats.restore_chunks_repointed += 1;
+        }
+        self.stats.restore_bytes_saved += (other.chunks.len() * CHUNK_BYTES) as u64;
+        self.len = other.len;
+    }
+
+    /// Deep-copy restore: the historical clone-everything path, kept as the
+    /// baseline the CoW path is benchmarked and cross-checked against.
+    fn restore_full(&mut self, other: &Segment) {
+        debug_assert_eq!(self.base, other.base);
+        self.chunks.clear();
+        self.chunks
+            .extend(other.chunks.iter().map(|c| Arc::new(**c)));
+        self.len = other.len;
+    }
+
+    /// Bytes of chunk storage not yet seen in `seen` (unique footprint).
+    fn unique_bytes(&self, seen: &mut ChunkSet) -> usize {
+        let mut bytes = self.chunks.len() * std::mem::size_of::<Arc<Chunk>>();
+        for chunk in &self.chunks {
+            if seen.insert(chunk) {
+                bytes += CHUNK_BYTES;
+            }
+        }
+        bytes
     }
 }
 
@@ -102,19 +371,10 @@ impl Memory {
 
         Memory {
             layout,
-            globals: Segment {
-                base: layout.globals_base,
-                data: globals_data,
-            },
-            heap: Segment {
-                base: layout.heap_base,
-                data: Vec::new(),
-            },
+            globals: Segment::from_bytes(layout.globals_base, &globals_data),
+            heap: Segment::empty(layout.heap_base),
             heap_top: 0,
-            stack: Segment {
-                base: layout.stack_base,
-                data: Vec::new(),
-            },
+            stack: Segment::empty(layout.stack_base),
             stack_top: 0,
             global_addrs,
         }
@@ -125,10 +385,126 @@ impl Memory {
         self.layout
     }
 
-    /// Total bytes currently backed by the three segments (globals + heap +
-    /// stack).  This is the dominant term of a snapshot's footprint.
+    /// Logical bytes mapped by the three segments (globals + heap + stack) —
+    /// the size of the address space a program can touch, independent of how
+    /// much of it is backed by shared chunks.
     pub fn data_bytes(&self) -> usize {
-        self.globals.data.len() + self.heap.data.len() + self.stack.data.len()
+        self.globals.len + self.heap.len + self.stack.len
+    }
+
+    /// Bytes of chunk storage referenced by this memory, counting each chunk
+    /// once even if several table slots share it within the image.  Shared
+    /// chunks referenced by *other* images are still charged here; see
+    /// [`Memory::unique_bytes`] for cross-image dedup.
+    pub fn resident_bytes(&self) -> usize {
+        let mut seen = ChunkSet::default();
+        self.unique_bytes(&mut seen)
+    }
+
+    /// Bytes of chunk storage not yet accounted in `seen`.  Feeding every
+    /// snapshot of a checkpoint store through one `ChunkSet` yields the
+    /// store's true unique footprint.
+    pub fn unique_bytes(&self, seen: &mut ChunkSet) -> usize {
+        self.globals.unique_bytes(seen)
+            + self.heap.unique_bytes(seen)
+            + self.stack.unique_bytes(seen)
+    }
+
+    /// Copy-on-write cost counters accumulated by this memory (summed over
+    /// the three segments) since creation or the last [`Memory::reset_cow_stats`].
+    pub fn cow_stats(&self) -> CowStats {
+        let mut s = self.globals.stats;
+        s.add(&self.heap.stats);
+        s.add(&self.stack.stats);
+        s
+    }
+
+    /// Zero the copy-on-write cost counters.
+    pub fn reset_cow_stats(&mut self) {
+        self.globals.stats = CowStats::default();
+        self.heap.stats = CowStats::default();
+        self.stack.stats = CowStats::default();
+    }
+
+    /// Heap bump-allocator high-water mark (bytes from heap base).
+    pub fn heap_top(&self) -> u64 {
+        self.heap_top
+    }
+
+    /// Current stack top (bytes from stack base).
+    pub fn stack_top(&self) -> u64 {
+        self.stack_top
+    }
+
+    /// A trimmed, stats-free clone for freezing into a snapshot: chunk tables
+    /// are truncated at the logical tops, so chunks above the snapshot's
+    /// heap/stack high-water marks are dropped rather than carried forever.
+    pub fn snapshot_image(&self) -> Memory {
+        let mut image = self.clone();
+        image.globals.trim();
+        image.heap.trim();
+        image.stack.trim();
+        image.reset_cow_stats();
+        image
+    }
+
+    /// A zero-copy fork of `self` sharing every chunk (used to seed a fresh
+    /// VM from a snapshot image).  Counts the full image as restore bytes
+    /// saved, since a deep clone would have copied all of it.
+    pub fn fork_cow(&self) -> Memory {
+        let mut fork = self.clone();
+        fork.reset_cow_stats();
+        let chunks = fork.globals.chunks.len() + fork.heap.chunks.len() + fork.stack.chunks.len();
+        fork.globals.stats.restore_bytes_saved = (chunks * CHUNK_BYTES) as u64;
+        fork
+    }
+
+    /// A deep fork of `self`: every chunk is copied, no sharing.  The
+    /// clone-everything baseline for `MBFI_COW=off`.
+    pub fn fork_full(&self) -> Memory {
+        let mut fork = self.clone();
+        fork.reset_cow_stats();
+        for seg in [&mut fork.globals, &mut fork.heap, &mut fork.stack] {
+            for slot in &mut seg.chunks {
+                *slot = Arc::new(**slot);
+            }
+        }
+        fork
+    }
+
+    /// Fork honouring the process-wide CoW switch.
+    pub fn fork(&self) -> Memory {
+        if cow_enabled() {
+            self.fork_cow()
+        } else {
+            self.fork_full()
+        }
+    }
+
+    /// Reset this memory to the state frozen in `other`, honouring the
+    /// process-wide CoW switch: O(dirty chunks) when enabled, a deep copy
+    /// when not.  Also resets the heap/stack high-water marks, truncating
+    /// chunk tables above the restored tops.
+    pub fn restore_from(&mut self, other: &Memory) {
+        self.restore_from_with(other, cow_enabled());
+    }
+
+    /// [`Memory::restore_from`] with an explicit mode, for tests and benches
+    /// that must not depend on the process-wide switch.
+    pub fn restore_from_with(&mut self, other: &Memory, cow: bool) {
+        debug_assert_eq!(self.layout, other.layout);
+        if cow {
+            self.globals.restore_cow(&other.globals);
+            self.heap.restore_cow(&other.heap);
+            self.stack.restore_cow(&other.stack);
+        } else {
+            self.globals.restore_full(&other.globals);
+            self.heap.restore_full(&other.heap);
+            self.stack.restore_full(&other.stack);
+        }
+        self.heap_top = other.heap_top;
+        self.stack_top = other.stack_top;
+        self.global_addrs.clone_from(&other.global_addrs);
     }
 
     /// Resolved address of global `index`.
@@ -145,7 +521,7 @@ impl Memory {
         }
         let addr = self.layout.heap_base + self.heap_top;
         self.heap_top += aligned;
-        self.heap.data.resize(self.heap_top as usize, 0);
+        self.heap.grow_zeroed(self.heap_top as usize);
         Ok(addr)
     }
 
@@ -169,14 +545,14 @@ impl Memory {
         }
         let addr = self.layout.stack_base + self.stack_top;
         self.stack_top += aligned;
-        self.stack.data.resize(self.stack_top as usize, 0);
+        self.stack.grow_zeroed(self.stack_top as usize);
         Ok(addr)
     }
 
     /// Pop the stack back to a previously saved mark (from [`Memory::stack_mark`]).
     pub fn stack_pop_to(&mut self, mark: u64) {
         self.stack_top = mark;
-        self.stack.data.truncate(mark as usize);
+        self.stack.shrink(mark as usize);
     }
 
     /// Current stack mark, to be restored when the active frame returns.
@@ -222,7 +598,7 @@ impl Memory {
         Self::check_aligned(addr, ty)?;
         let len = ty.byte_size();
         let seg = self.segment_for(addr, len)?;
-        let bytes = seg.slice(addr, len);
+        let bytes = seg.scalar((addr - seg.base) as usize, len as usize);
         let mut buf = [0u8; 8];
         buf[..bytes.len()].copy_from_slice(bytes);
         Ok(u64::from_le_bytes(buf) & ty.bit_mask())
@@ -234,7 +610,8 @@ impl Memory {
         let len = ty.byte_size();
         let seg = self.segment_for_mut(addr, len)?;
         let bytes = (bits & ty.bit_mask()).to_le_bytes();
-        seg.slice_mut(addr, len)
+        let off = (addr - seg.base) as usize;
+        seg.scalar_mut(off, len as usize)
             .copy_from_slice(&bytes[..len as usize]);
         Ok(())
     }
@@ -245,7 +622,9 @@ impl Memory {
             return Ok(Vec::new());
         }
         let seg = self.segment_for(addr, len)?;
-        Ok(seg.slice(addr, len).to_vec())
+        let mut out = vec![0u8; len as usize];
+        seg.read_into((addr - seg.base) as usize, &mut out);
+        Ok(out)
     }
 
     /// Write raw bytes starting at `addr`.
@@ -254,8 +633,8 @@ impl Memory {
             return Ok(());
         }
         let seg = self.segment_for_mut(addr, bytes.len() as u64)?;
-        seg.slice_mut(addr, bytes.len() as u64)
-            .copy_from_slice(bytes);
+        let off = (addr - seg.base) as usize;
+        seg.write_from(off, bytes);
         Ok(())
     }
 
@@ -271,7 +650,8 @@ impl Memory {
             return Ok(());
         }
         let seg = self.segment_for_mut(dst, len)?;
-        seg.slice_mut(dst, len).fill(value);
+        let off = (dst - seg.base) as usize;
+        seg.fill_range(off, len as usize, value);
         Ok(())
     }
 }
@@ -369,6 +749,20 @@ mod tests {
     }
 
     #[test]
+    fn stack_regrowth_after_pop_reads_as_zero() {
+        // The chunk table retains popped chunks for cheap regrowth; the
+        // stale bytes in them must not leak into the re-pushed frame.
+        let mut mem = empty_memory();
+        let mark = mem.stack_mark();
+        let a = mem.stack_push(64).unwrap();
+        mem.store(Type::I64, a, u64::MAX).unwrap();
+        mem.stack_pop_to(mark);
+        let b = mem.stack_push(64).unwrap();
+        assert_eq!(b, a);
+        assert_eq!(mem.load(Type::I64, b).unwrap(), 0);
+    }
+
+    #[test]
     fn stack_overflow_traps() {
         let mut mem = Memory::for_module(
             &Module::new("t"),
@@ -399,5 +793,150 @@ mod tests {
         // Reading past the end of the globals segment must not silently
         // succeed even though the next segment exists elsewhere.
         assert!(mem.read_bytes(addr, 4096).is_err());
+    }
+
+    #[test]
+    fn bulk_ops_straddle_chunk_boundaries() {
+        let mut mem = empty_memory();
+        let a = mem.heap_alloc(3 * CHUNK_BYTES as u64).unwrap();
+        let pattern: Vec<u8> = (0..2 * CHUNK_BYTES).map(|i| (i % 251) as u8).collect();
+        // Write starting mid-chunk so the slice spans three chunks.
+        let start = a + (CHUNK_BYTES / 2) as u64;
+        mem.write_bytes(start, &pattern).unwrap();
+        assert_eq!(
+            mem.read_bytes(start, pattern.len() as u64).unwrap(),
+            pattern
+        );
+        mem.fill(start + 10, 0xee, (CHUNK_BYTES + 20) as u64)
+            .unwrap();
+        let mut expect = pattern.clone();
+        expect[10..10 + CHUNK_BYTES + 20].fill(0xee);
+        assert_eq!(mem.read_bytes(start, pattern.len() as u64).unwrap(), expect);
+    }
+
+    #[test]
+    fn clones_share_chunks_until_first_write() {
+        let mut mem = empty_memory();
+        let a = mem.heap_alloc(4 * CHUNK_BYTES as u64).unwrap();
+        mem.fill(a, 0x11, 4 * CHUNK_BYTES as u64).unwrap();
+        let mut fork = mem.fork_cow();
+        assert_eq!(fork.cow_stats().cow_chunks_copied, 0);
+
+        // One store dirties exactly one chunk; the other three stay shared.
+        fork.store(Type::I8, a + CHUNK_BYTES as u64, 0x77).unwrap();
+        assert_eq!(fork.cow_stats().cow_chunks_copied, 1);
+        // The original is unaffected.
+        assert_eq!(mem.load(Type::I8, a + CHUNK_BYTES as u64).unwrap(), 0x11);
+        assert_eq!(fork.load(Type::I8, a + CHUNK_BYTES as u64).unwrap(), 0x77);
+
+        // A second store into the same (now unique) chunk copies nothing.
+        fork.store(Type::I8, a + CHUNK_BYTES as u64 + 8, 0x78)
+            .unwrap();
+        assert_eq!(fork.cow_stats().cow_chunks_copied, 1);
+    }
+
+    #[test]
+    fn restore_repoints_only_dirty_chunks() {
+        let mut mem = empty_memory();
+        let a = mem.heap_alloc(8 * CHUNK_BYTES as u64).unwrap();
+        mem.fill(a, 0x22, 8 * CHUNK_BYTES as u64).unwrap();
+        let image = mem.snapshot_image();
+
+        let mut vm_mem = image.fork_cow();
+        vm_mem.reset_cow_stats();
+        // Dirty chunks 2 and 5.
+        vm_mem
+            .store(Type::I8, a + 2 * CHUNK_BYTES as u64, 0xff)
+            .unwrap();
+        vm_mem
+            .store(Type::I8, a + 5 * CHUNK_BYTES as u64, 0xff)
+            .unwrap();
+        assert_eq!(vm_mem.cow_stats().cow_chunks_copied, 2);
+
+        vm_mem.reset_cow_stats();
+        vm_mem.restore_from_with(&image, true);
+        let stats = vm_mem.cow_stats();
+        assert_eq!(stats.restore_chunks_repointed, 2);
+        assert!(stats.restore_bytes_saved >= (8 * CHUNK_BYTES) as u64);
+        assert_eq!(
+            vm_mem.load(Type::I8, a + 2 * CHUNK_BYTES as u64).unwrap(),
+            0x22
+        );
+        assert_eq!(
+            vm_mem.load(Type::I8, a + 5 * CHUNK_BYTES as u64).unwrap(),
+            0x22
+        );
+    }
+
+    #[test]
+    fn full_clone_restore_matches_cow_restore_and_saves_nothing() {
+        let mut mem = memory_with_global(vec![9; 100]);
+        let a = mem.heap_alloc(2 * CHUNK_BYTES as u64).unwrap();
+        mem.write_bytes(a, &[5; 64]).unwrap();
+        let image = mem.snapshot_image();
+
+        let mut cow = image.fork_cow();
+        let mut full = image.fork_full();
+        for m in [&mut cow, &mut full] {
+            m.store(Type::I64, a, 0xdead).unwrap();
+            m.stack_push(32).unwrap();
+        }
+        cow.restore_from_with(&image, true);
+        full.restore_from_with(&image, false);
+
+        assert_eq!(
+            cow.read_bytes(a, 2 * CHUNK_BYTES as u64).unwrap(),
+            full.read_bytes(a, 2 * CHUNK_BYTES as u64).unwrap()
+        );
+        assert_eq!(cow.stack_top(), full.stack_top());
+        assert_eq!(full.cow_stats().restore_bytes_saved, 0);
+        assert!(cow.cow_stats().restore_bytes_saved > 0);
+    }
+
+    #[test]
+    fn restore_truncates_high_water_chunks() {
+        let mut mem = empty_memory();
+        let image = mem.snapshot_image();
+        // Deep excursion: push 1 MiB of stack, then restore to the empty image.
+        mem.stack_push(1 << 20).unwrap();
+        let inflated = mem.resident_bytes();
+        mem.restore_from_with(&image, true);
+        assert_eq!(mem.stack_top(), 0);
+        assert!(mem.resident_bytes() < inflated);
+        // Regrowth after the reset still reads as zero.
+        let a = mem.stack_push(64).unwrap();
+        assert_eq!(mem.load(Type::I64, a).unwrap(), 0);
+    }
+
+    #[test]
+    fn unique_bytes_dedups_shared_chunks() {
+        let mut mem = empty_memory();
+        let a = mem.heap_alloc(4 * CHUNK_BYTES as u64).unwrap();
+        mem.fill(a, 1, 4 * CHUNK_BYTES as u64).unwrap();
+        let image = mem.snapshot_image();
+        let fork = image.fork_cow();
+
+        let mut seen = ChunkSet::default();
+        let first = image.unique_bytes(&mut seen);
+        assert!(first >= 4 * CHUNK_BYTES);
+        // The fork shares every chunk: only its table overhead is new.
+        let second = fork.unique_bytes(&mut seen);
+        assert!(second < CHUNK_BYTES);
+    }
+
+    #[test]
+    fn zero_growth_is_shared_not_copied() {
+        let mut a = empty_memory();
+        let mut b = empty_memory();
+        a.heap_alloc(1 << 20).unwrap();
+        b.heap_alloc(1 << 20).unwrap();
+        // Untouched arena pages all map the one process-wide zero chunk.
+        let mut seen = ChunkSet::default();
+        a.unique_bytes(&mut seen);
+        let extra = b.unique_bytes(&mut seen);
+        assert!(extra < CHUNK_BYTES);
+        // Zero-fill over zero pages must not materialise private chunks.
+        a.fill(a.layout().heap_base, 0, 1 << 20).unwrap();
+        assert_eq!(a.cow_stats().cow_chunks_copied, 0);
     }
 }

@@ -17,7 +17,7 @@
 //! by owning both.
 
 use crate::interp::Frame;
-use crate::memory::Memory;
+use crate::memory::{ChunkSet, Memory};
 
 /// Frozen interpreter state at a dynamic-instruction boundary.
 ///
@@ -56,16 +56,26 @@ impl VmSnapshot {
         self.output.len()
     }
 
-    /// Approximate heap footprint of this snapshot in bytes (memory image,
-    /// register files and output buffer).  Used by checkpoint stores to
-    /// enforce a memory budget.
+    /// Approximate heap footprint of this snapshot in bytes: unique memory
+    /// chunks (each counted once even when several table slots share it),
+    /// chunk-table overhead, register files and the output buffer.  Used by
+    /// checkpoint stores to enforce a memory budget.
     pub fn approx_bytes(&self) -> usize {
+        let mut seen = ChunkSet::default();
+        self.unique_bytes(&mut seen)
+    }
+
+    /// Footprint in bytes *not already accounted* in `seen`: chunks shared
+    /// with previously measured snapshots are free.  Feeding a checkpoint
+    /// store's snapshots through one `ChunkSet` in order yields each one's
+    /// marginal cost and, summed, the store's true unique footprint.
+    pub fn unique_bytes(&self, seen: &mut ChunkSet) -> usize {
         let regs: usize = self
             .frames
             .iter()
             .map(|f| f.regs.len() * std::mem::size_of::<crate::Value>())
             .sum();
-        self.mem.data_bytes()
+        self.mem.unique_bytes(seen)
             + regs
             + self.frames.len() * std::mem::size_of::<Frame>()
             + self.output.len()
