@@ -38,6 +38,30 @@ cargo run --release --offline -q -p mbfi-bench --bin mbfi-monitor -- \
 grep -q "verify: ok" "$TELEM_DIR/monitor.txt"
 grep -q "20 experiments" "$TELEM_DIR/monitor.txt"
 
+# Campaign-service smoke: start the daemon on an ephemeral port, submit a
+# tiny grid with --compare (exits non-zero unless the served report is
+# byte-identical to the in-process Sweep::run of the same cells), then the
+# shutdown verb must drain in-flight work and let the daemon exit cleanly.
+echo "==> serve smoke: mbfi-serve daemon / submit --compare / shutdown"
+SERVE_DIR="$(mktemp -d)"
+trap 'rm -rf "$TELEM_DIR" "$SERVE_DIR"' EXIT
+MBFI_SERVE_PORT=0 cargo run --release --offline -q -p mbfi-serve \
+    --bin mbfi-serve -- daemon --addr-file "$SERVE_DIR/addr" \
+    > "$SERVE_DIR/daemon.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 100); do [[ -s "$SERVE_DIR/addr" ]] && break; sleep 0.1; done
+[[ -s "$SERVE_DIR/addr" ]] || { echo "daemon never wrote its address"; exit 1; }
+SERVE_ADDR="$(cat "$SERVE_DIR/addr")"
+MBFI_EXPERIMENTS=10 cargo run --release --offline -q -p mbfi-serve \
+    --bin mbfi-serve -- submit --connect "$SERVE_ADDR" \
+    --workloads qsort,CRC32 --experiments 10 --compare --quiet \
+    | tee "$SERVE_DIR/submit.txt"
+grep -q "byte-identical" "$SERVE_DIR/submit.txt"
+cargo run --release --offline -q -p mbfi-serve \
+    --bin mbfi-serve -- shutdown --connect "$SERVE_ADDR"
+wait "$SERVE_PID"
+grep -q "drained and stopped" "$SERVE_DIR/daemon.log"
+
 if [[ "${1:-}" == "bench" ]]; then
     # Smoke-run the plain-Rust bench harnesses; each writes BENCH_<suite>.json.
     export MBFI_BENCH_SAMPLES="${MBFI_BENCH_SAMPLES:-3}"
@@ -125,6 +149,21 @@ if [[ "${1:-}" == "bench" ]]; then
     echo "==> cargo run --release -p mbfi-bench --bin telemetry_bench"
     cargo run --release --offline -q -p mbfi-bench \
         --bin telemetry_bench -- --out-dir "$MBFI_BENCH_OUT"
+
+    # Campaign service: first the self-verifying mode (two concurrent
+    # overlapping clients at engine thread counts 1, 4 and 8: served
+    # reports byte-identical to in-process Sweep::run, shared cells
+    # deduplicated onto exactly one execution, and equal-priority tenants
+    # finish within a bounded latency spread), then a small timing run
+    # that writes BENCH_serve.json with the N-concurrent-clients vs
+    # N-serial-grids and all-cells-shared dedupe comparisons.
+    echo "==> cargo run --release -p mbfi-bench --bin serve_bench -- --check"
+    cargo run --release --offline -q -p mbfi-bench \
+        --bin serve_bench -- --check
+    echo "==> cargo run --release -p mbfi-bench --bin serve_bench"
+    MBFI_EXPERIMENTS=16 MBFI_WORKLOADS=qsort,histo,CRC32,sha cargo run \
+        --release --offline -q -p mbfi-bench --bin serve_bench -- \
+        --out-dir "$MBFI_BENCH_OUT"
 fi
 
 echo "==> OK"

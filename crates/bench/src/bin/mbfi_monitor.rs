@@ -6,6 +6,8 @@
 //! mbfi-monitor --follow <events.jsonl>    # tail the file, redrawing in place
 //! mbfi-monitor --headless <events.jsonl>  # plain report + consistency check
 //! some-sweep | mbfi-monitor --headless -  # read the stream from stdin
+//! mbfi-monitor --connect HOST:PORT        # live dashboard of an mbfi-serve
+//! mbfi-monitor --headless --connect ...   # daemon; verify at stream close
 //! ```
 //!
 //! `--headless` prints the accumulated report without ANSI control codes and
@@ -26,25 +28,52 @@ struct Options {
     path: String,
     headless: bool,
     follow: bool,
+    connect: Option<String>,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: mbfi-monitor [--headless] [--follow] <events.jsonl | ->");
+    eprintln!(
+        "usage: mbfi-monitor [--headless] [--follow] <events.jsonl | ->\n\
+                mbfi-monitor [--headless] --connect HOST:PORT"
+    );
     std::process::exit(2);
 }
 
 fn parse_args() -> Options {
     let mut headless = false;
     let mut follow = false;
+    let mut connect: Option<String> = None;
     let mut path: Option<String> = None;
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--headless" => headless = true,
             "--follow" => follow = true,
+            "--connect" => match args.next() {
+                Some(addr) => connect = Some(addr),
+                None => {
+                    eprintln!("mbfi-monitor: --connect needs HOST:PORT");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => usage(),
             other if path.is_none() => path = Some(other.to_string()),
             _ => usage(),
         }
+    }
+    if let Some(connect) = connect {
+        // Connected mode is inherently live; --follow is meaningless and a
+        // file path would be ignored — reject both.
+        if follow || path.is_some() {
+            eprintln!("mbfi-monitor: --connect takes no file argument or --follow");
+            std::process::exit(2);
+        }
+        return Options {
+            path: String::new(),
+            headless,
+            follow: false,
+            connect: Some(connect),
+        };
     }
     let Some(path) = path else { usage() };
     if follow && headless {
@@ -59,6 +88,7 @@ fn parse_args() -> Options {
         path,
         headless,
         follow,
+        connect: None,
     }
 }
 
@@ -125,13 +155,47 @@ fn follow(path: &str) {
     }
 }
 
+/// Attach to an `mbfi-serve` daemon's global `watch` stream, feeding every
+/// event through the same accumulator the file modes use.  In dashboard mode
+/// the frame is redrawn (throttled) as events arrive; the stream ends when
+/// the daemon drains and shuts down.  In headless mode events are only
+/// accumulated, and the usual report + consistency verdict is printed at
+/// stream close — the daemon-facing twin of `--headless <file>`.
+///
+/// The daemon's log is cumulative (a fresh `sweep_finished` summary follows
+/// every completed cell), so jobs submitted while we watch simply extend the
+/// totals; `MonitorState` folds repeated summaries by overwriting.
+fn connect(addr: &str, headless: bool) -> MonitorState {
+    let mut state = MonitorState::new();
+    let mut last_draw = std::time::Instant::now() - Duration::from_secs(1);
+    let result = mbfi_serve::watch(addr, &mut |line| {
+        let _ = state.apply_line(line);
+        if !headless && last_draw.elapsed() >= Duration::from_millis(200) {
+            print!("{}", render_dashboard(&state));
+            let _ = std::io::stdout().flush();
+            last_draw = std::time::Instant::now();
+        }
+    });
+    match result {
+        Ok(events) => eprintln!("mbfi-monitor: daemon stream closed after {events} events"),
+        Err(e) => {
+            eprintln!("mbfi-monitor: {e}");
+            std::process::exit(2);
+        }
+    }
+    state
+}
+
 fn main() {
     let opts = parse_args();
     if opts.follow {
         follow(&opts.path);
         return;
     }
-    let state = load(&opts.path);
+    let state = match &opts.connect {
+        Some(addr) => connect(addr, opts.headless),
+        None => load(&opts.path),
+    };
     if opts.headless {
         print!("{}", render_headless(&state));
         let problems = state.verify();

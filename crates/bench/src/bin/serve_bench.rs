@@ -1,0 +1,359 @@
+//! Measures the campaign service against in-process sweeps and writes
+//! `BENCH_serve.json`.
+//!
+//! Three scenarios, all over a one-cell-per-workload grid:
+//!
+//! * **serial** — N grids executed back to back in-process through
+//!   `Sweep::run` (the pre-daemon workflow: one tenant at a time, artifacts
+//!   already warm).
+//! * **concurrent** — the same N grids submitted by N concurrent TCP
+//!   clients of one `mbfi-serve` daemon; disjoint seeds, so every cell
+//!   really executes.  This is the multi-tenant scheduling path: shared
+//!   engine pool, per-client quotas, streamed results.
+//! * **dedup** — N concurrent clients submitting the *identical* grid; the
+//!   cross-request cell cache collapses them onto one execution and N-1
+//!   clients replay bytes.
+//!
+//! Flags and knobs:
+//!
+//! * `--check` — self-verifying mode: at engine thread counts {1, 4, 8},
+//!   two concurrent clients submit overlapping halves of the grid; exits
+//!   non-zero unless (a) every served report is byte-identical to
+//!   `Sweep::run` of the same cells, (b) the overlap is deduplicated onto
+//!   exactly one execution, and (c) equal-priority clients with same-size
+//!   disjoint grids finish within a bounded latency spread (the fairness
+//!   quota at work).
+//! * `--out-dir <path>` — where `BENCH_serve.json` goes (default: CWD).
+//! * `MBFI_SERVE_CLIENTS` — concurrent clients N (default 4).
+//! * `MBFI_WORKLOADS` / `MBFI_EXPERIMENTS` / `MBFI_THREADS` — the usual
+//!   harness knobs (experiments default 8 under `--check`, 24 for timing).
+//! * `MBFI_BENCH_SAMPLES` — timing samples per scenario (default 1).
+
+use mbfi_bench::artifacts::OutDir;
+use mbfi_bench::harness::HarnessConfig;
+use mbfi_bench::timing::{env_usize, median_wall_ns};
+use mbfi_core::report::Json;
+use mbfi_core::{
+    EngineUnit, FaultModel, GoldenRun, Sweep, SweepCampaign, SweepConfig, SweepReport, SweepUnit,
+    Technique,
+};
+use mbfi_ir::CompiledModule;
+use mbfi_serve::{CellRequest, GridRequest, ServerConfig, ServerHandle};
+use mbfi_workloads::InputSize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// One cell per active workload, all at `seed`.
+fn grid(cfg: &HarnessConfig, seed: u64) -> Vec<CellRequest> {
+    cfg.workloads()
+        .iter()
+        .map(|w| CellRequest {
+            workload: w.name().to_string(),
+            size: InputSize::Tiny,
+            technique: Technique::InjectOnRead,
+            model: FaultModel::single_bit(),
+            experiments: cfg.experiments,
+            seed,
+            hang_factor: cfg.hang_factor,
+            precision: None,
+        })
+        .collect()
+}
+
+/// Pre-built in-process artifacts, keyed like the daemon's artifact cache.
+struct Units {
+    keys: Vec<(String, InputSize)>,
+    units: Vec<EngineUnit>,
+}
+
+impl Units {
+    fn build(cells: &[CellRequest]) -> Units {
+        let mut keys: Vec<(String, InputSize)> = Vec::new();
+        let mut units = Vec::new();
+        for cell in cells {
+            let key = (cell.workload.to_ascii_lowercase(), cell.size);
+            if !keys.contains(&key) {
+                let w = mbfi_workloads::workload_by_name(&cell.workload).expect("workload");
+                let code = CompiledModule::lower(&w.build_module(cell.size));
+                let golden = GoldenRun::capture_compiled(&code).expect("golden run");
+                units.push(EngineUnit::new(code, golden));
+                keys.push(key);
+            }
+        }
+        Units { keys, units }
+    }
+
+    fn run(&self, cells: &[CellRequest], threads: usize) -> SweepReport {
+        let campaigns: Vec<SweepCampaign> = cells
+            .iter()
+            .map(|cell| SweepCampaign {
+                unit: self
+                    .keys
+                    .iter()
+                    .position(|k| *k == (cell.workload.to_ascii_lowercase(), cell.size))
+                    .expect("unit prepared"),
+                spec: cell.spec(),
+            })
+            .collect();
+        let views: Vec<SweepUnit<'_>> = self.units.iter().map(|u| u.view()).collect();
+        Sweep::run(
+            &views,
+            &campaigns,
+            &SweepConfig {
+                threads,
+                batch_size: 0,
+                keep_records: false,
+                precision: None,
+            },
+        )
+    }
+}
+
+fn spawn_server(threads: usize) -> ServerHandle {
+    mbfi_serve::spawn(ServerConfig {
+        port: 0,
+        threads,
+        quota: 0,
+        max_pending: 0,
+        read_timeout_ms: 10_000,
+    })
+    .expect("bind an ephemeral port")
+}
+
+/// Submit `cells` from its own thread; returns (outcome, client wall time).
+fn client(
+    addr: std::net::SocketAddr,
+    cells: Vec<CellRequest>,
+) -> std::thread::JoinHandle<(mbfi_serve::ServeOutcome, u64)> {
+    std::thread::spawn(move || {
+        let start = Instant::now();
+        let outcome = mbfi_serve::submit(
+            addr,
+            &GridRequest {
+                threads: 0,
+                priority: 0,
+                cells,
+            },
+        )
+        .expect("submission succeeds");
+        (outcome, start.elapsed().as_nanos() as u64)
+    })
+}
+
+fn check(cfg: &HarnessConfig) -> ! {
+    let cells = grid(cfg, cfg.seed);
+    let units = Units::build(&cells);
+    let overlap = (cells.len() / 3).max(1);
+    let split = cells.len().saturating_sub(2 * overlap);
+    let a_cells: Vec<CellRequest> = cells[..split + overlap].to_vec();
+    let b_cells: Vec<CellRequest> = cells[split..].to_vec();
+    let mut failures = 0usize;
+
+    for threads in [1usize, 4, 8] {
+        let server = spawn_server(threads);
+        let addr = server.addr();
+        let a = client(addr, a_cells.clone());
+        let b = client(addr, b_cells.clone());
+        let (a_out, _) = a.join().expect("client A");
+        let (b_out, _) = b.join().expect("client B");
+
+        let deduped = a_out.deduped + b_out.deduped;
+        if deduped != overlap as u64 {
+            eprintln!(
+                "FAIL threads={threads}: {deduped} cells deduplicated, expected {overlap} \
+                 (each shared cell must execute exactly once)"
+            );
+            failures += 1;
+        }
+        for (name, out, expect) in [
+            ("A", &a_out, units.run(&a_cells, threads)),
+            ("B", &b_out, units.run(&b_cells, threads)),
+        ] {
+            if out.report.to_json().render() != expect.to_json().render() {
+                eprintln!(
+                    "FAIL threads={threads}: client {name}'s served report is not \
+                     byte-identical to the in-process sweep"
+                );
+                failures += 1;
+            }
+        }
+        println!(
+            "threads={threads}: 2 overlapping clients, {} cells, {deduped} deduped, \
+             reports byte-identical",
+            cells.len()
+        );
+
+        // Fairness: equal-priority clients with same-size disjoint grids
+        // must finish within a bounded spread — the per-client quota keeps
+        // one tenant from starving another.  The bound is deliberately
+        // loose (5x + 100 ms) so scheduler noise on tiny grids cannot flake
+        // CI, while genuine starvation (serial service of one client after
+        // the other under a shared pool) would still trip it.
+        let fair: Vec<_> = (0..3)
+            .map(|i| client(addr, grid(cfg, cfg.seed ^ (0x0F00 + i))))
+            .collect();
+        let walls: Vec<u64> = fair
+            .into_iter()
+            .map(|h| h.join().expect("fairness client").1)
+            .collect();
+        let (min, max) = (
+            *walls.iter().min().expect("walls"),
+            *walls.iter().max().expect("walls"),
+        );
+        if max > min * 5 + 100_000_000 {
+            eprintln!(
+                "FAIL threads={threads}: fairness spread {:.2}x (min {:.1} ms, max {:.1} ms)",
+                max as f64 / min.max(1) as f64,
+                min as f64 / 1e6,
+                max as f64 / 1e6
+            );
+            failures += 1;
+        } else {
+            println!(
+                "threads={threads}: fairness spread {:.2}x across 3 equal clients",
+                max as f64 / min.max(1) as f64
+            );
+        }
+
+        server.stop();
+        server.join();
+    }
+
+    if failures > 0 {
+        eprintln!("serve_bench --check: {failures} failures");
+        std::process::exit(1);
+    }
+    println!("serve_bench --check: served results byte-identical, dedupe exact, fairness bounded");
+    std::process::exit(0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check_mode = args.iter().any(|a| a == "--check");
+    let out = OutDir::from_args();
+
+    let mut cfg = HarnessConfig::from_env();
+    if cfg.precision.take().is_some() {
+        eprintln!("serve_bench: ignoring MBFI_PRECISION (this bench compares fixed-n paths)");
+    }
+    let experiments_given =
+        std::env::var("MBFI_EXPERIMENTS").is_ok_and(|v| v.trim().parse::<usize>().is_ok());
+    if !experiments_given {
+        cfg.experiments = if check_mode { 8 } else { 24 };
+    }
+    let clients = env_usize("MBFI_SERVE_CLIENTS", 4).max(1);
+    let samples = env_usize("MBFI_BENCH_SAMPLES", 1);
+    eprintln!(
+        "serve_bench: {} workloads, {} experiments/cell, {clients} clients, {} mode",
+        cfg.workloads().len(),
+        cfg.experiments,
+        if check_mode { "check" } else { "timing" }
+    );
+
+    if check_mode {
+        check(&cfg);
+    }
+
+    let base_cells = grid(&cfg, cfg.seed);
+    let units = Units::build(&base_cells);
+    let cells_per_client = base_cells.len();
+    let experiments_per_grid = (cells_per_client * cfg.experiments) as u64;
+
+    // Fresh seeds per closure invocation, so neither side ever re-runs (or
+    // cache-hits) a cell it already executed.
+    let round = AtomicU64::new(0);
+
+    // Serial baseline: N grids, one after the other, in-process, warm
+    // artifacts.
+    let serial_ns = median_wall_ns(samples, || {
+        let r = round.fetch_add(1, Ordering::SeqCst);
+        for c in 0..clients as u64 {
+            let cells = grid(&cfg, cfg.seed ^ (r << 16) ^ c);
+            std::hint::black_box(units.run(&cells, cfg.threads));
+        }
+    });
+
+    // The daemon lives across all samples — exactly how it is deployed.
+    let server = spawn_server(cfg.threads);
+    let addr = server.addr();
+
+    // Concurrent: the same N grids submitted at once by N TCP clients.
+    let concurrent_ns = median_wall_ns(samples, || {
+        let r = round.fetch_add(1, Ordering::SeqCst);
+        let handles: Vec<_> = (0..clients as u64)
+            .map(|c| client(addr, grid(&cfg, cfg.seed ^ (r << 16) ^ c ^ 0x5E17)))
+            .collect();
+        for h in handles {
+            let (outcome, _) = h.join().expect("client");
+            assert_eq!(outcome.deduped, 0, "disjoint seeds must not dedupe");
+        }
+    });
+
+    // Dedup: N clients, one identical grid — one execution, N deliveries.
+    let mut deduped_cells = 0u64;
+    let dedup_ns = median_wall_ns(samples, || {
+        let r = round.fetch_add(1, Ordering::SeqCst);
+        let cells = grid(&cfg, cfg.seed ^ (r << 16) ^ 0xDED0);
+        let handles: Vec<_> = (0..clients).map(|_| client(addr, cells.clone())).collect();
+        deduped_cells = handles
+            .into_iter()
+            .map(|h| h.join().expect("client").0.deduped)
+            .sum();
+    });
+
+    server.stop();
+    server.join();
+
+    let total_experiments = experiments_per_grid * clients as u64;
+    let serial_eps = total_experiments as f64 * 1e9 / serial_ns.max(1) as f64;
+    let concurrent_eps = total_experiments as f64 * 1e9 / concurrent_ns.max(1) as f64;
+    let speedup = serial_ns as f64 / concurrent_ns.max(1) as f64;
+    let dedup_speedup = serial_ns as f64 / dedup_ns.max(1) as f64;
+    println!(
+        "serial:     {clients} grids x {cells_per_client} cells in-process, {:.2} s, {serial_eps:.0} exp/s",
+        serial_ns as f64 / 1e9
+    );
+    println!(
+        "concurrent: {clients} clients over TCP,            {:.2} s, {concurrent_eps:.0} exp/s ({speedup:.2}x)",
+        concurrent_ns as f64 / 1e9
+    );
+    println!(
+        "dedup:      {clients} identical clients,           {:.2} s ({dedup_speedup:.2}x, {} cells deduped/sample)",
+        dedup_ns as f64 / 1e9,
+        deduped_cells
+    );
+
+    let mut root = Json::object();
+    root.set("suite", "serve");
+    root.set(
+        "workloads",
+        cfg.workloads()
+            .iter()
+            .map(|w| w.name().to_string())
+            .collect::<Vec<_>>(),
+    );
+    root.set("clients", clients);
+    root.set("cells_per_client", cells_per_client);
+    root.set("experiments_per_cell", cfg.experiments);
+    root.set("engine_threads", cfg.threads);
+    root.set("samples", samples);
+    let mut serial = Json::object();
+    serial.set("wall_ns", serial_ns);
+    serial.set("experiments", total_experiments);
+    serial.set("experiments_per_sec", serial_eps);
+    root.set("serial", serial);
+    let mut concurrent = Json::object();
+    concurrent.set("wall_ns", concurrent_ns);
+    concurrent.set("experiments", total_experiments);
+    concurrent.set("experiments_per_sec", concurrent_eps);
+    concurrent.set("speedup_vs_serial", speedup);
+    root.set("concurrent", concurrent);
+    let mut dedup = Json::object();
+    dedup.set("wall_ns", dedup_ns);
+    dedup.set("executed_experiments", experiments_per_grid);
+    dedup.set("delivered_experiments", total_experiments);
+    dedup.set("deduped_cells_per_sample", deduped_cells);
+    dedup.set("speedup_vs_serial", dedup_speedup);
+    root.set("dedup", dedup);
+    out.write("BENCH_serve.json", &root.render());
+}

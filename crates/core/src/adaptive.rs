@@ -174,6 +174,26 @@ impl Precision {
         (n.ceil().max(1.0)) as usize
     }
 
+    /// Wire encoding of the spec.
+    pub fn to_json(&self) -> crate::report::json::Json {
+        let mut obj = crate::report::json::Json::object();
+        obj.set("target_half_width_pct", self.target_half_width_pct);
+        obj.set("min_experiments", self.min_experiments);
+        obj.set("max_experiments", self.max_experiments);
+        obj.set("interval", self.interval.label());
+        obj
+    }
+
+    /// Parse the wire encoding back.
+    pub fn from_json(v: &crate::report::json::Json) -> Option<Precision> {
+        Some(Precision {
+            target_half_width_pct: v.get("target_half_width_pct")?.as_f64()?,
+            min_experiments: usize::try_from(v.get("min_experiments")?.as_u64()?).ok()?,
+            max_experiments: usize::try_from(v.get("max_experiments")?.as_u64()?).ok()?,
+            interval: IntervalMethod::from_label(v.get("interval")?.as_str()?)?,
+        })
+    }
+
     /// The realized status of a finished cell.
     pub fn status(&self, counts: &OutcomeCounts, rounds: u32) -> AdaptiveStatus {
         AdaptiveStatus {
@@ -216,6 +236,28 @@ impl AdaptiveStatus {
         self.sdc
             .half_width_pct()
             .max(self.detection.half_width_pct())
+    }
+
+    /// Wire encoding of the status.
+    pub fn to_json(&self) -> crate::report::json::Json {
+        let mut obj = crate::report::json::Json::object();
+        obj.set("precision", self.precision.to_json());
+        obj.set("rounds", self.rounds);
+        obj.set("sdc", self.sdc.to_json());
+        obj.set("detection", self.detection.to_json());
+        obj.set("reached_target", self.reached_target);
+        obj
+    }
+
+    /// Parse the wire encoding back.
+    pub fn from_json(v: &crate::report::json::Json) -> Option<AdaptiveStatus> {
+        Some(AdaptiveStatus {
+            precision: Precision::from_json(v.get("precision")?)?,
+            rounds: u32::try_from(v.get("rounds")?.as_u64()?).ok()?,
+            sdc: Proportion::from_json(v.get("sdc")?)?,
+            detection: Proportion::from_json(v.get("detection")?)?,
+            reached_target: v.get("reached_target")?.as_bool()?,
+        })
     }
 }
 

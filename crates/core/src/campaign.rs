@@ -71,6 +71,41 @@ pub enum CampaignWarning {
     },
 }
 
+impl CampaignWarning {
+    /// Wire encoding: a tagged object (`kind` plus the variant's fields).
+    pub fn to_json(&self) -> crate::report::json::Json {
+        let mut obj = crate::report::json::Json::object();
+        match self {
+            CampaignWarning::HangFactorRaised { requested, used } => {
+                obj.set("kind", "hang_factor_raised");
+                obj.set("requested", *requested);
+                obj.set("used", *used);
+            }
+            CampaignWarning::SamplingSaturated { budget, space } => {
+                obj.set("kind", "sampling_saturated");
+                obj.set("budget", *budget);
+                obj.set("space", *space);
+            }
+        }
+        obj
+    }
+
+    /// Parse the wire encoding back.
+    pub fn from_json(v: &crate::report::json::Json) -> Option<CampaignWarning> {
+        match v.get("kind")?.as_str()? {
+            "hang_factor_raised" => Some(CampaignWarning::HangFactorRaised {
+                requested: v.get("requested")?.as_u64()?,
+                used: v.get("used")?.as_u64()?,
+            }),
+            "sampling_saturated" => Some(CampaignWarning::SamplingSaturated {
+                budget: v.get("budget")?.as_u64()?,
+                space: v.get("space")?.as_u64()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
 impl std::fmt::Display for CampaignWarning {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -97,6 +132,30 @@ impl CampaignSpec {
             seed,
             ..CampaignSpec::default()
         }
+    }
+
+    /// Wire encoding of the spec (the `mbfi-serve` request/report schema).
+    pub fn to_json(&self) -> crate::report::json::Json {
+        let mut obj = crate::report::json::Json::object();
+        obj.set("technique", self.technique.short_name());
+        obj.set("model", self.model.to_json());
+        obj.set("experiments", self.experiments);
+        obj.set("seed", self.seed);
+        obj.set("hang_factor", self.hang_factor);
+        obj.set("threads", self.threads);
+        obj
+    }
+
+    /// Parse the wire encoding back.
+    pub fn from_json(v: &crate::report::json::Json) -> Option<CampaignSpec> {
+        Some(CampaignSpec {
+            technique: Technique::from_short_name(v.get("technique")?.as_str()?)?,
+            model: FaultModel::from_json(v.get("model")?)?,
+            experiments: usize::try_from(v.get("experiments")?.as_u64()?).ok()?,
+            seed: v.get("seed")?.as_u64()?,
+            hang_factor: v.get("hang_factor")?.as_u64()?,
+            threads: usize::try_from(v.get("threads")?.as_u64()?).ok()?,
+        })
     }
 
     /// Validate the spec once, returning the (possibly fixed-up) spec the
@@ -172,6 +231,55 @@ impl CampaignResult {
     /// interval method of choice.
     pub fn detection_proportion_by(&self, method: IntervalMethod) -> Proportion {
         method.interval(self.counts.detection(), self.counts.total())
+    }
+
+    /// Wire encoding of the full result.  Every field round-trips exactly
+    /// (floats use the shortest-round-trip writer), so a result that crossed
+    /// the serve wire compares byte-identical to the in-process one.
+    pub fn to_json(&self) -> crate::report::json::Json {
+        let mut obj = crate::report::json::Json::object();
+        obj.set("spec", self.spec.to_json());
+        obj.set("counts", self.counts.to_json());
+        obj.set("activation_histogram", self.activation_histogram.clone());
+        obj.set(
+            "crash_activation_histogram",
+            self.crash_activation_histogram.clone(),
+        );
+        obj.set(
+            "warnings",
+            crate::report::json::Json::Arr(self.warnings.iter().map(|w| w.to_json()).collect()),
+        );
+        obj.set(
+            "adaptive",
+            match &self.adaptive {
+                Some(status) => status.to_json(),
+                None => crate::report::json::Json::Null,
+            },
+        );
+        obj
+    }
+
+    /// Parse the wire encoding back.
+    pub fn from_json(v: &crate::report::json::Json) -> Option<CampaignResult> {
+        let histogram = |key: &str| -> Option<Vec<u64>> {
+            v.get(key)?.as_array()?.iter().map(|x| x.as_u64()).collect()
+        };
+        Some(CampaignResult {
+            spec: CampaignSpec::from_json(v.get("spec")?)?,
+            counts: OutcomeCounts::from_json(v.get("counts")?)?,
+            activation_histogram: histogram("activation_histogram")?,
+            crash_activation_histogram: histogram("crash_activation_histogram")?,
+            warnings: v
+                .get("warnings")?
+                .as_array()?
+                .iter()
+                .map(CampaignWarning::from_json)
+                .collect::<Option<Vec<_>>>()?,
+            adaptive: match v.get("adaptive")? {
+                crate::report::json::Json::Null => None,
+                status => Some(AdaptiveStatus::from_json(status)?),
+            },
+        })
     }
 
     /// Mean number of activated errors per experiment.

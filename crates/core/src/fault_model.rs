@@ -60,6 +60,31 @@ impl WinSize {
             WinSize::Random { lo, .. } => *lo,
         }
     }
+
+    /// Wire encoding: `{"fixed": v}` or `{"lo": lo, "hi": hi}`.
+    pub fn to_json(&self) -> crate::report::json::Json {
+        let mut obj = crate::report::json::Json::object();
+        match self {
+            WinSize::Fixed(v) => {
+                obj.set("fixed", *v);
+            }
+            WinSize::Random { lo, hi } => {
+                obj.set("lo", *lo);
+                obj.set("hi", *hi);
+            }
+        }
+        obj
+    }
+
+    /// Parse the wire encoding back.
+    pub fn from_json(v: &crate::report::json::Json) -> Option<WinSize> {
+        if let Some(fixed) = v.get("fixed") {
+            return Some(WinSize::Fixed(fixed.as_u64()?));
+        }
+        let lo = v.get("lo")?.as_u64()?;
+        let hi = v.get("hi")?.as_u64()?;
+        (lo <= hi).then_some(WinSize::Random { lo, hi })
+    }
 }
 
 impl fmt::Display for WinSize {
@@ -113,6 +138,21 @@ impl FaultModel {
         } else {
             format!("m={},w={}", self.max_mbf, self.win_size.label())
         }
+    }
+
+    /// Wire encoding: `{"max_mbf": m, "win_size": {...}}`.
+    pub fn to_json(&self) -> crate::report::json::Json {
+        let mut obj = crate::report::json::Json::object();
+        obj.set("max_mbf", self.max_mbf);
+        obj.set("win_size", self.win_size.to_json());
+        obj
+    }
+
+    /// Parse the wire encoding back (a `max_mbf` of 0 is malformed).
+    pub fn from_json(v: &crate::report::json::Json) -> Option<FaultModel> {
+        let max_mbf = u32::try_from(v.get("max_mbf")?.as_u64()?).ok()?;
+        let win_size = WinSize::from_json(v.get("win_size")?)?;
+        (max_mbf >= 1).then_some(FaultModel { max_mbf, win_size })
     }
 }
 

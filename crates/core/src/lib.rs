@@ -98,7 +98,10 @@ pub use outcome::{classify, Outcome, OutcomeCounts};
 pub use pruning::{BitLevelPruner, DeadSite, PrunedCampaign};
 pub use replay::{Checkpoint, CheckpointConfig, CheckpointStore, ReplayCaptureError};
 pub use stats::IntervalMethod;
-pub use sweep::{Sweep, SweepCampaign, SweepCampaignResult, SweepConfig, SweepReport, SweepUnit};
+pub use sweep::{
+    ClientId, EngineConfig, EngineUnit, JobEvent, JobHandle, JobId, JobSpec, SubmitError, Sweep,
+    SweepCampaign, SweepCampaignResult, SweepConfig, SweepEngine, SweepReport, SweepUnit,
+};
 pub use technique::Technique;
 pub use telemetry::{
     CellInfo, EventKind, Metric, MonitorState, NoopSink, TelemetryEvent, TelemetryHub,

@@ -1,5 +1,6 @@
 //! Outcome classification of fault-injection experiments (§III-E).
 
+use crate::report::json::Json;
 use mbfi_vm::{RunOutcome, RunResult, Trap};
 use std::fmt;
 use std::ops::{Add, AddAssign};
@@ -171,6 +172,35 @@ impl OutcomeCounts {
     /// Error resilience: probability of *not* producing an SDC.
     pub fn resilience(&self) -> f64 {
         1.0 - self.fraction(Outcome::Sdc)
+    }
+
+    /// Write the five category counts as flat fields of `obj` — the
+    /// telemetry-schema field names, shared with the serve wire protocol.
+    pub fn write_json(&self, obj: &mut Json) {
+        obj.set("benign", self.benign);
+        obj.set("hw_exception", self.hw_exception);
+        obj.set("hang", self.hang);
+        obj.set("no_output", self.no_output);
+        obj.set("sdc", self.sdc);
+    }
+
+    /// The counts as a standalone JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        self.write_json(&mut obj);
+        obj
+    }
+
+    /// Read the five category fields back from an object carrying them
+    /// (extra fields are ignored, so a whole telemetry event works too).
+    pub fn from_json(v: &Json) -> Option<OutcomeCounts> {
+        Some(OutcomeCounts {
+            benign: v.get("benign")?.as_u64()?,
+            hw_exception: v.get("hw_exception")?.as_u64()?,
+            hang: v.get("hang")?.as_u64()?,
+            no_output: v.get("no_output")?.as_u64()?,
+            sdc: v.get("sdc")?.as_u64()?,
+        })
     }
 }
 

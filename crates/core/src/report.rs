@@ -113,6 +113,17 @@ pub mod json {
         }
     }
 
+    /// Hard cap on the size of a [`Json::parse`] input, in bytes.  The
+    /// daemon feeds untrusted wire bytes through this parser; anything
+    /// larger than this is rejected up front instead of being tokenised.
+    pub const MAX_PARSE_BYTES: usize = 16 * 1024 * 1024;
+
+    /// Hard cap on container nesting in [`Json::parse`].  The parser
+    /// recurses per `[`/`{`, so without a limit a few kilobytes of `[[[[…`
+    /// overflow the stack; 128 levels is far beyond anything the writer
+    /// emits.
+    pub const MAX_PARSE_DEPTH: usize = 128;
+
     /// Error from [`Json::parse`]: byte offset of the failure plus a short
     /// message.
     #[derive(Debug, Clone, PartialEq, Eq)]
@@ -138,10 +149,25 @@ pub mod json {
         /// whitespace).  Integral numbers without fraction/exponent parse as
         /// [`Json::UInt`] when non-negative and [`Json::Int`] when negative;
         /// anything with a `.`, `e` or `E` parses as [`Json::Num`].
+        ///
+        /// Safe on untrusted input: inputs over [`MAX_PARSE_BYTES`] and
+        /// nesting over [`MAX_PARSE_DEPTH`] are rejected with an error, and
+        /// every malformed document returns a [`JsonParseError`] carrying
+        /// the byte offset of the failure — never a panic.
         pub fn parse(input: &str) -> Result<Json, JsonParseError> {
+            if input.len() > MAX_PARSE_BYTES {
+                return Err(JsonParseError {
+                    offset: MAX_PARSE_BYTES,
+                    message: format!(
+                        "input is {} bytes; the limit is {MAX_PARSE_BYTES}",
+                        input.len()
+                    ),
+                });
+            }
             let mut p = Parser {
                 bytes: input.as_bytes(),
                 pos: 0,
+                depth: 0,
             };
             p.skip_ws();
             let value = p.value()?;
@@ -207,6 +233,8 @@ pub mod json {
     struct Parser<'a> {
         bytes: &'a [u8],
         pos: usize,
+        /// Current container nesting, bounded by [`MAX_PARSE_DEPTH`].
+        depth: usize,
     }
 
     impl Parser<'_> {
@@ -250,12 +278,22 @@ pub mod json {
             }
         }
 
+        fn enter(&mut self) -> Result<(), JsonParseError> {
+            if self.depth >= MAX_PARSE_DEPTH {
+                return Err(self.error("containers nested deeper than the limit"));
+            }
+            self.depth += 1;
+            Ok(())
+        }
+
         fn array(&mut self) -> Result<Json, JsonParseError> {
+            self.enter()?;
             self.pos += 1; // consume '['
             let mut items = Vec::new();
             self.skip_ws();
             if self.peek() == Some(b']') {
                 self.pos += 1;
+                self.depth -= 1;
                 return Ok(Json::Arr(items));
             }
             loop {
@@ -266,6 +304,7 @@ pub mod json {
                     Some(b',') => self.pos += 1,
                     Some(b']') => {
                         self.pos += 1;
+                        self.depth -= 1;
                         return Ok(Json::Arr(items));
                     }
                     _ => return Err(self.error("expected ',' or ']' in array")),
@@ -274,11 +313,13 @@ pub mod json {
         }
 
         fn object(&mut self) -> Result<Json, JsonParseError> {
+            self.enter()?;
             self.pos += 1; // consume '{'
             let mut entries = Vec::new();
             self.skip_ws();
             if self.peek() == Some(b'}') {
                 self.pos += 1;
+                self.depth -= 1;
                 return Ok(Json::Obj(entries));
             }
             loop {
@@ -300,6 +341,7 @@ pub mod json {
                     Some(b',') => self.pos += 1,
                     Some(b'}') => {
                         self.pos += 1;
+                        self.depth -= 1;
                         return Ok(Json::Obj(entries));
                     }
                     _ => return Err(self.error("expected ',' or '}' in object")),
@@ -832,6 +874,98 @@ mod tests {
         let err = Json::parse("[1, }").unwrap_err();
         assert!(err.offset <= 5);
         assert!(err.to_string().contains("byte"));
+    }
+
+    /// Deep nesting is rejected with an error instead of overflowing the
+    /// stack — `Json::parse` recurses per container, and the daemon feeds it
+    /// untrusted wire bytes.
+    #[test]
+    fn json_parse_bounds_recursion_depth() {
+        // Pathological: a few hundred KiB of unclosed '[' (would previously
+        // recurse ~300k frames deep before even failing on EOF).
+        let bomb = "[".repeat(300_000);
+        let err = Json::parse(&bomb).expect_err("nesting bomb must error");
+        assert!(err.message.contains("nested deeper"), "{err}");
+        assert_eq!(err.offset, json::MAX_PARSE_DEPTH);
+        // Same for objects.
+        let obomb = "{\"k\":".repeat(300_000);
+        assert!(Json::parse(&obomb).is_err());
+        // Nesting at the limit parses; one past it does not.
+        let deep = |n: usize| format!("{}0{}", "[".repeat(n), "]".repeat(n));
+        assert!(Json::parse(&deep(json::MAX_PARSE_DEPTH)).is_ok());
+        assert!(Json::parse(&deep(json::MAX_PARSE_DEPTH + 1)).is_err());
+        // The depth counter resets between siblings: many shallow containers
+        // in sequence are fine.
+        let wide = format!("[{}0]", "[0],".repeat(10_000));
+        assert!(Json::parse(&wide).is_ok());
+    }
+
+    /// Inputs over the size cap are rejected before tokenisation.
+    #[test]
+    fn json_parse_bounds_input_size() {
+        let huge = format!("\"{}\"", "x".repeat(json::MAX_PARSE_BYTES));
+        let err = Json::parse(&huge).expect_err("oversized input must error");
+        assert_eq!(err.offset, json::MAX_PARSE_BYTES);
+        assert!(err.message.contains("limit"), "{err}");
+    }
+
+    /// Every proper prefix of a rendered document is malformed (a truncated
+    /// TCP line must produce an error, never a panic or a bogus value).
+    #[test]
+    fn json_parse_rejects_every_truncation() {
+        let mut obj = Json::object();
+        obj.set("name", "qu\"ote\\and\nnewline");
+        obj.set("crab", "🦀\u{1}");
+        obj.set("nums", vec![Json::Int(-3), Json::Num(2.5), Json::UInt(9)]);
+        obj.set("nested", {
+            let mut n = Json::object();
+            n.set("flag", true);
+            n.set("nil", Json::Null);
+            n
+        });
+        let rendered = obj.render();
+        assert!(Json::parse(&rendered).is_ok());
+        for cut in 0..rendered.len() {
+            if !rendered.is_char_boundary(cut) {
+                continue;
+            }
+            assert!(
+                Json::parse(&rendered[..cut]).is_err(),
+                "truncation at byte {cut} must fail: {:?}",
+                &rendered[..cut]
+            );
+        }
+    }
+
+    /// Seeded fuzz: random single-byte corruptions of a valid document must
+    /// parse to `Ok` or `Err`, never panic, and errors must point inside
+    /// the input.
+    #[test]
+    fn json_parse_survives_seeded_corruption() {
+        use crate::rng::{Rng, SmallRng};
+        let mut obj = Json::object();
+        obj.set("s", "escape\\me \"now\" \u{1f}");
+        obj.set("f", -1.25e-3f64);
+        obj.set("a", vec![0u64, 1, 2]);
+        obj.set("u", "\u{1F980}\u{00e9}");
+        let rendered = rendered_bytes(&obj);
+        let mut rng = SmallRng::seed_from_u64(0x5EED_F00D);
+        for _ in 0..5_000 {
+            let mut bytes = rendered.clone();
+            let at = rng.gen_range(0..bytes.len() as u64) as usize;
+            bytes[at] = rng.gen_range(0u32..=255) as u8;
+            // Corruption may break UTF-8; only valid strings reach parse.
+            let Ok(text) = std::str::from_utf8(&bytes) else {
+                continue;
+            };
+            if let Err(err) = Json::parse(text) {
+                assert!(err.offset <= text.len(), "offset out of range: {err}");
+            }
+        }
+    }
+
+    fn rendered_bytes(v: &Json) -> Vec<u8> {
+        v.render().into_bytes()
     }
 
     #[test]

@@ -44,6 +44,29 @@ impl Proportion {
     pub fn overlaps(&self, other: &Proportion) -> bool {
         self.lower <= other.upper && other.lower <= self.upper
     }
+
+    /// Wire encoding (the floats round-trip exactly — the JSON writer emits
+    /// shortest-round-trip f64).
+    pub fn to_json(&self) -> crate::report::json::Json {
+        let mut obj = crate::report::json::Json::object();
+        obj.set("successes", self.successes);
+        obj.set("trials", self.trials);
+        obj.set("estimate", self.estimate);
+        obj.set("lower", self.lower);
+        obj.set("upper", self.upper);
+        obj
+    }
+
+    /// Parse the wire encoding back.
+    pub fn from_json(v: &crate::report::json::Json) -> Option<Proportion> {
+        Some(Proportion {
+            successes: v.get("successes")?.as_u64()?,
+            trials: v.get("trials")?.as_u64()?,
+            estimate: v.get("estimate")?.as_f64()?,
+            lower: v.get("lower")?.as_f64()?,
+            upper: v.get("upper")?.as_f64()?,
+        })
+    }
 }
 
 /// Which binomial confidence interval to compute.
@@ -53,7 +76,7 @@ impl Proportion {
 /// is exactly 0 for any sample size, so it must never be used as a stopping
 /// rule (see [`crate::adaptive`]).  The Wilson score interval stays
 /// informative at the extremes and is the default for adaptive stopping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum IntervalMethod {
     /// Normal approximation, [`wald_interval`].
     Wald,
@@ -76,6 +99,15 @@ impl IntervalMethod {
         match self {
             IntervalMethod::Wald => "wald",
             IntervalMethod::Wilson => "wilson",
+        }
+    }
+
+    /// Parse a [`IntervalMethod::label`] back (the serve wire encoding).
+    pub fn from_label(label: &str) -> Option<IntervalMethod> {
+        match label {
+            "wald" => Some(IntervalMethod::Wald),
+            "wilson" => Some(IntervalMethod::Wilson),
+            _ => None,
         }
     }
 }

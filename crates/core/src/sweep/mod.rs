@@ -61,6 +61,28 @@
 //!
 //! [`crate::Campaign::run_compiled_with_store`] is itself implemented as a
 //! single-campaign sweep, so there is exactly one execution engine.
+//!
+//! ## Two drivers, one core
+//!
+//! The scheduling core — per-campaign plans, batch claiming, round gating
+//! and the index-order result fold — lives in `sweep::plan` and is shared by
+//! **two drivers**: the borrow-friendly scoped driver behind [`Sweep::run`]
+//! (spawns a scoped pool per call), and the persistent multi-tenant
+//! [`SweepEngine`] behind the `mbfi-serve` daemon (owns its worker pool for
+//! the process lifetime, accepts jobs at runtime with per-client priorities,
+//! fairness quotas and bounded admission, and streams results as they land).
+//! Both produce byte-identical results for the same cells because everything
+//! that determines what a cell computes is in the shared core; the drivers
+//! only decide *when* and *by whom* each batch runs, which the determinism
+//! contract makes irrelevant.
+
+mod engine;
+mod plan;
+
+pub use engine::{
+    ClientId, EngineConfig, EngineUnit, JobEvent, JobHandle, JobId, JobSpec, SubmitError,
+    SweepEngine,
+};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Condvar, Mutex};
@@ -68,14 +90,14 @@ use std::time::{Duration, Instant};
 
 use crate::adaptive::Precision;
 use crate::campaign::{CampaignResult, CampaignSpec, CampaignWarning};
-use crate::experiment::{Experiment, ExperimentResult, ExperimentSpec};
 use crate::golden::GoldenRun;
 use crate::injector::InjectionRecord;
-use crate::outcome::{Outcome, OutcomeCounts};
+use crate::outcome::OutcomeCounts;
 use crate::replay::CheckpointStore;
-use crate::space::{ErrorSpace, REGISTER_BITS};
 use crate::telemetry::{CellInfo, EventKind, Metric, NoopSink, TelemetryLevel, TelemetrySink};
 use mbfi_ir::CompiledModule;
+
+use plan::{run_span, run_span_timed, Plan};
 
 /// Per-workload artifacts shared by every campaign of a sweep: the module is
 /// lowered once, the golden run captured once, and the checkpoint store (if
@@ -155,6 +177,79 @@ pub struct SweepReport {
     /// campaign's own warnings are also carried in its
     /// [`CampaignResult::warnings`]).
     pub warnings: Vec<CampaignWarning>,
+}
+
+impl SweepCampaignResult {
+    /// Wire encoding of one cell's result, exact enough that a result that
+    /// crossed the serve wire compares byte-identical to the in-process one.
+    pub fn to_json(&self) -> crate::report::json::Json {
+        use crate::report::json::Json;
+        let mut obj = Json::object();
+        obj.set("result", self.result.to_json());
+        obj.set(
+            "records",
+            Json::Arr(
+                self.records
+                    .iter()
+                    .map(|exp| Json::Arr(exp.iter().map(|r| r.to_json()).collect()))
+                    .collect(),
+            ),
+        );
+        obj
+    }
+
+    /// Parse the wire encoding back.
+    pub fn from_json(v: &crate::report::json::Json) -> Option<SweepCampaignResult> {
+        Some(SweepCampaignResult {
+            result: CampaignResult::from_json(v.get("result")?)?,
+            records: v
+                .get("records")?
+                .as_array()?
+                .iter()
+                .map(|exp| {
+                    exp.as_array()?
+                        .iter()
+                        .map(InjectionRecord::from_json)
+                        .collect::<Option<Vec<_>>>()
+                })
+                .collect::<Option<Vec<_>>>()?,
+        })
+    }
+}
+
+impl SweepReport {
+    /// Wire encoding of a whole report (the final frame of a serve job).
+    pub fn to_json(&self) -> crate::report::json::Json {
+        use crate::report::json::Json;
+        let mut obj = Json::object();
+        obj.set(
+            "results",
+            Json::Arr(self.results.iter().map(|r| r.to_json()).collect()),
+        );
+        obj.set(
+            "warnings",
+            Json::Arr(self.warnings.iter().map(|w| w.to_json()).collect()),
+        );
+        obj
+    }
+
+    /// Parse the wire encoding back.
+    pub fn from_json(v: &crate::report::json::Json) -> Option<SweepReport> {
+        Some(SweepReport {
+            results: v
+                .get("results")?
+                .as_array()?
+                .iter()
+                .map(SweepCampaignResult::from_json)
+                .collect::<Option<Vec<_>>>()?,
+            warnings: v
+                .get("warnings")?
+                .as_array()?
+                .iter()
+                .map(CampaignWarning::from_json)
+                .collect::<Option<Vec<_>>>()?,
+        })
+    }
 }
 
 /// The campaign-matrix executor.
@@ -441,255 +536,6 @@ impl Parking {
     }
 }
 
-/// One campaign's execution plan: the validated spec, the experiment
-/// execution order, the batch deque (an atomic cursor — batches are taken
-/// from the front in index order; which *worker* takes each batch is the
-/// only scheduling freedom, and results do not depend on it) and, for
-/// adaptive campaigns, the round structure gating how many batches are
-/// released.
-///
-/// Experiment specs are *not* retained: each is a pure function of
-/// `(campaign seed, experiment index)` and is re-sampled (a few RNG draws)
-/// by the worker that runs its batch, so a whole-grid sweep holds O(grid
-/// cells), not O(grid experiments), between batches.
-struct Plan {
-    unit: usize,
-    spec: CampaignSpec,
-    warnings: Vec<CampaignWarning>,
-    /// Execution order as original experiment indices, sorted by injection
-    /// depth when the unit has a checkpoint store so the experiments of one
-    /// batch restore neighbouring checkpoints; `None` = identity order.
-    /// Adaptive campaigns sort within each round (never across a round
-    /// boundary) so the executed *set* stays a pure index prefix.
-    order: Option<Vec<u32>>,
-    /// Per-batch experiment spans `[start, end)`; batches never straddle a
-    /// round boundary.
-    spans: Vec<(u32, u32)>,
-    /// Cumulative batch count at each round boundary; fixed-n campaigns have
-    /// exactly one "round" covering everything.
-    round_batch_ends: Vec<usize>,
-    /// The normalized precision spec; `None` = fixed-n.
-    precision: Option<Precision>,
-    max_hist: usize,
-    cursor: AtomicUsize,
-    /// Batches released so far; only ever advanced (to the next entry of
-    /// `round_batch_ends`) by the unique worker that completes a round.
-    released: AtomicUsize,
-    completed: AtomicUsize,
-    slots: Vec<Mutex<Option<BatchOut>>>,
-}
-
-/// The partial result of one batch.
-struct BatchOut {
-    counts: OutcomeCounts,
-    activation: Vec<u64>,
-    crash_activation: Vec<u64>,
-    records: Vec<(u32, Vec<InjectionRecord>)>,
-}
-
-impl Plan {
-    fn new(
-        campaign: &SweepCampaign,
-        unit: &SweepUnit<'_>,
-        batch_size: usize,
-        auto_batch: usize,
-        precision: Option<Precision>,
-    ) -> Plan {
-        let (mut spec, mut warnings) = campaign.spec.validate();
-        let precision = precision.map(|p| p.normalized());
-        // Round boundaries in experiments.  Fixed-n: one round = the whole
-        // budget.  Adaptive: the budget is `max_experiments` and the spec's
-        // own experiment count is ignored.
-        let round_ends: Vec<usize> = match &precision {
-            Some(p) => p.round_ends(),
-            None => vec![spec.experiments],
-        };
-        let budget = *round_ends.last().expect("round_ends is never empty");
-        spec.experiments = budget;
-        // A budget beyond the single bit-flip error space means sampling with
-        // replacement cannot help further — possible for tiny inputs under an
-        // adaptive `max_experiments`.  Surface it once per campaign.
-        if spec.model.is_single() {
-            let space = ErrorSpace::new(unit.golden.candidates(spec.technique), REGISTER_BITS)
-                .single_bit_size();
-            if space > 0 && budget as u128 > space {
-                warnings.push(CampaignWarning::SamplingSaturated {
-                    budget: budget as u64,
-                    space: space.min(u128::from(u64::MAX)) as u64,
-                });
-            }
-        }
-        let batch = if batch_size != 0 {
-            batch_size
-        } else {
-            match &precision {
-                // Independent of the thread count by construction: the batch
-                // cut decides round membership, so it must be a pure function
-                // of the precision spec.
-                Some(p) => p.round_step().div_ceil(4).clamp(1, 64),
-                None => auto_batch,
-            }
-        };
-        // With a store, order experiments by injection depth (the sampled
-        // specs are transient here — only the ordering survives).  Adaptive
-        // campaigns sort each round's index range separately so that the set
-        // of executed experiments after r rounds is exactly `[0,
-        // round_ends[r-1])` regardless of the store.
-        let order = unit.store.is_some().then(|| {
-            // `spec.experiments` already holds the full budget (set above).
-            let keyed: Vec<u64> = ExperimentSpec::sample_campaign(&spec, unit.golden)
-                .into_iter()
-                .map(|s| s.first_target)
-                .collect();
-            let mut order: Vec<u32> = (0..budget as u32).collect();
-            let mut start = 0usize;
-            for &end in &round_ends {
-                order[start..end].sort_by_key(|&i| keyed[i as usize]);
-                start = end;
-            }
-            order
-        });
-        // Cut each round into batches; a batch never straddles a round
-        // boundary, so the released prefix is always a whole number of
-        // rounds' worth of experiments.
-        let mut spans: Vec<(u32, u32)> = Vec::new();
-        let mut round_batch_ends = Vec::with_capacity(round_ends.len());
-        let mut start = 0usize;
-        for &end in &round_ends {
-            let mut s = start;
-            while s < end {
-                let e = (s + batch).min(end);
-                spans.push((s as u32, e as u32));
-                s = e;
-            }
-            round_batch_ends.push(spans.len());
-            start = end;
-        }
-        let batches = spans.len();
-        let mut slots = Vec::with_capacity(batches);
-        slots.resize_with(batches, || Mutex::new(None));
-        Plan {
-            unit: campaign.unit,
-            spec,
-            warnings,
-            order,
-            spans,
-            released: AtomicUsize::new(*round_batch_ends.first().unwrap_or(&0)),
-            round_batch_ends,
-            precision,
-            max_hist: spec.model.max_mbf as usize + 1,
-            cursor: AtomicUsize::new(0),
-            completed: AtomicUsize::new(0),
-            slots,
-        }
-    }
-
-    fn batches(&self) -> usize {
-        self.slots.len()
-    }
-
-    /// Take the next *released* batch index off the front of this campaign's
-    /// deque.  `None` can mean "finished" or "waiting for the current round
-    /// to complete" — callers cannot tell and do not need to.
-    fn take_batch(&self) -> Option<usize> {
-        loop {
-            let released = self.released.load(Ordering::Acquire);
-            let cur = self.cursor.load(Ordering::Relaxed);
-            if cur >= released {
-                return None;
-            }
-            if self
-                .cursor
-                .compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Relaxed)
-                .is_ok()
-            {
-                return Some(cur);
-            }
-        }
-    }
-
-    fn empty_result(&self) -> SweepCampaignResult {
-        SweepCampaignResult {
-            result: CampaignResult {
-                spec: self.spec,
-                counts: OutcomeCounts::default(),
-                activation_histogram: vec![0; self.max_hist],
-                crash_activation_histogram: vec![0; self.max_hist],
-                warnings: self.warnings.clone(),
-                adaptive: None,
-            },
-            records: Vec::new(),
-        }
-    }
-
-    /// Merged outcome counts of the first `batches` batch slots, in index
-    /// order (all of them are complete when this is called).
-    fn merged_counts(&self, batches: usize) -> OutcomeCounts {
-        let mut counts = OutcomeCounts::default();
-        for slot in &self.slots[..batches] {
-            let guard = slot.lock().expect("sweep batch slot poisoned");
-            let out = guard
-                .as_ref()
-                .expect("sweep round evaluated with a missing batch");
-            counts += out.counts;
-        }
-        counts
-    }
-
-    /// Fold the first `batches` completed batches, in batch-index order, into
-    /// the final result.  Counts and histograms are commutative sums; records
-    /// go back to their original experiment index.  `rounds` is the number of
-    /// completed rounds (for the adaptive status).
-    fn finalize(&self, keep_records: bool, batches: usize, rounds: u32) -> SweepCampaignResult {
-        let realized = batches
-            .checked_sub(1)
-            .map(|last| self.spans[last].1 as usize)
-            .unwrap_or(0);
-        let mut counts = OutcomeCounts::default();
-        let mut activation = vec![0u64; self.max_hist];
-        let mut crash_activation = vec![0u64; self.max_hist];
-        let mut records: Vec<Vec<InjectionRecord>> = if keep_records {
-            vec![Vec::new(); realized]
-        } else {
-            Vec::new()
-        };
-        for slot in &self.slots[..batches] {
-            let out = slot
-                .lock()
-                .expect("sweep batch slot poisoned")
-                .take()
-                .expect("sweep campaign finalized with a missing batch");
-            counts += out.counts;
-            for (i, v) in out.activation.iter().enumerate() {
-                activation[i] += v;
-            }
-            for (i, v) in out.crash_activation.iter().enumerate() {
-                crash_activation[i] += v;
-            }
-            for (orig, recs) in out.records {
-                records[orig as usize] = recs;
-            }
-        }
-        // The result's spec records what actually ran: for adaptive
-        // campaigns, the realized experiment count.
-        let spec = CampaignSpec {
-            experiments: realized,
-            ..self.spec
-        };
-        SweepCampaignResult {
-            result: CampaignResult {
-                spec,
-                adaptive: self.precision.as_ref().map(|p| p.status(&counts, rounds)),
-                counts,
-                activation_histogram: activation,
-                crash_activation_histogram: crash_activation,
-                warnings: self.warnings.clone(),
-            },
-            records,
-        }
-    }
-}
-
 /// Worker `t`'s loop: drain the home campaign `t % n`, then steal whole
 /// batches from the other campaigns (round-robin scan from home).  In a
 /// gated (adaptive) sweep, a worker that finds nothing to do **parks** on
@@ -753,102 +599,6 @@ fn worker<S: TelemetrySink>(
                 parking.park(epoch);
             }
         }
-    }
-}
-
-/// The hot experiment loop of one batch, deliberately **not** generic over
-/// the telemetry sink: this function (and [`Experiment::run_compiled`]
-/// under it) compiles exactly once, so a telemetered sweep at `Off` or
-/// `Counters` executes the same machine code as an untelemetered one —
-/// counters are tallied in bulk afterwards via
-/// [`TelemetrySink::experiment_batch`].
-fn run_span(plan: &Plan, b: usize, unit: &SweepUnit<'_>, keep_records: bool) -> BatchOut {
-    let (start, end) = plan.spans[b];
-    let mut out = BatchOut {
-        counts: OutcomeCounts::default(),
-        activation: vec![0; plan.max_hist],
-        crash_activation: vec![0; plan.max_hist],
-        records: Vec::new(),
-    };
-    for k in start..end {
-        let orig = match &plan.order {
-            Some(order) => order[k as usize],
-            None => k,
-        };
-        let spec = ExperimentSpec::sample(
-            plan.spec.technique,
-            plan.spec.model,
-            unit.golden,
-            plan.spec.seed,
-            orig as u64,
-            plan.spec.hang_factor,
-        );
-        let result = Experiment::run_compiled(unit.code, unit.golden, &spec, unit.store);
-        record_result(plan, &mut out, keep_records, orig, result);
-    }
-    out
-}
-
-/// The Full-level variant of [`run_span`]: each experiment is individually
-/// timed into the latency histogram and reported through
-/// [`TelemetrySink::experiment`], and checkpoint-restore savings are
-/// published per experiment.  This per-experiment cost is exactly what the
-/// Counters level avoids.
-fn run_span_timed<S: TelemetrySink>(
-    plan: &Plan,
-    index: usize,
-    b: usize,
-    unit: &SweepUnit<'_>,
-    keep_records: bool,
-    telemetry: &S,
-) -> BatchOut {
-    let (start, end) = plan.spans[b];
-    let mut out = BatchOut {
-        counts: OutcomeCounts::default(),
-        activation: vec![0; plan.max_hist],
-        crash_activation: vec![0; plan.max_hist],
-        records: Vec::new(),
-    };
-    for k in start..end {
-        let orig = match &plan.order {
-            Some(order) => order[k as usize],
-            None => k,
-        };
-        let spec = ExperimentSpec::sample(
-            plan.spec.technique,
-            plan.spec.model,
-            unit.golden,
-            plan.spec.seed,
-            orig as u64,
-            plan.spec.hang_factor,
-        );
-        let t0 = Instant::now();
-        let result =
-            Experiment::run_compiled_with(unit.code, unit.golden, &spec, unit.store, telemetry);
-        let latency_ns = t0.elapsed().as_nanos() as u64;
-        telemetry.experiment(index, result.outcome, latency_ns.max(1));
-        record_result(plan, &mut out, keep_records, orig, result);
-    }
-    out
-}
-
-/// Fold one experiment's result into a batch partial (shared tail of
-/// [`run_span`] / [`run_span_timed`]).
-fn record_result(
-    plan: &Plan,
-    out: &mut BatchOut,
-    keep_records: bool,
-    orig: u32,
-    result: ExperimentResult,
-) {
-    out.counts.record(result.outcome);
-    let slot = (result.activated as usize).min(plan.max_hist - 1);
-    out.activation[slot] += 1;
-    if result.outcome == Outcome::DetectedHwException {
-        out.crash_activation[slot] += 1;
-    }
-    if keep_records {
-        out.records.push((orig, result.injections));
     }
 }
 
@@ -1013,6 +763,7 @@ mod tests {
     use crate::campaign::Campaign;
 
     use super::*;
+    use crate::experiment::{Experiment, ExperimentSpec};
     use crate::fault_model::{FaultModel, WinSize};
     use crate::replay::{CheckpointConfig, CheckpointStore};
     use crate::technique::Technique;

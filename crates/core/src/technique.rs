@@ -35,6 +35,11 @@ impl Technique {
             Technique::InjectOnWrite => "write",
         }
     }
+
+    /// Parse a [`Technique::short_name`] back (the serve wire encoding).
+    pub fn from_short_name(name: &str) -> Option<Technique> {
+        Technique::ALL.into_iter().find(|t| t.short_name() == name)
+    }
 }
 
 impl fmt::Display for Technique {

@@ -290,21 +290,11 @@ pub enum EventKind {
 }
 
 fn counts_into(obj: &mut Json, c: &OutcomeCounts) {
-    obj.set("benign", c.benign);
-    obj.set("hw_exception", c.hw_exception);
-    obj.set("hang", c.hang);
-    obj.set("no_output", c.no_output);
-    obj.set("sdc", c.sdc);
+    c.write_json(obj);
 }
 
 fn counts_from(v: &Json) -> Option<OutcomeCounts> {
-    Some(OutcomeCounts {
-        benign: v.get("benign")?.as_u64()?,
-        hw_exception: v.get("hw_exception")?.as_u64()?,
-        hang: v.get("hang")?.as_u64()?,
-        no_output: v.get("no_output")?.as_u64()?,
-        sdc: v.get("sdc")?.as_u64()?,
-    })
+    OutcomeCounts::from_json(v)
 }
 
 impl TelemetryEvent {
@@ -1128,10 +1118,17 @@ pub struct MonitorState {
     pub events: u64,
     /// Malformed lines / decode failures encountered.
     pub errors: Vec<String>,
+    /// Events whose sequence number did not arrive strictly increasing.
+    /// Expected to be 0 on a single TCP stream; a non-zero count is
+    /// reported but is not by itself a verification failure (the
+    /// accumulator is order-insensitive, and multi-worker emission may
+    /// legitimately interleave).
+    pub out_of_order: u64,
     seq_count: u64,
     seq_min: u64,
     seq_max: u64,
     seq_sum: u128,
+    last_seq: Option<u64>,
 }
 
 /// Per-cell accumulated state of a [`MonitorState`].
@@ -1165,11 +1162,24 @@ impl MonitorState {
         MonitorState::default()
     }
 
-    fn cell_mut(&mut self, cell: usize) -> &mut MonitorCell {
+    /// Hard cap on the cell indices the monitor will materialise.  Untrusted
+    /// TCP streams choose the index; without a cap a single hostile
+    /// `{"cell": 10000000000000}` would make the accumulator allocate (and
+    /// abort) instead of reporting an error.
+    pub const MAX_CELLS: usize = 1 << 16;
+
+    fn cell_mut(&mut self, cell: usize) -> Option<&mut MonitorCell> {
+        if cell >= MonitorState::MAX_CELLS {
+            self.errors.push(format!(
+                "cell index {cell} exceeds the monitor limit of {}",
+                MonitorState::MAX_CELLS
+            ));
+            return None;
+        }
         if cell >= self.cells.len() {
             self.cells.resize_with(cell + 1, MonitorCell::default);
         }
-        &mut self.cells[cell]
+        Some(&mut self.cells[cell])
     }
 
     /// Apply one event.
@@ -1183,20 +1193,28 @@ impl MonitorState {
             self.seq_min = self.seq_min.min(event.seq);
             self.seq_max = self.seq_max.max(event.seq);
         }
+        if let Some(last) = self.last_seq {
+            if event.seq <= last {
+                self.out_of_order += 1;
+            }
+        }
+        self.last_seq = Some(self.last_seq.unwrap_or(0).max(event.seq));
         self.seq_count += 1;
         self.seq_sum += event.seq as u128;
         match &event.kind {
             EventKind::SweepStarted { cells, threads, .. } => {
                 self.threads = *threads;
-                if self.cells.len() < *cells {
-                    self.cells.resize_with(*cells, MonitorCell::default);
+                let cells = (*cells).min(MonitorState::MAX_CELLS);
+                if self.cells.len() < cells {
+                    self.cells.resize_with(cells, MonitorCell::default);
                 }
             }
             EventKind::CellPlanned { cell, info } => {
-                let c = self.cell_mut(*cell);
-                c.unit = info.unit;
-                c.label = info.label.clone();
-                c.planned = info.planned;
+                if let Some(c) = self.cell_mut(*cell) {
+                    c.unit = info.unit;
+                    c.label = info.label.clone();
+                    c.planned = info.planned;
+                }
             }
             EventKind::BatchDone {
                 cell,
@@ -1204,9 +1222,10 @@ impl MonitorState {
                 counts,
                 ..
             } => {
-                let c = self.cell_mut(*cell);
-                c.done += experiments;
-                c.counts += *counts;
+                if let Some(c) = self.cell_mut(*cell) {
+                    c.done += experiments;
+                    c.counts += *counts;
+                }
             }
             EventKind::RoundDone {
                 cell,
@@ -1215,10 +1234,11 @@ impl MonitorState {
                 detection_half_width_pct,
                 ..
             } => {
-                let c = self.cell_mut(*cell);
-                c.rounds = c.rounds.max(*round);
-                c.sdc_half_width_pct = Some(*sdc_half_width_pct);
-                c.detection_half_width_pct = Some(*detection_half_width_pct);
+                if let Some(c) = self.cell_mut(*cell) {
+                    c.rounds = c.rounds.max(*round);
+                    c.sdc_half_width_pct = Some(*sdc_half_width_pct);
+                    c.detection_half_width_pct = Some(*detection_half_width_pct);
+                }
             }
             EventKind::CellFinished {
                 cell,
@@ -1226,10 +1246,11 @@ impl MonitorState {
                 counts,
                 rounds,
             } => {
-                let c = self.cell_mut(*cell);
-                c.finished = true;
-                c.rounds = c.rounds.max(*rounds);
-                c.reported = Some((*experiments, *counts));
+                if let Some(c) = self.cell_mut(*cell) {
+                    c.finished = true;
+                    c.rounds = c.rounds.max(*rounds);
+                    c.reported = Some((*experiments, *counts));
+                }
             }
             EventKind::SweepFinished {
                 experiments,
@@ -1324,8 +1345,15 @@ impl MonitorState {
             let span = self.seq_max - self.seq_min + 1;
             let expected_sum = (self.seq_min as u128 + self.seq_max as u128) * span as u128 / 2;
             if self.seq_count != span || self.seq_sum != expected_sum {
+                let detail = if self.seq_count < span {
+                    format!("{} missing", span - self.seq_count)
+                } else if self.seq_count > span {
+                    format!("{} duplicated", self.seq_count - span)
+                } else {
+                    "duplicates masking gaps".to_string()
+                };
                 problems.push(format!(
-                    "sequence numbers not gap-free: {} events over span {}..={}",
+                    "sequence numbers not gap-free: {} events over span {}..={} ({detail})",
                     self.seq_count, self.seq_min, self.seq_max
                 ));
             }
@@ -1668,6 +1696,79 @@ mod tests {
         let mut blank = MonitorState::new();
         blank.apply_line("   ").unwrap();
         assert_eq!(blank.events, 0);
+    }
+
+    /// TCP-stream hardening: out-of-order arrival is counted (not a
+    /// failure), gaps are reported with how many events are missing,
+    /// duplicates are distinguished from gaps, and hostile cell indices are
+    /// rejected instead of allocating.
+    #[test]
+    fn monitor_state_survives_untrusted_streams() {
+        let events = sample_events();
+        // In-order stream: zero out-of-order arrivals.
+        let mut ordered = MonitorState::new();
+        for event in &events {
+            ordered.apply(event);
+        }
+        assert_eq!(ordered.out_of_order, 0);
+        // Reversed stream: every arrival after the first is out of order,
+        // but the accumulator still verifies clean (no gaps, same sums).
+        let mut reversed = MonitorState::new();
+        for event in events.iter().rev() {
+            reversed.apply(event);
+        }
+        assert_eq!(reversed.out_of_order, events.len() as u64 - 1);
+        assert_eq!(reversed.verify(), Vec::<String>::new());
+
+        // A gap reports how many events are missing.
+        let mut gapped = MonitorState::new();
+        for event in &events {
+            if event.seq != 3 && event.seq != 4 {
+                gapped.apply(event);
+            }
+        }
+        let problems = gapped.verify();
+        assert!(
+            problems.iter().any(|p| p.contains("2 missing")),
+            "gap size must be reported: {problems:?}"
+        );
+
+        // A duplicated event is reported as a duplicate, not a gap.
+        let mut duped = MonitorState::new();
+        for event in &events {
+            duped.apply(event);
+        }
+        duped.apply(&events[2]);
+        assert_eq!(duped.out_of_order, 1);
+        let problems = duped.verify();
+        assert!(
+            problems.iter().any(|p| p.contains("1 duplicated")),
+            "duplicate must be reported: {problems:?}"
+        );
+
+        // A hostile cell index is an error, not a giant allocation.
+        let mut hostile = MonitorState::new();
+        let line = format!(
+            "{{\"seq\":0,\"t_ns\":1,\"kind\":\"batch_done\",\"cell\":{},\
+             \"batch\":0,\"experiments\":5,\"benign\":5,\"hw_exception\":0,\
+             \"hang\":0,\"no_output\":0,\"sdc\":0,\"wall_ns\":10,\
+             \"worker\":0,\"stolen\":false}}",
+            u64::MAX / 2
+        );
+        hostile.apply_line(&line).unwrap();
+        assert!(hostile.cells.is_empty(), "must not allocate hostile cells");
+        assert!(
+            hostile.verify().iter().any(|p| p.contains("monitor limit")),
+            "hostile index must be reported"
+        );
+        // An oversized SweepStarted announcement is clamped the same way.
+        let started = format!(
+            "{{\"seq\":1,\"t_ns\":1,\"kind\":\"sweep_started\",\
+             \"cells\":{},\"threads\":1,\"planned\":1}}",
+            u64::MAX / 2
+        );
+        hostile.apply_line(&started).unwrap();
+        assert!(hostile.cells.len() <= MonitorState::MAX_CELLS);
     }
 
     // The whole point of NoopSink: its const gate is false, so every

@@ -1,0 +1,371 @@
+//! Shared cross-request caches: compiled workload artifacts and in-flight /
+//! completed sweep cells.
+//!
+//! Two clients submitting overlapping grids must not pay twice.  The daemon
+//! dedupes at two levels:
+//!
+//! * [`ArtifactCache`] — one `(workload, size)` build (module lowering plus
+//!   golden-run capture) per process lifetime, with a per-key build lock so
+//!   two concurrent first-requests for `qsort/tiny` compile it exactly once.
+//! * [`CellCache`] — one *execution* per [`CellKey`] (workload, size, and
+//!   the full normalised campaign spec).  The first requester becomes the
+//!   owner and submits the engine job; everyone else tails the owner's
+//!   [`CellEntry`], replaying its buffered events and blocking on a condvar
+//!   until the result lands.  Because the executor is deterministic — the
+//!   result is a pure function of the spec, never of thread count or batch
+//!   schedule — handing client B client A's bytes *is* running the cell.
+//!
+//! The cell key deliberately excludes the request's `threads` hint: results
+//! are thread-invariant, so normalising `threads` to 0 widens dedupe without
+//! risking divergence.
+
+use crate::protocol::CellRequest;
+use mbfi_core::{IntervalMethod, SweepCampaignResult, Technique, WinSize};
+use mbfi_workloads::InputSize;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+const LOCK_POISONED: &str = "serve cache lock poisoned";
+
+/// Identity of one deduplicatable cell execution.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CellKey {
+    workload: String,
+    size: InputSize,
+    technique: Technique,
+    max_mbf: u32,
+    win_size: WinSize,
+    experiments: usize,
+    seed: u64,
+    hang_factor: u64,
+    /// `(target_half_width_pct.to_bits(), min, max, interval)` — the f64 is
+    /// keyed by its bit pattern so the key stays `Eq + Hash`.
+    precision: Option<(u64, usize, usize, IntervalMethod)>,
+}
+
+impl CellKey {
+    /// Build the key of a request (workload name lower-cased: the registry
+    /// lookup is case-insensitive, so `QSort` and `qsort` are one cell).
+    pub fn of(req: &CellRequest) -> CellKey {
+        CellKey {
+            workload: req.workload.to_ascii_lowercase(),
+            size: req.size,
+            technique: req.technique,
+            max_mbf: req.model.max_mbf,
+            win_size: req.model.win_size,
+            experiments: req.experiments,
+            seed: req.seed,
+            hang_factor: req.hang_factor,
+            precision: req.precision.as_ref().map(|p| {
+                (
+                    p.target_half_width_pct.to_bits(),
+                    p.min_experiments,
+                    p.max_experiments,
+                    p.interval,
+                )
+            }),
+        }
+    }
+}
+
+/// One buffered progress event of a cell execution, replayable to any number
+/// of followers in the order the owner observed it.
+#[derive(Debug, Clone)]
+pub enum CellEvent {
+    /// Mirrors [`mbfi_core::JobEvent::BatchDone`].
+    Batch {
+        /// Batch index within the cell.
+        batch: usize,
+        /// Experiments in the batch.
+        experiments: u64,
+        /// The batch's outcome tally.
+        counts: mbfi_core::OutcomeCounts,
+        /// Wall-clock nanoseconds.
+        wall_ns: u64,
+        /// Engine worker that ran it.
+        worker: usize,
+    },
+    /// Mirrors [`mbfi_core::JobEvent::RoundDone`].
+    Round {
+        /// 1-based completed round count.
+        round: u32,
+        /// Merged experiments so far.
+        experiments: u64,
+        /// SDC half-width, percentage points.
+        sdc_half_width_pct: f64,
+        /// Detection half-width, percentage points.
+        detection_half_width_pct: f64,
+        /// Whether the stop rule fired.
+        stopped: bool,
+    },
+}
+
+/// Mutable progress of one cell execution.
+#[derive(Debug, Default)]
+pub struct CellProgress {
+    /// Events observed so far, in order.
+    pub events: Vec<CellEvent>,
+    /// The final result, once the owner's collector lands it.
+    pub result: Option<Arc<SweepCampaignResult>>,
+    /// Set when the owning execution died without a result (engine shutdown
+    /// mid-job); followers report an error instead of blocking forever.
+    pub failed: bool,
+}
+
+/// One cell execution: progress guarded by a mutex, completion broadcast on
+/// a condvar.
+#[derive(Debug, Default)]
+pub struct CellEntry {
+    progress: Mutex<CellProgress>,
+    cond: Condvar,
+}
+
+impl CellEntry {
+    /// Append an event (owner's collector thread).
+    pub fn push_event(&self, event: CellEvent) {
+        let mut p = self.progress.lock().expect(LOCK_POISONED);
+        p.events.push(event);
+        self.cond.notify_all();
+    }
+
+    /// Land the final result and wake every follower.
+    pub fn finish(&self, result: Arc<SweepCampaignResult>) {
+        let mut p = self.progress.lock().expect(LOCK_POISONED);
+        p.result = Some(result);
+        self.cond.notify_all();
+    }
+
+    /// Mark the execution failed (no result will ever land) and wake
+    /// followers.
+    pub fn fail(&self) {
+        let mut p = self.progress.lock().expect(LOCK_POISONED);
+        p.failed = true;
+        self.cond.notify_all();
+    }
+
+    /// Stream the entry to `emit`: every buffered event exactly once, in
+    /// order, blocking for more until the result (returned) or a failure
+    /// (`None`) lands.
+    pub fn tail(&self, mut emit: impl FnMut(&CellEvent)) -> Option<Arc<SweepCampaignResult>> {
+        let mut next = 0usize;
+        let mut p = self.progress.lock().expect(LOCK_POISONED);
+        loop {
+            while next < p.events.len() {
+                emit(&p.events[next]);
+                next += 1;
+            }
+            if let Some(result) = &p.result {
+                return Some(Arc::clone(result));
+            }
+            if p.failed {
+                return None;
+            }
+            p = self.cond.wait(p).expect(LOCK_POISONED);
+        }
+    }
+
+    /// The result, if already landed (non-blocking).
+    pub fn result(&self) -> Option<Arc<SweepCampaignResult>> {
+        self.progress.lock().expect(LOCK_POISONED).result.clone()
+    }
+}
+
+/// The cross-request cell cache.
+#[derive(Debug, Default)]
+pub struct CellCache {
+    entries: Mutex<HashMap<CellKey, Arc<CellEntry>>>,
+}
+
+/// Outcome of a [`CellCache::claim`].
+pub enum Claim {
+    /// The caller is the first requester: it must execute the cell and feed
+    /// the entry (or [`CellEntry::fail`] it).
+    Owner(Arc<CellEntry>),
+    /// Another request already owns this cell; tail the entry.
+    Follower(Arc<CellEntry>),
+}
+
+impl CellCache {
+    /// Atomically look up or create the entry of `key`.
+    pub fn claim(&self, key: CellKey) -> Claim {
+        let mut entries = self.entries.lock().expect(LOCK_POISONED);
+        match entries.get(&key) {
+            Some(entry) => Claim::Follower(Arc::clone(entry)),
+            None => {
+                let entry = Arc::new(CellEntry::default());
+                entries.insert(key, Arc::clone(&entry));
+                Claim::Owner(entry)
+            }
+        }
+    }
+
+    /// Drop a failed execution so a later request can retry the cell.
+    pub fn evict(&self, key: &CellKey) {
+        self.entries.lock().expect(LOCK_POISONED).remove(key);
+    }
+
+    /// Number of cached cells (testing / introspection).
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect(LOCK_POISONED).len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-`(workload, size)` build slot: the inner mutex is the *build lock* —
+/// two concurrent first-requests for the same artefacts serialise here and
+/// the loser finds the winner's build.
+#[derive(Debug, Default)]
+struct ArtifactSlot {
+    unit: Mutex<Option<mbfi_core::EngineUnit>>,
+}
+
+/// The cross-request artifact cache: one module lowering plus golden-run
+/// capture per `(workload, size)` for the daemon's lifetime.  Failed builds
+/// are *not* cached — a later request retries.
+#[derive(Debug, Default)]
+pub struct ArtifactCache {
+    slots: Mutex<HashMap<(String, InputSize), Arc<ArtifactSlot>>>,
+}
+
+impl ArtifactCache {
+    /// Look up or build the artefacts of `(workload, size)`.  The returned
+    /// [`mbfi_core::EngineUnit`] is cheap to clone (all `Arc`s).  `Err` is
+    /// the error-frame message.
+    pub fn get_or_build(
+        &self,
+        workload: &str,
+        size: InputSize,
+    ) -> Result<mbfi_core::EngineUnit, String> {
+        let slot = {
+            let mut slots = self.slots.lock().expect(LOCK_POISONED);
+            Arc::clone(
+                slots
+                    .entry((workload.to_ascii_lowercase(), size))
+                    .or_default(),
+            )
+        };
+        let mut unit = slot.unit.lock().expect(LOCK_POISONED);
+        if let Some(unit) = unit.as_ref() {
+            return Ok(unit.clone());
+        }
+        let spec = mbfi_workloads::workload_by_name(workload)
+            .ok_or_else(|| format!("unknown workload {workload:?}"))?;
+        let module = spec.build_module(size);
+        let code = mbfi_ir::CompiledModule::lower(&module);
+        let golden = mbfi_core::GoldenRun::capture_compiled(&code)
+            .map_err(|e| format!("golden run of {workload:?}/{size} failed: {e:?}"))?;
+        let built = mbfi_core::EngineUnit::new(code, golden);
+        *unit = Some(built.clone());
+        Ok(built)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbfi_core::{FaultModel, OutcomeCounts, Precision};
+
+    fn req(seed: u64) -> CellRequest {
+        CellRequest {
+            workload: "qsort".to_string(),
+            size: InputSize::Tiny,
+            technique: Technique::InjectOnRead,
+            model: FaultModel::single_bit(),
+            experiments: 10,
+            seed,
+            hang_factor: 20,
+            precision: None,
+        }
+    }
+
+    #[test]
+    fn keys_normalise_case_and_distinguish_specs() {
+        let mut upper = req(1);
+        upper.workload = "QSort".to_string();
+        assert_eq!(CellKey::of(&req(1)), CellKey::of(&upper));
+        assert_ne!(CellKey::of(&req(1)), CellKey::of(&req(2)));
+
+        let mut precise = req(1);
+        precise.precision = Some(Precision {
+            target_half_width_pct: 5.0,
+            ..Precision::default()
+        });
+        assert_ne!(CellKey::of(&req(1)), CellKey::of(&precise));
+    }
+
+    #[test]
+    fn first_claim_owns_second_follows() {
+        let cache = CellCache::default();
+        assert!(cache.is_empty());
+        let Claim::Owner(owner) = cache.claim(CellKey::of(&req(1))) else {
+            panic!("first claim must own");
+        };
+        let Claim::Follower(follower) = cache.claim(CellKey::of(&req(1))) else {
+            panic!("second claim must follow");
+        };
+        assert_eq!(cache.len(), 1);
+
+        // Follower sees buffered events, then blocks until the result lands.
+        owner.push_event(CellEvent::Batch {
+            batch: 0,
+            experiments: 10,
+            counts: OutcomeCounts::default(),
+            wall_ns: 1,
+            worker: 0,
+        });
+        let waiter = std::thread::spawn(move || {
+            let mut seen = 0;
+            let result = follower.tail(|_| seen += 1);
+            (seen, result.is_some())
+        });
+        let result = Arc::new(SweepCampaignResult {
+            result: mbfi_core::CampaignResult {
+                spec: req(1).spec(),
+                counts: OutcomeCounts::default(),
+                activation_histogram: vec![],
+                crash_activation_histogram: vec![],
+                warnings: vec![],
+                adaptive: None,
+            },
+            records: vec![],
+        });
+        owner.finish(result);
+        let (seen, got) = waiter.join().unwrap();
+        assert_eq!(seen, 1);
+        assert!(got);
+    }
+
+    #[test]
+    fn failed_executions_wake_followers_and_can_retry() {
+        let cache = CellCache::default();
+        let key = CellKey::of(&req(7));
+        let Claim::Owner(owner) = cache.claim(key.clone()) else {
+            panic!("first claim must own");
+        };
+        let Claim::Follower(follower) = cache.claim(key.clone()) else {
+            panic!("second claim must follow");
+        };
+        let waiter = std::thread::spawn(move || follower.tail(|_| {}).is_none());
+        owner.fail();
+        assert!(waiter.join().unwrap(), "follower sees the failure");
+        cache.evict(&key);
+        assert!(matches!(cache.claim(key), Claim::Owner(_)), "retry owns");
+    }
+
+    #[test]
+    fn artifacts_build_once_and_reject_unknown_workloads() {
+        let cache = ArtifactCache::default();
+        let first = cache.get_or_build("qsort", InputSize::Tiny).unwrap();
+        let second = cache.get_or_build("QSORT", InputSize::Tiny).unwrap();
+        assert!(
+            Arc::ptr_eq(&first.code, &second.code),
+            "case-insensitive hit shares the build"
+        );
+        let err = cache.get_or_build("qsrot", InputSize::Tiny).unwrap_err();
+        assert!(err.contains("unknown workload"), "{err}");
+    }
+}
